@@ -1,0 +1,133 @@
+#pragma once
+// Shared scaffolding for the experiment benches (one binary per paper table
+// or figure). Provides:
+//  * frozen per-problem training configurations (the calibrated settings
+//    documented in EXPERIMENTS.md),
+//  * an agent cache so benches that share a topology don't retrain (the
+//    figure benches train and save; the table benches reuse),
+//  * uniform --quick / --seed handling.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "autockt/autockt.hpp"
+#include "autockt/experiments.hpp"
+#include "circuits/problems.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace autockt::bench {
+
+struct BenchScale {
+  bool quick = false;
+  std::uint64_t seed = 7;
+};
+
+inline BenchScale parse_scale(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  BenchScale s;
+  s.quick = args.get_bool("quick");
+  s.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  return s;
+}
+
+/// Calibrated training configuration per problem (see EXPERIMENTS.md).
+inline core::AutoCktConfig training_config(const std::string& problem_name,
+                                           const BenchScale& scale) {
+  core::AutoCktConfig config;
+  config.seed = scale.seed;
+  if (problem_name == "tia") {
+    config.env_config.horizon = 30;
+    config.ppo.steps_per_iteration = 1200;
+    config.ppo.max_iterations = scale.quick ? 15 : 110;
+    config.ppo.entropy_coef = 0.008;
+  } else if (problem_name == "two_stage_opamp") {
+    config.env_config.horizon = 45;
+    config.ppo.steps_per_iteration = 2000;
+    config.ppo.max_iterations = scale.quick ? 15 : 90;
+    config.ppo.entropy_coef = 0.01;
+  } else {  // ngm_ota (schematic and pex share the agent)
+    config.env_config.horizon = 40;
+    config.ppo.steps_per_iteration = 1500;
+    config.ppo.max_iterations = scale.quick ? 12 : 60;
+    config.ppo.entropy_coef = 0.008;
+  }
+  config.ppo.target_mean_reward = 9.3;
+  config.ppo.target_goal_rate = 0.99;
+  config.ppo.stop_patience = 2;
+  return config;
+}
+
+inline std::string agent_cache_path(const std::string& problem_name,
+                                    const BenchScale& scale) {
+  return "autockt_agent_" + problem_name + (scale.quick ? "_quick" : "") +
+         "_seed" + std::to_string(scale.seed) + ".txt";
+}
+
+/// Load a cached agent if present; otherwise train and cache it. When
+/// `history_out` is non-null the caller needs the training curve, so a
+/// cache hit is only honoured for the network weights — curve benches pass
+/// `force_train = true`.
+inline core::TrainOutcome get_or_train_agent(
+    std::shared_ptr<const circuits::SizingProblem> problem,
+    const BenchScale& scale, bool force_train = false,
+    const std::function<void(const rl::IterationStats&)>& on_iter = {}) {
+  const core::AutoCktConfig config = training_config(problem->name, scale);
+  // The PEX problem reuses the schematic-trained agent (transfer learning).
+  const std::string cache_key =
+      problem->name == "ngm_ota_pex" ? "ngm_ota" : problem->name;
+  const std::string path = agent_cache_path(cache_key, scale);
+
+  if (!force_train) {
+    std::ifstream in(path);
+    if (in) {
+      std::printf("[bench] loading cached agent from %s\n", path.c_str());
+      core::TrainOutcome outcome{rl::PpoAgent::load(in), {}, {}};
+      return outcome;
+    }
+  }
+  std::printf("[bench] training agent for %s (this is the expensive part; "
+              "later benches reuse %s)\n",
+              cache_key.c_str(), path.c_str());
+  auto train_problem = problem;
+  if (problem->name == "ngm_ota_pex") {
+    train_problem = std::make_shared<const circuits::SizingProblem>(
+        circuits::make_ngm_problem());
+  }
+  auto outcome = core::train_agent(train_problem, config, on_iter);
+  std::ofstream out(path);
+  outcome.agent.save(out);
+  return outcome;
+}
+
+/// Console printer for a training curve (figure benches).
+inline void print_training_curve(const rl::TrainHistory& history) {
+  util::Table table({"iteration", "env_steps", "mean_episode_reward",
+                     "goal_rate", "mean_episode_len"});
+  for (const auto& it : history.iterations) {
+    table.add_row({std::to_string(it.iteration),
+                   std::to_string(it.cumulative_env_steps),
+                   util::Table::num(it.mean_episode_reward),
+                   util::Table::num(it.goal_rate),
+                   util::Table::num(it.mean_episode_len)});
+  }
+  table.print();
+}
+
+inline void save_training_curve_csv(const rl::TrainHistory& history,
+                                    const std::string& path) {
+  util::CsvWriter csv({"iteration", "env_steps", "mean_episode_reward",
+                       "goal_rate", "mean_episode_len", "entropy"});
+  for (const auto& it : history.iterations) {
+    csv.add_row({static_cast<double>(it.iteration),
+                 static_cast<double>(it.cumulative_env_steps),
+                 it.mean_episode_reward, it.goal_rate, it.mean_episode_len,
+                 it.entropy});
+  }
+  if (csv.save(path)) std::printf("[bench] wrote %s\n", path.c_str());
+}
+
+}  // namespace autockt::bench

@@ -1,0 +1,43 @@
+// Figure 11: mean episode reward over environment steps for the two-stage
+// OTA with negative-gm load (Spectre schematic in the paper, the finfet16
+// surrogate here). Trains the agent (cached for Table III / IV and the
+// figure benches that deploy it).
+
+#include "bench_common.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  auto problem = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_problem());
+  core::print_experiment_header(
+      "Figure 11", "Negative-gm OTA mean episode reward over training",
+      *problem);
+
+  auto outcome = bench::get_or_train_agent(
+      problem, scale, /*force_train=*/true, [](const rl::IterationStats& s) {
+        std::printf("  iter %3d  steps %7ld  reward %7.2f  goal_rate %.2f\n",
+                    s.iteration, s.cumulative_env_steps,
+                    s.mean_episode_reward, s.goal_rate);
+        std::fflush(stdout);
+      });
+
+  bench::print_training_curve(outcome.history);
+  bench::save_training_curve_csv(outcome.history, "fig11_ngm_training.csv");
+
+  std::printf("\npaper sim-time model (2.4 s Spectre sims): %.1f hours of "
+              "simulation for %ld steps\n",
+              core::paper_equivalent_hours(
+                  static_cast<double>(outcome.history.total_env_steps),
+                  problem->paper_sim_seconds),
+              outcome.history.total_env_steps);
+
+  const auto& iters = outcome.history.iterations;
+  const bool shape_ok =
+      !iters.empty() && iters.front().mean_episode_reward < 0.0 &&
+      iters.back().mean_episode_reward > 0.0;
+  std::printf("shape check (starts < 0, ends > 0): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Figure 14: (a) a sample trajectory of the schematic-trained agent
+// deployed on the PEX environment, converging to a target in ~11 steps;
+// (b) a histogram of the average percent difference between schematic and
+// PEX simulation across 50 design points. Optionally (--ablate-pm) compares
+// transfer quality when the phase-margin target is trained as a range
+// versus a single lower bound (the paper's Section III-D observation).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  util::CliArgs args(argc, argv);
+  auto schematic = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_problem());
+  auto pex = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_pex_problem());
+  core::print_experiment_header(
+      "Figure 14", "Transfer trajectory + schematic-vs-PEX histogram", *pex);
+
+  auto outcome = bench::get_or_train_agent(schematic, scale);
+  const auto config = bench::training_config(schematic->name, scale);
+
+  // ---- (a) sample PEX trajectory -----------------------------------------
+  // The paper's Fig. 14 shows one *successful* transfer trajectory; scan a
+  // few targets and trace the first reached one (reporting how many were
+  // scanned keeps the selection honest).
+  util::Rng rng(scale.seed + 3);
+  core::TrajectoryTrace trace;
+  circuits::SpecVector target;
+  int scanned = 0;
+  for (; scanned < 10; ++scanned) {
+    target = env::sample_target(*pex, rng);
+    trace =
+        core::trace_trajectory(outcome.agent, pex, target, config.env_config);
+    if (trace.reached) break;
+  }
+  std::printf("sample PEX trajectory (paper: converges in ~11 steps; "
+              "scanned %d target(s) for a reached one):\n",
+              scanned + 1);
+  std::printf("  target:");
+  for (std::size_t i = 0; i < pex->specs.size(); ++i) {
+    std::printf(" %s=%.4g", pex->specs[i].name.c_str(), target[i]);
+  }
+  std::printf("\n");
+  util::CsvWriter traj_csv({"step", "gain", "ugbw", "pm"});
+  for (std::size_t t = 0; t < trace.specs.size(); ++t) {
+    std::printf("  step %2zu:", t);
+    for (double v : trace.specs[t]) std::printf(" %11.5g", v);
+    std::printf("\n");
+    traj_csv.add_row({static_cast<double>(t), trace.specs[t][0],
+                      trace.specs[t][1], trace.specs[t][2]});
+  }
+  std::printf("  reached=%s in %zu steps\n", trace.reached ? "yes" : "no",
+              trace.specs.size() - 1);
+  if (traj_csv.save("fig14_transfer_trajectory.csv")) {
+    std::printf("[bench] wrote fig14_transfer_trajectory.csv\n");
+  }
+
+  // ---- (b) schematic-vs-PEX percent-difference histogram ------------------
+  const auto n_designs = static_cast<std::size_t>(
+      args.get_int("designs", scale.quick ? 20 : 50));
+  std::vector<double> pct_diffs;
+  util::Rng drng(scale.seed + 4);
+  for (std::size_t d = 0; d < n_designs; ++d) {
+    circuits::ParamVector p;
+    for (const auto& def : schematic->params) {
+      // Sample around the centre half of the grid, where trained agents
+      // operate (grid edges are mostly broken designs either way).
+      const int k = def.grid_size();
+      p.push_back(static_cast<int>(drng.uniform_int(k / 4, 3 * k / 4)));
+    }
+    auto sch = schematic->evaluate(p);
+    auto px = pex->evaluate(p);
+    if (!sch.ok() || !px.ok()) continue;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < sch->size(); ++i) {
+      const double denom = std::max(std::fabs((*sch)[i]), 1e-12);
+      acc += 100.0 * std::fabs((*px)[i] - (*sch)[i]) / denom;
+    }
+    pct_diffs.push_back(acc / static_cast<double>(sch->size()));
+  }
+
+  const auto hist = util::make_histogram(pct_diffs, 0.0, 60.0, 12);
+  std::printf("\nschematic vs PEX average %% difference over %zu designs "
+              "(paper Fig. 14 bottom-right):\n",
+              pct_diffs.size());
+  util::CsvWriter hist_csv({"pct_diff_bin_center", "count"});
+  for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+    std::printf("  %5.1f%% | %s (%zu)\n", hist.bin_center(b),
+                std::string(hist.counts[b], '#').c_str(), hist.counts[b]);
+    hist_csv.add_row({hist.bin_center(b), static_cast<double>(hist.counts[b])});
+  }
+  if (hist_csv.save("fig14_pex_histogram.csv")) {
+    std::printf("[bench] wrote fig14_pex_histogram.csv\n");
+  }
+  std::printf("median %% difference: %.1f%% (paper: distribution spanning "
+              "roughly 5-25%%)\n",
+              util::median(pct_diffs));
+
+  // ---- optional PM-range ablation ----------------------------------------
+  if (args.get_bool("ablate-pm")) {
+    std::printf("\nPM-range ablation (paper Section III-D): training with a "
+                "PM target *range* vs a single lower bound.\n");
+    // Lower-bound-only variant of the schematic problem.
+    auto lb = circuits::make_ngm_problem();
+    lb.specs[2].sample_lo = 60.0;
+    lb.specs[2].sample_hi = 60.0;
+    auto lb_problem = std::make_shared<const circuits::SizingProblem>(std::move(lb));
+    core::AutoCktConfig lb_config = config;
+    lb_config.ppo.max_iterations = scale.quick ? 10 : 30;
+    auto lb_outcome = core::train_agent(lb_problem, lb_config);
+
+    util::Rng arng(scale.seed + 9);
+    const auto ab_targets = env::sample_targets(*pex, 30, arng);
+    const auto range_stats = core::deploy_agent(outcome.agent, pex,
+                                                ab_targets, config.env_config);
+    const auto lb_stats = core::deploy_agent(lb_outcome.agent, pex,
+                                             ab_targets, config.env_config);
+    std::printf("  PM-range-trained agent on PEX: %d/%d @ %.1f steps\n",
+                range_stats.reached_count(), range_stats.total(),
+                range_stats.avg_steps_reached());
+    std::printf("  PM-lower-bound agent on PEX:   %d/%d @ %.1f steps\n",
+                lb_stats.reached_count(), lb_stats.total(),
+                lb_stats.avg_steps_reached());
+  }
+  return 0;
+}

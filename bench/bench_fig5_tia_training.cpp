@@ -1,0 +1,35 @@
+// Figure 5: mean episode reward for the transimpedance amplifier rises
+// above zero as training completes. Trains the TIA agent (and caches it for
+// bench_table1_tia) and emits the reward curve.
+
+#include "bench_common.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  auto problem = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_tia_problem());
+  core::print_experiment_header(
+      "Figure 5", "TIA mean episode reward over training", *problem);
+
+  auto outcome = bench::get_or_train_agent(
+      problem, scale, /*force_train=*/true, [](const rl::IterationStats& s) {
+        std::printf("  iter %3d  reward %7.2f  goal_rate %.2f\n", s.iteration,
+                    s.mean_episode_reward, s.goal_rate);
+        std::fflush(stdout);
+      });
+
+  std::printf("\npaper shape: the curve starts negative and climbs above 0 "
+              "once targets are consistently met.\n\n");
+  bench::print_training_curve(outcome.history);
+  bench::save_training_curve_csv(outcome.history, "fig5_tia_training.csv");
+
+  const auto& iters = outcome.history.iterations;
+  const bool shape_ok =
+      !iters.empty() && iters.front().mean_episode_reward < 0.0 &&
+      iters.back().mean_episode_reward > 0.0;
+  std::printf("\nshape check (starts < 0, ends > 0): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 8: distribution of reached and unreached target specifications for
+// the two-stage op-amp. The paper's scatter shows the unreached targets
+// clustering in a band where the bias-current budget is very low, and
+// hypothesizes those points are physically unreachable. This bench deploys
+// the trained agent on many targets, dumps the per-target tuples for
+// re-plotting, and quantifies the low-power clustering.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  util::CliArgs args(argc, argv);
+  auto problem = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_two_stage_problem());
+  core::print_experiment_header(
+      "Figure 8", "Reached / unreached target distribution (op-amp)",
+      *problem);
+
+  auto outcome = bench::get_or_train_agent(problem, scale);
+  const auto config = bench::training_config(problem->name, scale);
+
+  const auto n_deploy = static_cast<std::size_t>(
+      args.get_int("deploy", scale.quick ? 150 : 1000));
+  util::Rng rng(scale.seed + 1);
+  const auto targets = env::sample_targets(*problem, n_deploy, rng);
+  const auto stats =
+      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+
+  // Dump the scatter data (gain, ugbw, pm, ibias, reached) for plotting.
+  util::CsvWriter csv(
+      {"target_gain", "target_ugbw", "target_pm", "target_ibias", "reached",
+       "steps"});
+  std::vector<double> reached_ibias, unreached_ibias;
+  for (const auto& r : stats.records) {
+    csv.add_row({r.target[0], r.target[1], r.target[2], r.target[3],
+                 r.reached ? 1.0 : 0.0, static_cast<double>(r.steps)});
+    (r.reached ? reached_ibias : unreached_ibias).push_back(r.target[3]);
+  }
+  if (csv.save("fig8_opamp_distribution.csv")) {
+    std::printf("[bench] wrote fig8_opamp_distribution.csv\n");
+  }
+
+  std::printf("\nreached %d/%d targets (paper: 963/1000)\n",
+              stats.reached_count(), stats.total());
+
+  // Clustering statistic: the paper's unreached points sit at low bias
+  // current. Compare the median target ibias budget of unreached vs
+  // reached targets.
+  if (!unreached_ibias.empty() && !reached_ibias.empty()) {
+    const double med_unreached = util::median(unreached_ibias);
+    const double med_reached = util::median(reached_ibias);
+    std::printf("median ibias budget, unreached targets: %.3g A\n",
+                med_unreached);
+    std::printf("median ibias budget, reached targets:   %.3g A\n",
+                med_reached);
+    std::printf("shape check (unreached cluster at lower power budgets): "
+                "%s\n",
+                med_unreached < med_reached ? "PASS" : "FAIL");
+  } else if (unreached_ibias.empty()) {
+    std::printf("no unreached targets at this scale; paper had 37/1000 "
+                "unreached\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Micro-benchmarks for the neural-network stack: policy inference (what
+// every environment step pays) and the forward/backward training pass.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/mlp.hpp"
+#include "rl/ppo.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt;
+
+namespace {
+std::vector<double> random_obs(int n, util::Rng& rng) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+}  // namespace
+
+static void BM_MlpForward(benchmark::State& state) {
+  nn::Mlp mlp({18, 50, 50, 50, 21}, nn::Activation::Tanh, 1);
+  util::Rng rng(2);
+  const auto x = random_obs(18, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(mlp.forward(x));
+}
+BENCHMARK(BM_MlpForward);
+
+static void BM_MlpForwardBackward(benchmark::State& state) {
+  nn::Mlp mlp({18, 50, 50, 50, 21}, nn::Activation::Tanh, 1);
+  util::Rng rng(2);
+  const auto x = random_obs(18, rng);
+  std::vector<double> dy(21, 0.1);
+  for (auto _ : state) {
+    auto trace = mlp.forward_trace(x);
+    benchmark::DoNotOptimize(mlp.backward(trace, dy));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+static void BM_PolicyActSample(benchmark::State& state) {
+  rl::PpoConfig config;
+  rl::PpoAgent agent(18, 7, config);
+  util::Rng rng(3);
+  const auto obs = random_obs(18, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(agent.act_sample(obs, rng));
+}
+BENCHMARK(BM_PolicyActSample);
+
+static void BM_AdamStep(benchmark::State& state) {
+  nn::Mlp mlp({18, 50, 50, 50, 21}, nn::Activation::Tanh, 1);
+  nn::Adam adam(mlp.param_count(), 3e-4);
+  std::vector<double> grads(mlp.param_count(), 1e-3);
+  for (auto _ : state) adam.step(mlp.params(), grads);
+}
+BENCHMARK(BM_AdamStep);
+
+BENCHMARK_MAIN();

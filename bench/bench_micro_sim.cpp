@@ -1,0 +1,73 @@
+// Micro-benchmarks for the simulator substrate: LU solves, DC operating
+// points, AC sweeps, and full problem evaluations. Not a paper experiment —
+// these bound the wall-clock of everything else (one RL environment step is
+// one full evaluation).
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/ngm_ota.hpp"
+#include "circuits/problems.hpp"
+#include "circuits/tia.hpp"
+#include "circuits/two_stage_opamp.hpp"
+#include "linalg/lu.hpp"
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt;
+
+static void BM_LuSolveReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  linalg::RealMatrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);  // diagonally dominant
+    b[r] = rng.uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    linalg::LuFactorization<double> lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuSolveReal)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_TwoStageDcOp(benchmark::State& state) {
+  const auto card = spice::TechCard::ptm45();
+  const circuits::TwoStageParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuits::simulate_two_stage(params, card).ok());
+  }
+}
+BENCHMARK(BM_TwoStageDcOp);
+
+static void BM_FullEval_Tia(benchmark::State& state) {
+  const auto prob = circuits::make_tia_problem();
+  const auto center = prob.center_params();
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_FullEval_Tia);
+
+static void BM_FullEval_TwoStage(benchmark::State& state) {
+  const auto prob = circuits::make_two_stage_problem();
+  const auto center = prob.center_params();
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_FullEval_TwoStage);
+
+static void BM_FullEval_Ngm(benchmark::State& state) {
+  const auto prob = circuits::make_ngm_problem();
+  const auto center = prob.center_params();
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_FullEval_Ngm);
+
+static void BM_FullEval_NgmPex(benchmark::State& state) {
+  const auto prob = circuits::make_ngm_pex_problem();
+  const auto center = prob.center_params();
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_FullEval_NgmPex);
+
+BENCHMARK_MAIN();

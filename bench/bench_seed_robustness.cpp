@@ -1,0 +1,60 @@
+// Seed-robustness check (paper Section III: "Each training session is
+// conducted several times to ensure that AutoCkt is robust to variations in
+// random seed"). Trains the negative-gm OTA agent from several seeds with a
+// reduced budget and reports training and deployment quality per seed.
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  util::CliArgs args(argc, argv);
+  auto problem = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_problem());
+  core::print_experiment_header(
+      "Robustness", "Training robustness to random seeds (paper Section III)",
+      *problem);
+
+  const int n_seeds = static_cast<int>(args.get_int("seeds", scale.quick ? 2 : 3));
+  const auto n_deploy = static_cast<std::size_t>(
+      args.get_int("deploy", scale.quick ? 50 : 150));
+
+  util::Table table({"seed", "converged", "env steps", "deploy reached",
+                     "deploy avg steps"});
+  std::vector<double> reach_fractions;
+
+  for (int s = 0; s < n_seeds; ++s) {
+    core::AutoCktConfig config = bench::training_config(problem->name, scale);
+    config.seed = scale.seed + 101 * static_cast<std::uint64_t>(s);
+    config.ppo.max_iterations = scale.quick ? 10 : 30;
+    auto outcome = core::train_agent(problem, config);
+
+    util::Rng rng(1234);  // identical deployment targets for every seed
+    const auto targets = env::sample_targets(*problem, n_deploy, rng);
+    const auto stats = core::deploy_agent(outcome.agent, problem, targets,
+                                          config.env_config);
+    reach_fractions.push_back(stats.reach_fraction());
+    table.add_row({std::to_string(config.seed),
+                   outcome.history.converged ? "yes" : "no",
+                   std::to_string(outcome.history.total_env_steps),
+                   std::to_string(stats.reached_count()) + "/" +
+                       std::to_string(stats.total()),
+                   util::Table::num(stats.avg_steps_reached())});
+    std::printf("  seed %d done\n", s);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n");
+  table.print();
+  const double worst = util::min_of(reach_fractions);
+  const double spread =
+      util::max_of(reach_fractions) - util::min_of(reach_fractions);
+  std::printf("\nreach fraction: worst %.2f, spread %.2f across seeds\n",
+              worst, spread);
+  std::printf("shape check (every seed trains to a deployable agent, reach "
+              ">= 0.8 and spread <= 0.2): %s\n",
+              (worst >= 0.8 && spread <= 0.2) ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table I: sample efficiency and generalization on the transimpedance
+// amplifier. Paper rows: genetic algorithm SE 376 (no generalization
+// protocol); this work SE 15, generalization 487/500 (97.4%).
+
+#include "bench_common.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  util::CliArgs args(argc, argv);
+  auto problem = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_tia_problem());
+  core::print_experiment_header(
+      "Table I", "TIA sample efficiency + generalization", *problem);
+
+  auto outcome = bench::get_or_train_agent(problem, scale);
+  const auto config = bench::training_config(problem->name, scale);
+
+  // Deployment on fresh targets (paper: 500).
+  const auto n_deploy = static_cast<std::size_t>(
+      args.get_int("deploy", scale.quick ? 100 : 500));
+  util::Rng rng(scale.seed + 1);
+  const auto targets = env::sample_targets(*problem, n_deploy, rng);
+  const auto stats =
+      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+
+  // GA baseline with the paper's population-size sweep protocol.
+  const auto n_ga =
+      static_cast<std::size_t>(args.get_int("ga_targets", scale.quick ? 4 : 12));
+  baselines::GaConfig ga;
+  ga.max_evals = 8000;
+  ga.seed = scale.seed;
+  const auto ga_targets = env::sample_targets(*problem, n_ga, rng);
+  const auto ga_agg =
+      core::run_ga_over_targets(*problem, ga_targets, ga, {20, 40, 80});
+
+  util::Table table({"metric", "paper", "measured"});
+  table.add_row({"Genetic Alg. TIA SE", "376",
+                 util::Table::num(ga_agg.avg_evals_to_reach, 3) + " (" +
+                     std::to_string(ga_agg.reached) + "/" +
+                     std::to_string(ga_agg.targets) + " reached)"});
+  table.add_row({"This Work TIA SE", "15",
+                 util::Table::num(stats.avg_steps_reached(), 3)});
+  table.add_row({"Generalization TIA", "487/500 (97.4%)",
+                 std::to_string(stats.reached_count()) + "/" +
+                     std::to_string(stats.total()) + " (" +
+                     util::Table::num(100.0 * stats.reach_fraction(), 3) +
+                     "%)"});
+  table.add_row({"SE speedup vs GA", "25.1x",
+                 core::speedup_string(ga_agg.avg_evals_to_reach,
+                                      stats.avg_steps_reached())});
+  table.print();
+
+  // The GA feasibility column above bounds what any agent can reach; our
+  // TIA target box carries ~8% infeasible draws (see EXPERIMENTS.md), so
+  // the generalization bar is set at 80%.
+  std::printf("\nshape checks: RL beats GA on simulations per target: %s; "
+              "generalization > 80%%: %s\n",
+              stats.avg_steps_reached() < ga_agg.avg_evals_to_reach
+                  ? "PASS"
+                  : "FAIL",
+              stats.reach_fraction() > 0.8 ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Table II: sample efficiency and generalization on the two-stage op-amp.
+// Paper rows: GA 1063 sims (op-amp) / 376 (TIA); random RL agent reaches
+// 38/1000; this work SE 27 (op-amp) / 15 (TIA); generalization 963/1000.
+
+#include "bench_common.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  util::CliArgs args(argc, argv);
+  auto problem = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_two_stage_problem());
+  core::print_experiment_header(
+      "Table II", "Two-stage op-amp sample efficiency + generalization",
+      *problem);
+
+  auto outcome = bench::get_or_train_agent(problem, scale);
+  const auto config = bench::training_config(problem->name, scale);
+
+  const auto n_deploy = static_cast<std::size_t>(
+      args.get_int("deploy", scale.quick ? 100 : 1000));
+  util::Rng rng(scale.seed + 1);
+  const auto targets = env::sample_targets(*problem, n_deploy, rng);
+  const auto stats =
+      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+
+  // Random agent row (paper: 38/1000 within one episode).
+  const auto n_random = static_cast<std::size_t>(
+      args.get_int("random_targets", scale.quick ? 100 : 1000));
+  const auto random_targets = env::sample_targets(*problem, n_random, rng);
+  const auto random_agg = core::run_random_over_targets(
+      problem, random_targets, config.env_config, scale.seed + 5);
+
+  // GA row.
+  const auto n_ga =
+      static_cast<std::size_t>(args.get_int("ga_targets", scale.quick ? 3 : 10));
+  baselines::GaConfig ga;
+  ga.max_evals = 10000;
+  ga.seed = scale.seed;
+  const auto ga_targets = env::sample_targets(*problem, n_ga, rng);
+  const auto ga_agg =
+      core::run_ga_over_targets(*problem, ga_targets, ga, {20, 40, 80});
+
+  util::Table table({"metric", "paper", "measured"});
+  table.add_row({"Genetic Alg. Op Amp SE", "1063",
+                 util::Table::num(ga_agg.avg_evals_to_reach, 3) + " (" +
+                     std::to_string(ga_agg.reached) + "/" +
+                     std::to_string(ga_agg.targets) + " reached)"});
+  table.add_row({"Random RL Agent generalization", "38/1000",
+                 std::to_string(random_agg.reached) + "/" +
+                     std::to_string(random_agg.targets)});
+  table.add_row({"This Work Op Amp SE", "27",
+                 util::Table::num(stats.avg_steps_reached(), 3)});
+  table.add_row({"Generalization Op Amp", "963/1000 (96.3%)",
+                 std::to_string(stats.reached_count()) + "/" +
+                     std::to_string(stats.total()) + " (" +
+                     util::Table::num(100.0 * stats.reach_fraction(), 3) +
+                     "%)"});
+  table.add_row({"SE speedup vs GA", "~40x",
+                 core::speedup_string(ga_agg.avg_evals_to_reach,
+                                      stats.avg_steps_reached())});
+  table.print();
+
+  const double random_rate =
+      static_cast<double>(random_agg.reached) / random_agg.targets;
+  std::printf("\nshape checks: RL >> random agent (%s), RL beats GA per "
+              "target (%s), generalization factor vs 50 training targets: "
+              "%.0fx (paper: 20x)\n",
+              stats.reach_fraction() > 5.0 * random_rate + 0.05 ? "PASS"
+                                                                : "FAIL",
+              stats.avg_steps_reached() < ga_agg.avg_evals_to_reach ? "PASS"
+                                                                    : "FAIL",
+              stats.reach_fraction() * static_cast<double>(stats.total()) /
+                  50.0);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Table IV: sample efficiency with layout parasitics. Paper rows:
+//   Genetic Alg.           — N/A (too sample-inefficient to run at 91 s/sim)
+//   Genetic Alg.+ML [7]    — 220 simulations
+//   AutoCkt schematic only — 10 simulations, 500/500
+//   AutoCkt PEX (transfer) — 23 simulations, 40/40
+// plus the wall-clock claims (1.7 h for deployment;  40 LVS-passed designs
+// in under 3 days on one core; 9.56x more sample-efficient than [7]).
+
+#include "baselines/ga_ml.hpp"
+#include "bench_common.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  util::CliArgs args(argc, argv);
+  auto schematic = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_problem());
+  auto pex = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_pex_problem());
+  core::print_experiment_header(
+      "Table IV", "Sample efficiency with layout parasitics (transfer)",
+      *pex);
+
+  auto outcome = bench::get_or_train_agent(schematic, scale);
+  const auto config = bench::training_config(schematic->name, scale);
+  util::Rng rng(scale.seed + 1);
+
+  // AutoCkt schematic row.
+  const auto n_sch = static_cast<std::size_t>(
+      args.get_int("schematic_deploy", scale.quick ? 100 : 500));
+  const auto sch_targets = env::sample_targets(*schematic, n_sch, rng);
+  const auto sch_stats = core::deploy_agent(outcome.agent, schematic,
+                                            sch_targets, config.env_config);
+
+  // AutoCkt PEX row (paper: 40 targets).
+  const auto n_pex =
+      static_cast<std::size_t>(args.get_int("pex_deploy", 40));
+  const auto pex_targets = env::sample_targets(*pex, n_pex, rng);
+  // PEX-degraded targets sit deeper in the frontier: deploy with a longer
+  // trajectory budget (the horizon is a deployment knob the paper itself
+  // optimizes, Fig. 10) and allow extra sampled attempts. All simulation
+  // steps are charged to the step count.
+  env::EnvConfig pex_env = config.env_config;
+  pex_env.horizon = static_cast<int>(args.get_int("pex_horizon", 60));
+  const auto pex_stats =
+      core::deploy_agent(outcome.agent, pex, pex_targets, pex_env,
+                         /*stochastic=*/false, /*seed=*/scale.seed + 17,
+                         /*stochastic_retries=*/3);
+
+  // GA+ML (BagNet-like) row on the PEX problem.
+  const auto n_gaml =
+      static_cast<std::size_t>(args.get_int("gaml_targets", scale.quick ? 2 : 6));
+  baselines::GaMlConfig gaml;
+  gaml.ga.max_evals = 4000;
+  gaml.ga.population = 30;
+  double gaml_evals = 0.0;
+  int gaml_reached = 0;
+  for (std::size_t i = 0; i < n_gaml; ++i) {
+    gaml.seed = scale.seed + 31 * (i + 1);
+    const auto r = baselines::run_ga_ml(*pex, pex_targets[i], gaml);
+    if (r.reached) {
+      ++gaml_reached;
+      gaml_evals += static_cast<double>(r.evals_to_reach);
+    }
+  }
+  const double gaml_avg =
+      gaml_reached > 0 ? gaml_evals / gaml_reached : 0.0;
+
+  util::Table table({"metric", "paper", "measured"});
+  table.add_row({"Genetic Alg.", "N/A (too many sims at 91 s/sim)", "n/a"});
+  table.add_row({"Genetic Alg.+ML [7] sim steps", "220",
+                 util::Table::num(gaml_avg, 3) + " (" +
+                     std::to_string(gaml_reached) + "/" +
+                     std::to_string(n_gaml) + " reached)"});
+  table.add_row({"AutoCkt schematic-only SE", "10",
+                 util::Table::num(sch_stats.avg_steps_reached(), 3) + " (" +
+                     std::to_string(sch_stats.reached_count()) + "/" +
+                     std::to_string(sch_stats.total()) + ")"});
+  table.add_row({"AutoCkt PEX SE", "23",
+                 util::Table::num(pex_stats.avg_steps_reached(), 3)});
+  table.add_row({"AutoCkt PEX generalization", "40/40",
+                 std::to_string(pex_stats.reached_count()) + "/" +
+                     std::to_string(pex_stats.total())});
+  table.add_row({"Speedup vs GA+ML", "9.56x",
+                 core::speedup_string(gaml_avg,
+                                      pex_stats.avg_steps_reached())});
+  table.print();
+
+  // Wall-clock equivalents at the paper's 91 s per PEX simulation.
+  const double pex_sims_per_target =
+      pex_stats.reached_count() > 0
+          ? pex_stats.avg_steps_reached()
+          : 0.0;
+  const double hours_40 = core::paper_equivalent_hours(
+      pex_sims_per_target * 40.0, pex->paper_sim_seconds);
+  std::printf("\npaper sim-time model: %.1f h to size 40 designs at 91 "
+              "s/PEX-sim on one core (paper: 68 h / \"under three days\")\n",
+              hours_40);
+  std::printf("note: one PEX evaluation here spans %zu PVT corners.\n",
+              circuits::ngm_pex_corner_count());
+
+  std::printf("\nshape checks: transfer degrades SE but stays far below "
+              "GA+ML (%s); PEX generalization >= 90%% (%s); PEX SE > "
+              "schematic SE (%s)\n",
+              pex_stats.avg_steps_reached() < gaml_avg ? "PASS" : "FAIL",
+              pex_stats.reach_fraction() >= 0.9 ? "PASS" : "FAIL",
+              pex_stats.avg_steps_reached() >=
+                      sch_stats.avg_steps_reached()
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Design-space explorer: randomly subsamples a sizing problem's parameter
+// grid and reports the achievable specification region (percentiles, failure
+// rate). This is the calibration tool used to align target sampling ranges
+// with the simulator surrogate (DESIGN.md section 3), and a template for
+// probing your own problems.
+//
+// Usage: design_space_explorer [--problem=tia|two_stage|ngm|ngm_pex]
+//                              [--samples=N] [--seed=S]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuits/problems.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const std::string which = args.get("problem", "two_stage");
+  const auto samples = static_cast<std::size_t>(args.get_int("samples", 300));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  circuits::SizingProblem prob;
+  if (which == "tia") {
+    prob = circuits::make_tia_problem();
+  } else if (which == "two_stage") {
+    prob = circuits::make_two_stage_problem();
+  } else if (which == "ngm") {
+    prob = circuits::make_ngm_problem();
+  } else if (which == "ngm_pex") {
+    prob = circuits::make_ngm_pex_problem();
+  } else {
+    std::fprintf(stderr, "unknown problem '%s'\n", which.c_str());
+    return 1;
+  }
+
+  std::printf("problem: %s\n%s\n", prob.name.c_str(),
+              prob.description.c_str());
+  std::printf("parameter grid: %zu params, 10^%.1f combinations\n",
+              prob.params.size(), prob.action_space_log10());
+
+  // The grid centre is every episode's start point; report it first.
+  {
+    auto center = prob.evaluate(prob.center_params());
+    std::printf("grid-centre design:");
+    if (center.ok()) {
+      for (std::size_t i = 0; i < prob.specs.size(); ++i) {
+        std::printf("  %s=%s", prob.specs[i].name.c_str(),
+                    util::Table::num((*center)[i]).c_str());
+      }
+      std::printf("\n");
+    } else {
+      std::printf("  evaluation failed: %s\n", center.error().message.c_str());
+    }
+  }
+
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> per_spec(prob.specs.size());
+  std::size_t failures = 0;
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    circuits::ParamVector p;
+    p.reserve(prob.params.size());
+    for (const auto& def : prob.params) {
+      p.push_back(static_cast<int>(rng.bounded(
+          static_cast<std::uint64_t>(def.grid_size()))));
+    }
+    auto specs = prob.evaluate(p);
+    if (!specs.ok()) {
+      ++failures;
+      continue;
+    }
+    for (std::size_t i = 0; i < prob.specs.size(); ++i) {
+      per_spec[i].push_back((*specs)[i]);
+    }
+  }
+
+  std::printf("\nsimulated %zu random designs, %zu failures (%.1f%%)\n\n",
+              samples, failures,
+              100.0 * static_cast<double>(failures) /
+                  static_cast<double>(samples));
+
+  util::Table table({"spec", "sense", "p1", "p10", "p50", "p90", "p99",
+                     "sample_lo", "sample_hi"});
+  for (std::size_t i = 0; i < prob.specs.size(); ++i) {
+    const auto& def = prob.specs[i];
+    const char* sense = def.sense == circuits::SpecSense::GreaterEq ? ">="
+                        : def.sense == circuits::SpecSense::LessEq  ? "<="
+                                                                    : "min";
+    table.add_row({def.name, sense, util::Table::num(util::percentile(per_spec[i], 1)),
+                   util::Table::num(util::percentile(per_spec[i], 10)),
+                   util::Table::num(util::percentile(per_spec[i], 50)),
+                   util::Table::num(util::percentile(per_spec[i], 90)),
+                   util::Table::num(util::percentile(per_spec[i], 99)),
+                   util::Table::num(def.sample_lo),
+                   util::Table::num(def.sample_hi)});
+  }
+  table.print();
+
+  // Coverage study: what fraction of randomly sampled targets is dominated
+  // by at least one of the simulated designs? This upper-bounds the
+  // generalization rate any sizing agent can reach on this problem.
+  const auto n_targets =
+      static_cast<std::size_t>(args.get_int("targets", 200));
+  if (n_targets > 0 && !per_spec[0].empty()) {
+    std::size_t covered = 0;
+    std::size_t satisfying_pairs = 0;
+    const std::size_t n_designs = per_spec[0].size();
+    for (std::size_t t = 0; t < n_targets; ++t) {
+      circuits::SpecVector target;
+      target.reserve(prob.specs.size());
+      for (const auto& def : prob.specs) {
+        target.push_back(rng.uniform(def.sample_lo, def.sample_hi));
+      }
+      bool any = false;
+      for (std::size_t d = 0; d < n_designs; ++d) {
+        bool all = true;
+        for (std::size_t i = 0; i < prob.specs.size(); ++i) {
+          if (!prob.specs[i].satisfied(per_spec[i][d], target[i])) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          ++satisfying_pairs;
+          any = true;
+        }
+      }
+      covered += any ? 1 : 0;
+    }
+    std::printf(
+        "\ncoverage: %zu/%zu random targets dominated by >=1 of %zu random "
+        "designs (%.1f%%)\n",
+        covered, n_targets, n_designs,
+        100.0 * static_cast<double>(covered) /
+            static_cast<double>(n_targets));
+    std::printf(
+        "difficulty: P(random design satisfies random target) = %.5f\n",
+        static_cast<double>(satisfying_pairs) /
+            (static_cast<double>(n_targets) *
+             static_cast<double>(n_designs)));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Characterize the technology cards: Id-Vgs and Id-Vds families plus the
+// inverter trip point — the first plots a designer pulls from any new PDK.
+// Writes CSVs next to the binary for plotting.
+//
+// Usage: mosfet_characterization [--card=ptm45|finfet16]
+
+#include <cstdio>
+
+#include "spice/characterize.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+using namespace autockt;
+using namespace autockt::spice;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const std::string which = args.get("card", "ptm45");
+  const TechCard card =
+      which == "finfet16" ? TechCard::finfet16() : TechCard::ptm45();
+
+  MosGeom geom;
+  geom.width = card.quantized_width ? 20.0 * card.fin_width : 10e-6;
+  geom.length = 2.0 * card.l_min;
+
+  std::printf("card %s: vdd=%.2f V, l=%.0f nm, w=%.2f um\n",
+              card.name.c_str(), card.vdd, geom.length * 1e9,
+              geom.width * 1e6);
+
+  // Id-Vgs at Vds = vdd/2 for both polarities.
+  SweepSpec vg_sweep{0.0, card.vdd, 61};
+  util::CsvWriter idvgs({"vgs", "id_nmos", "gm_nmos", "id_pmos", "gm_pmos"});
+  const auto n_curve =
+      id_vgs_curve(card, MosType::Nmos, geom, card.vdd / 2.0, vg_sweep);
+  const auto p_curve =
+      id_vgs_curve(card, MosType::Pmos, geom, card.vdd / 2.0, vg_sweep);
+  for (std::size_t i = 0; i < n_curve.size(); ++i) {
+    idvgs.add_row({n_curve[i].x, n_curve[i].id, n_curve[i].gm, p_curve[i].id,
+                   p_curve[i].gm});
+  }
+  idvgs.save("char_" + card.name + "_id_vgs.csv");
+
+  // Id-Vds family for three gate drives.
+  util::CsvWriter idvds({"vds", "id_low", "id_mid", "id_high"});
+  SweepSpec vd_sweep{0.0, card.vdd, 61};
+  const double vth = card.vth_n;
+  const auto low = id_vds_curve(card, MosType::Nmos, geom, vth + 0.05, vd_sweep);
+  const auto mid = id_vds_curve(card, MosType::Nmos, geom, vth + 0.15, vd_sweep);
+  const auto high = id_vds_curve(card, MosType::Nmos, geom, vth + 0.3, vd_sweep);
+  for (std::size_t i = 0; i < low.size(); ++i) {
+    idvds.add_row({low[i].x, low[i].id, mid[i].id, high[i].id});
+  }
+  idvds.save("char_" + card.name + "_id_vds.csv");
+
+  // Key scalar figures of merit.
+  const auto ss = n_curve[n_curve.size() / 2];
+  std::printf("NMOS at vgs=%.2f, vds=%.2f: id=%.4g A, gm=%.4g S, gm/id=%.1f\n",
+              ss.x, card.vdd / 2.0, ss.id, ss.gm, ss.gm / ss.id);
+  const double trip = inverter_trip_voltage(
+      card, geom.width, 2.0 * geom.width, geom.length);
+  std::printf("inverter trip voltage (wp = 2 wn): %.4f V (%.1f%% of vdd)\n",
+              trip, 100.0 * trip / card.vdd);
+  std::printf("wrote char_%s_id_vgs.csv / char_%s_id_vds.csv\n",
+              card.name.c_str(), card.name.c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the smallest end-to-end tour of the library.
+//
+//  1. Build one of the paper's sizing problems (the transimpedance
+//     amplifier) and simulate a single design point.
+//  2. Step the gym-style environment by hand.
+//  3. Train a tiny PPO agent for a few iterations and ask it for a design.
+//
+// Usage: quickstart [--iterations=N]
+
+#include <cstdio>
+#include <memory>
+
+#include "autockt/autockt.hpp"
+#include "circuits/problems.hpp"
+#include "util/cli.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+
+  // --- 1. A sizing problem is a parameter grid + specs + evaluate() -------
+  auto problem = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_tia_problem());
+  std::printf("problem: %s\n", problem->description.c_str());
+  std::printf("grid: %zu parameters, 10^%.1f combinations\n",
+              problem->params.size(), problem->action_space_log10());
+
+  const circuits::ParamVector center = problem->center_params();
+  auto specs = problem->evaluate(center);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 specs.error().message.c_str());
+    return 1;
+  }
+  std::printf("grid-centre design:\n");
+  for (std::size_t i = 0; i < problem->specs.size(); ++i) {
+    std::printf("  %-20s = %.4g\n", problem->specs[i].name.c_str(),
+                (*specs)[i]);
+  }
+
+  // --- 2. The RL environment ----------------------------------------------
+  env::EnvConfig env_config;
+  env::SizingEnv sizing_env(problem, env_config);
+  util::Rng rng(1);
+  sizing_env.set_target(env::sample_target(*problem, rng));
+  sizing_env.reset();
+  // Nudge every parameter up once and observe the reward.
+  std::vector<int> up(static_cast<std::size_t>(sizing_env.num_params()), 2);
+  auto sr = sizing_env.step(up);
+  std::printf("\none env step: reward=%.3f done=%d\n", sr.reward,
+              sr.done ? 1 : 0);
+
+  // --- 3. Train briefly and deploy ----------------------------------------
+  core::AutoCktConfig config;
+  config.ppo.max_iterations = static_cast<int>(args.get_int("iterations", 8));
+  config.ppo.steps_per_iteration = 800;
+  std::printf("\ntraining a small agent (%d iterations)...\n",
+              config.ppo.max_iterations);
+  auto outcome = core::train_agent(problem, config);
+  std::printf("final mean episode reward: %.2f\n",
+              outcome.history.iterations.back().mean_episode_reward);
+
+  const auto targets = env::sample_targets(*problem, 10, rng);
+  const auto stats =
+      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+  std::printf("deployment on 10 fresh targets: reached %d, avg steps %.1f\n",
+              stats.reached_count(), stats.avg_steps_reached());
+  std::printf("\n(see train_two_stage_opamp / transfer_to_pex for the full "
+              "paper flows)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Transfer learning to post-layout extraction (paper Section III-D,
+// Fig. 13-14): train the agent on cheap schematic simulations of the
+// negative-gm OTA, then deploy it — with NO further training — on the PEX
+// environment (geometry-driven parasitics + worst-case PVT corners).
+//
+// Usage: transfer_to_pex [--iterations=N] [--steps=N] [--targets=N] [--seed=S]
+
+#include <cstdio>
+#include <memory>
+
+#include "autockt/autockt.hpp"
+#include "circuits/problems.hpp"
+#include "util/cli.hpp"
+
+using namespace autockt;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+
+  auto schematic = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_problem());
+  auto pex = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_ngm_pex_problem());
+
+  core::AutoCktConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  config.env_config.horizon = static_cast<int>(args.get_int("horizon", 40));
+  config.ppo.max_iterations = static_cast<int>(args.get_int("iterations", 60));
+  config.ppo.steps_per_iteration =
+      static_cast<int>(args.get_int("steps", 1500));
+
+  std::printf("== phase 1: train on schematic simulations (%s)\n",
+              schematic->name.c_str());
+  auto outcome = core::train_agent(
+      schematic, config, [](const rl::IterationStats& s) {
+        if (s.iteration % 5 == 0) {
+          std::printf("  iter %3d  mean_ep_reward %7.2f  goal_rate %.2f\n",
+                      s.iteration, s.mean_episode_reward, s.goal_rate);
+          std::fflush(stdout);
+        }
+      });
+  std::printf("trained: %ld schematic simulations\n",
+              outcome.history.total_env_steps);
+
+  std::printf("\n== phase 2: deploy on schematic (sanity)\n");
+  util::Rng rng(config.seed + 1);
+  const auto n = static_cast<std::size_t>(args.get_int("targets", 20));
+  auto sch_targets = env::sample_targets(*schematic, n, rng);
+  auto sch_stats = core::deploy_agent(outcome.agent, schematic, sch_targets,
+                                      config.env_config);
+  std::printf("schematic: reached %d/%d, avg steps %.1f\n",
+              sch_stats.reached_count(), sch_stats.total(),
+              sch_stats.avg_steps_reached());
+
+  std::printf("\n== phase 3: transfer to PEX + PVT (no retraining)\n");
+  auto pex_targets = env::sample_targets(*pex, n, rng);
+  auto pex_stats =
+      core::deploy_agent(outcome.agent, pex, pex_targets, config.env_config);
+  std::printf("PEX: reached %d/%d, avg steps %.1f\n",
+              pex_stats.reached_count(), pex_stats.total(),
+              pex_stats.avg_steps_reached());
+
+  // One sample trajectory, paper Fig. 14 style.
+  auto trace = core::trace_trajectory(outcome.agent, pex, pex_targets.front(),
+                                      config.env_config);
+  std::printf("\nsample PEX trajectory (target:");
+  for (std::size_t i = 0; i < pex->specs.size(); ++i) {
+    std::printf(" %s=%.3g", pex->specs[i].name.c_str(), trace.target[i]);
+  }
+  std::printf(") reached=%d\n", trace.reached ? 1 : 0);
+  for (std::size_t t = 0; t < trace.specs.size(); ++t) {
+    std::printf("  step %2zu:", t);
+    for (double v : trace.specs[t]) std::printf(" %10.4g", v);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "autockt/autockt.hpp"
+
+namespace autockt::core {
+
+using circuits::SpecVector;
+
+TrainOutcome train_agent(
+    std::shared_ptr<const circuits::SizingProblem> problem,
+    const AutoCktConfig& config,
+    const std::function<void(const rl::IterationStats&)>& on_iteration) {
+  util::Rng rng(config.seed);
+  std::vector<SpecVector> targets =
+      env::sample_targets(*problem, config.train_target_count, rng);
+
+  env::SizingEnv probe(problem, config.env_config);
+  rl::PpoConfig ppo = config.ppo;
+  ppo.seed = config.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), ppo);
+
+  auto factory = [problem, env_config = config.env_config]() {
+    return env::SizingEnv(problem, env_config);
+  };
+  rl::TrainHistory history = agent.train(factory, targets, on_iteration);
+  return TrainOutcome{std::move(agent), std::move(history),
+                      std::move(targets)};
+}
+
+int DeployStats::reached_count() const {
+  int n = 0;
+  for (const auto& r : records) n += r.reached ? 1 : 0;
+  return n;
+}
+
+double DeployStats::reach_fraction() const {
+  return records.empty()
+             ? 0.0
+             : static_cast<double>(reached_count()) /
+                   static_cast<double>(records.size());
+}
+
+double DeployStats::avg_steps_reached() const {
+  long steps = 0;
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.reached) {
+      steps += r.steps;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0
+                : static_cast<double>(steps) / static_cast<double>(n);
+}
+
+long DeployStats::total_sim_steps() const {
+  long steps = 0;
+  for (const auto& r : records) steps += r.steps;
+  return steps;
+}
+
+namespace {
+
+/// One episode against the environment's current target; returns goal flag
+/// and adds the steps consumed to `steps`.
+bool run_episode(const rl::PpoAgent& agent, env::SizingEnv& sizing_env,
+                 bool sample, util::Rng& rng, int& steps) {
+  std::vector<double> obs = sizing_env.reset();
+  for (;;) {
+    const auto prev_params = sizing_env.params();
+    const std::vector<int> action =
+        sample ? agent.act_sample(obs, rng) : agent.act_greedy(obs);
+    auto sr = sizing_env.step(action);
+    ++steps;
+    obs = sr.obs;
+    if (sr.done) return sr.goal_met;
+    // A greedy policy at an unchanged state is a fixed point: the target
+    // will never be reached, so stop burning simulations.
+    if (!sample && sizing_env.params() == prev_params) return false;
+  }
+}
+
+}  // namespace
+
+DeployStats deploy_agent(const rl::PpoAgent& agent,
+                         std::shared_ptr<const circuits::SizingProblem> problem,
+                         const std::vector<SpecVector>& targets,
+                         const env::EnvConfig& env_config, bool stochastic,
+                         std::uint64_t seed, int stochastic_retries) {
+  DeployStats stats;
+  util::Rng rng(seed);
+  env::SizingEnv sizing_env(problem, env_config);
+
+  for (const SpecVector& target : targets) {
+    DeployRecord record;
+    record.target = target;
+    sizing_env.set_target(target);
+
+    record.reached =
+        run_episode(agent, sizing_env, stochastic, rng, record.steps);
+    for (int retry = 0; !record.reached && retry < stochastic_retries;
+         ++retry) {
+      record.reached =
+          run_episode(agent, sizing_env, /*sample=*/true, rng, record.steps);
+    }
+    record.final_specs = sizing_env.cur_specs();
+    record.final_params = sizing_env.params();
+    stats.records.push_back(std::move(record));
+  }
+  return stats;
+}
+
+TrajectoryTrace trace_trajectory(const rl::PpoAgent& agent,
+                                 std::shared_ptr<const circuits::SizingProblem> problem,
+                                 const SpecVector& target,
+                                 const env::EnvConfig& env_config) {
+  TrajectoryTrace trace;
+  trace.target = target;
+  env::SizingEnv sizing_env(problem, env_config);
+  sizing_env.set_target(target);
+  std::vector<double> obs = sizing_env.reset();
+  trace.specs.push_back(sizing_env.cur_specs());
+  trace.params.push_back(sizing_env.params());
+
+  for (;;) {
+    const auto prev_params = sizing_env.params();
+    auto sr = sizing_env.step(agent.act_greedy(obs));
+    obs = sr.obs;
+    trace.specs.push_back(sizing_env.cur_specs());
+    trace.params.push_back(sizing_env.params());
+    if (sr.done) {
+      trace.reached = sr.goal_met;
+      break;
+    }
+    if (sizing_env.params() == prev_params) break;
+  }
+  return trace;
+}
+
+}  // namespace autockt::core

@@ -1,0 +1,83 @@
+#pragma once
+// AutoCkt top-level API (the paper's contribution): train a PPO sizing agent
+// over a sparse subsample of target specifications, then deploy the frozen
+// agent on unseen targets — possibly in a *different* (e.g. post-layout)
+// simulation environment, which is the paper's transfer-learning flow.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuits/sizing_problem.hpp"
+#include "env/sizing_env.hpp"
+#include "rl/ppo.hpp"
+
+namespace autockt::core {
+
+struct AutoCktConfig {
+  rl::PpoConfig ppo;
+  env::EnvConfig env_config;
+  /// Paper: "50 target specifications are randomly sampled" for training.
+  std::size_t train_target_count = 50;
+  std::uint64_t seed = 7;
+};
+
+struct TrainOutcome {
+  rl::PpoAgent agent;
+  rl::TrainHistory history;
+  std::vector<circuits::SpecVector> train_targets;
+};
+
+/// Train an agent on the given problem (paper Fig. 3, training half).
+TrainOutcome train_agent(
+    std::shared_ptr<const circuits::SizingProblem> problem,
+    const AutoCktConfig& config,
+    const std::function<void(const rl::IterationStats&)>& on_iteration = {});
+
+struct DeployRecord {
+  circuits::SpecVector target;
+  circuits::SpecVector final_specs;
+  int steps = 0;        // simulation steps consumed (paper's SE metric)
+  bool reached = false;
+  circuits::ParamVector final_params;
+};
+
+struct DeployStats {
+  std::vector<DeployRecord> records;
+
+  int total() const { return static_cast<int>(records.size()); }
+  int reached_count() const;
+  double reach_fraction() const;
+  /// Mean steps over reached targets — the paper's sample efficiency.
+  double avg_steps_reached() const;
+  long total_sim_steps() const;
+};
+
+/// Deploy the frozen agent on a list of targets (paper Fig. 3, deployment
+/// half). The environment may wrap a different evaluation backend than the
+/// one trained on (transfer learning to PEX, Fig. 13). With `stochastic`
+/// false the first attempt is greedy (stopping early at policy fixed
+/// points); if it fails, up to `stochastic_retries` sampled-policy episodes
+/// follow — the paper's RLlib rollouts sample by default. ALL simulation
+/// steps across attempts are charged to the target's step count, so sample
+/// efficiency stays honestly accounted.
+DeployStats deploy_agent(const rl::PpoAgent& agent,
+                         std::shared_ptr<const circuits::SizingProblem> problem,
+                         const std::vector<circuits::SpecVector>& targets,
+                         const env::EnvConfig& env_config,
+                         bool stochastic = false, std::uint64_t seed = 99,
+                         int stochastic_retries = 1);
+
+/// Single-trajectory trace for Fig. 14-style plots.
+struct TrajectoryTrace {
+  std::vector<circuits::SpecVector> specs;   // per step (incl. start)
+  std::vector<circuits::ParamVector> params;
+  circuits::SpecVector target;
+  bool reached = false;
+};
+TrajectoryTrace trace_trajectory(const rl::PpoAgent& agent,
+                                 std::shared_ptr<const circuits::SizingProblem> problem,
+                                 const circuits::SpecVector& target,
+                                 const env::EnvConfig& env_config);
+
+}  // namespace autockt::core

@@ -1,0 +1,31 @@
+#pragma once
+// GA + neural-discriminator baseline, reimplementing the mechanism of
+// BagNet [7] (Hakhamaneshi et al., ICCAD 2019) that the paper's Table IV
+// cites as prior state-of-the-art: a genetic algorithm whose candidate
+// offspring are pre-screened by an online-trained neural network, so only
+// candidates predicted to beat the running population get the expensive
+// circuit simulation. Sample efficiency is counted in real simulations.
+
+#include <cstdint>
+
+#include "baselines/genetic.hpp"
+#include "circuits/sizing_problem.hpp"
+
+namespace autockt::baselines {
+
+struct GaMlConfig {
+  GaConfig ga;                 // underlying evolutionary settings
+  int candidate_factor = 6;    // candidates generated per population slot
+  double sim_fraction = 0.25;  // top-scored fraction that gets simulated
+  int disc_hidden = 20;        // discriminator: 2 hidden layers this wide
+  int disc_epochs = 40;
+  double disc_lr = 3e-3;
+  std::uint64_t seed = 1;
+};
+
+/// Same result contract as the vanilla GA (evals == real simulations).
+GaResult run_ga_ml(const circuits::SizingProblem& problem,
+                   const circuits::SpecVector& target,
+                   const GaMlConfig& config);
+
+}  // namespace autockt::baselines

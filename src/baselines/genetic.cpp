@@ -1,0 +1,143 @@
+#include "baselines/genetic.hpp"
+
+#include <algorithm>
+
+namespace autockt::baselines {
+
+using circuits::ParamVector;
+using circuits::SizingProblem;
+using circuits::SpecVector;
+
+namespace {
+
+struct Individual {
+  ParamVector genes;
+  double fitness = -1e30;
+  SpecVector specs;
+};
+
+ParamVector random_individual(const SizingProblem& problem, util::Rng& rng) {
+  ParamVector genes;
+  genes.reserve(problem.params.size());
+  for (const auto& def : problem.params) {
+    genes.push_back(static_cast<int>(
+        rng.bounded(static_cast<std::uint64_t>(def.grid_size()))));
+  }
+  return genes;
+}
+
+void mutate(const SizingProblem& problem, const GaConfig& config,
+            ParamVector& genes, util::Rng& rng) {
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (!rng.bernoulli(config.mutation_prob)) continue;
+    const int hi = problem.params[i].grid_size() - 1;
+    if (rng.bernoulli(config.local_jitter_prob)) {
+      const int jitter = static_cast<int>(rng.uniform_int(1, 3)) *
+                         (rng.bernoulli(0.5) ? 1 : -1);
+      genes[i] = std::clamp(genes[i] + jitter, 0, hi);
+    } else {
+      genes[i] =
+          static_cast<int>(rng.bounded(static_cast<std::uint64_t>(hi + 1)));
+    }
+  }
+}
+
+}  // namespace
+
+GaResult run_ga(const SizingProblem& problem, const SpecVector& target,
+                const GaConfig& config) {
+  util::Rng rng(config.seed);
+  GaResult result;
+
+  auto evaluate = [&](Individual& ind) -> bool {
+    auto specs = problem.evaluate(ind.genes);
+    ++result.total_evals;
+    ind.specs = specs.ok() ? specs.value() : problem.fail_specs();
+    ind.fitness = problem.reward_eq1(ind.specs, target);
+    if (ind.fitness > result.best_reward || result.best_params.empty()) {
+      result.best_reward = ind.fitness;
+      result.best_params = ind.genes;
+      result.best_specs = ind.specs;
+    }
+    if (!result.reached && problem.goal_met(ind.specs, target)) {
+      result.reached = true;
+      result.evals_to_reach = result.total_evals;
+    }
+    return result.reached;
+  };
+
+  std::vector<Individual> population(
+      static_cast<std::size_t>(config.population));
+  for (auto& ind : population) {
+    ind.genes = random_individual(problem, rng);
+    if (evaluate(ind) || result.total_evals >= config.max_evals) return result;
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (int k = 0; k < config.tournament; ++k) {
+      const Individual& cand = population[rng.bounded(population.size())];
+      if (best == nullptr || cand.fitness > best->fitness) best = &cand;
+    }
+    return *best;
+  };
+
+  while (result.total_evals < config.max_evals) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+
+    // Elitism.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return population[a].fitness > population[b].fitness;
+    });
+    for (int e = 0; e < config.elite && e < static_cast<int>(order.size());
+         ++e) {
+      next.push_back(population[order[static_cast<std::size_t>(e)]]);
+    }
+
+    while (next.size() < population.size()) {
+      Individual child;
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      child.genes = pa.genes;
+      if (rng.bernoulli(config.crossover_prob)) {
+        for (std::size_t i = 0; i < child.genes.size(); ++i) {
+          if (rng.bernoulli(0.5)) child.genes[i] = pb.genes[i];
+        }
+      }
+      mutate(problem, config, child.genes, rng);
+      if (evaluate(child)) return result;
+      if (result.total_evals >= config.max_evals) return result;
+      next.push_back(std::move(child));
+    }
+    population.swap(next);
+  }
+  return result;
+}
+
+GaResult run_ga_best_of_sweep(const SizingProblem& problem,
+                              const SpecVector& target, const GaConfig& base,
+                              const std::vector<int>& population_sizes) {
+  GaResult best;
+  bool first = true;
+  for (std::size_t i = 0; i < population_sizes.size(); ++i) {
+    GaConfig config = base;
+    config.population = population_sizes[i];
+    config.seed = base.seed + 1000 * (i + 1);
+    GaResult r = run_ga(problem, target, config);
+    const bool better =
+        (r.reached && !best.reached) ||
+        (r.reached == best.reached &&
+         (r.reached ? r.evals_to_reach < best.evals_to_reach
+                    : r.best_reward > best.best_reward));
+    if (first || better) {
+      best = std::move(r);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace autockt::baselines

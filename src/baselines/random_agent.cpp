@@ -1,0 +1,25 @@
+#include "baselines/random_agent.hpp"
+
+namespace autockt::baselines {
+
+RandomAgentResult run_random_episode(env::SizingEnv& sizing_env,
+                                     util::Rng& rng) {
+  RandomAgentResult result;
+  sizing_env.reset();
+  const int n = sizing_env.num_params();
+  std::vector<int> action(static_cast<std::size_t>(n), 1);
+  for (;;) {
+    for (int i = 0; i < n; ++i) {
+      action[static_cast<std::size_t>(i)] = static_cast<int>(rng.bounded(
+          static_cast<std::uint64_t>(env::SizingEnv::kActionsPerParam)));
+    }
+    auto sr = sizing_env.step(action);
+    ++result.steps;
+    if (sr.done) {
+      result.reached = sr.goal_met;
+      return result;
+    }
+  }
+}
+
+}  // namespace autockt::baselines

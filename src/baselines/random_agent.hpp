@@ -1,0 +1,22 @@
+#pragma once
+// Random-walk baseline: uniformly random increment/hold/decrement actions in
+// the sizing environment. The paper uses it (Tables II-III) to demonstrate
+// that the design spaces are hard enough that random exploration rarely
+// reaches a target.
+
+#include "env/sizing_env.hpp"
+#include "util/rng.hpp"
+
+namespace autockt::baselines {
+
+struct RandomAgentResult {
+  bool reached = false;
+  int steps = 0;
+};
+
+/// Run one episode (from reset to done) with uniform random actions against
+/// the environment's current target.
+RandomAgentResult run_random_episode(env::SizingEnv& sizing_env,
+                                     util::Rng& rng);
+
+}  // namespace autockt::baselines

@@ -1,0 +1,206 @@
+#include "circuits/problems.hpp"
+
+#include "circuits/ngm_ota.hpp"
+#include "circuits/tia.hpp"
+#include "circuits/two_stage_opamp.hpp"
+
+namespace autockt::circuits {
+
+namespace {
+
+/// PEX parasitic severity used for the transfer experiment. Chosen so that
+/// schematic-vs-PEX spec differences land in the 5-25% band the paper's
+/// Fig. 14 histogram shows.
+pex::ParasiticModel transfer_parasitics() {
+  pex::ParasiticModel pm;
+  pm.cap_fixed = 15e-15;
+  pm.cap_per_width = 7.0e-9;
+  pm.variation = 0.3;
+  pm.salt = 0xba6;  // BAG-generated layout stand-in
+  return pm;
+}
+
+}  // namespace
+
+SizingProblem make_tia_problem() {
+  SizingProblem prob;
+  prob.name = "tia";
+  prob.description =
+      "Transimpedance amplifier, ptm45 schematic (paper Fig. 4 / Table I)";
+  // Paper's action space, verbatim.
+  prob.params = {
+      {"wn_um", 2.0, 10.0, 2.0},      // NMOS width, um
+      {"mn", 2.0, 32.0, 2.0},         // NMOS multiplier
+      {"wp_um", 2.0, 10.0, 2.0},      // PMOS width, um
+      {"mp", 2.0, 32.0, 2.0},         // PMOS multiplier
+      {"rf_series", 2.0, 20.0, 2.0},  // feedback units in series
+      {"rf_parallel", 1.0, 20.0, 1.0} // feedback strings in parallel
+  };
+  // Spec sampling ranges: paper shapes (settling / cutoff / noise),
+  // recalibrated to the ptm45 surrogate's achievable region.
+  prob.specs = {
+      {"settling_time_s", SpecSense::LessEq, 2.2e-10, 9.0e-10, 4.5e-10, 3e-8},
+      {"cutoff_freq_hz", SpecSense::GreaterEq, 1.2e9, 4.0e9, 2.2e9, 1e5},
+      {"input_noise_vrms", SpecSense::LessEq, 1.9e-4, 3.0e-4, 2.4e-4, 1e-1},
+  };
+  prob.paper_sim_seconds = 0.025;
+
+  const spice::TechCard card = spice::TechCard::ptm45();
+  const auto param_defs = prob.params;
+  prob.evaluate =
+      [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
+    const TiaParams p = tia_params_from_grid(param_defs, idx);
+    auto res = simulate_tia(p, card);
+    if (!res.ok()) return res.error();
+    return SpecVector{res->settling_time, res->cutoff_freq, res->input_noise};
+  };
+  return prob;
+}
+
+SizingProblem make_two_stage_problem() {
+  SizingProblem prob;
+  prob.name = "two_stage_opamp";
+  prob.description =
+      "Two-stage Miller op-amp, ptm45 schematic (paper Fig. 6 / Table II)";
+  // Paper: every width on a 100-point grid plus a 100-point Cc grid
+  // => 1e14 combinations. The paper uses one 0.5 um unit for every width;
+  // we keep the grid sizes but pick per-device units (widths in um below)
+  // so that the frontier designs of OUR technology surrogate sit mid-grid
+  // — the same expert ranging the paper itself applies to the negative-gm
+  // circuit (Fig. 9). See EXPERIMENTS.md "calibration" notes.
+  prob.params = {
+      {"w12_um", 0.25, 25.0, 0.25},  // input pair
+      {"w34_um", 0.05, 5.0, 0.05},   // mirror load
+      {"w5_um", 0.05, 5.0, 0.05},    // tail
+      {"w6_um", 0.75, 75.0, 0.75},   // second-stage PMOS
+      {"w7_um", 0.35, 35.0, 0.35},   // output sink
+      {"w8_um", 0.25, 25.0, 0.25},   // bias diode
+      {"cc_pf", 0.02, 2.0, 0.02},    // Miller cap
+  };
+  // Paper ranges: gain [200,400] V/V, UGBW [1e6, 2.5e7] Hz, PM >= 60 deg,
+  // ibias [0.1, 10] mA (minimized).
+  // Target sampling ranges keep the paper's *difficulty* rather than its
+  // absolute numbers: our level-1-class technology surrogate is more
+  // forgiving than BSIM 45 nm, so ranges are pushed toward the Pareto
+  // frontier until P(random design satisfies random target) ~ 1e-3 — the
+  // density regime in which the paper's GA needs ~1e3 simulations
+  // (Table II) while a trained agent still generalizes to ~96% of targets.
+  prob.specs = {
+      {"gain_vv", SpecSense::GreaterEq, 2000.0, 2600.0, 2300.0, 0.0},
+      {"ugbw_hz", SpecSense::GreaterEq, 3.0e7, 6.5e7, 4.5e7, 0.0},
+      {"phase_margin_deg", SpecSense::GreaterEq, 60.0, 60.0, 60.0, 0.0},
+      // The low end sits below the topology's feasible floor on purpose:
+      // the paper's Fig. 8 shows exactly such an unreachable low-power
+      // band, and hypothesizes those targets are physically unreachable.
+      {"ibias_a", SpecSense::Minimize, 8.0e-5, 1.6e-4, 1.2e-4, 1.0},
+  };
+  prob.paper_sim_seconds = 0.025;
+
+  const spice::TechCard card = spice::TechCard::ptm45();
+  const auto param_defs = prob.params;
+  prob.evaluate =
+      [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
+    const TwoStageParams p = two_stage_params_from_grid(param_defs, idx);
+    auto res = simulate_two_stage(p, card);
+    if (!res.ok()) return res.error();
+    return SpecVector{res->gain, res->ugbw, res->phase_margin,
+                      res->bias_current};
+  };
+  return prob;
+}
+
+namespace {
+
+SizingProblem make_ngm_problem_base() {
+  SizingProblem prob;
+  prob.name = "ngm_ota";
+  prob.description =
+      "Two-stage OTA with negative-gm load, finfet16 (paper Fig. 9 / "
+      "Table III)";
+  // Fin-count grids; ~1e11 combinations (paper: "order of 1e11"). The
+  // cross-coupled pair's range sits below the diode load's so that most of
+  // the grid (and in particular its centre, the episode start point) avoids
+  // first-stage latch-up — mirroring the expert-chosen ranges of Fig. 9.
+  // The sink range is chosen so the grid centre satisfies the stage-2
+  // current-balance relation nf_sink ~ nf_tail*nf_cs/(2*(nf_diode+nf_cross))
+  // (docs/DESIGN.md): episodes then start from a live, measurable design.
+  // The cross-coupled range deliberately extends into latch-up territory
+  // (nf_cross can exceed nf_diode for part of the grid): most random
+  // sizings of this circuit are broken — the property that makes the
+  // paper's GA need hundreds of simulations — while the grid centre
+  // remains a live, current-balanced design the agent starts from.
+  prob.params = {
+      {"nf_in", 1.0, 100.0, 1.0},   {"nf_diode", 22.0, 80.0, 2.0},
+      {"nf_cross", 2.0, 60.0, 2.0}, {"nf_tail", 2.0, 100.0, 2.0},
+      {"nf_cs", 2.0, 100.0, 2.0},   {"nf_sink", 2.0, 40.0, 2.0},
+      {"cc_pf", 0.1, 3.0, 0.1},
+  };
+  // Paper shape: gain in a wide low band, UGBW band, PM target sampled in
+  // [60, 75] (the two-sided sampling that aids PEX transfer, Section
+  // III-C/D). Numeric ranges recalibrated to the finfet16 surrogate's
+  // frontier (see EXPERIMENTS.md).
+  prob.specs = {
+      {"gain_vv", SpecSense::GreaterEq, 100.0, 350.0, 180.0, 0.0},
+      {"ugbw_hz", SpecSense::GreaterEq, 3.0e8, 8.0e8, 4.5e8, 0.0},
+      {"phase_margin_deg", SpecSense::GreaterEq, 60.0, 75.0, 65.0, 0.0},
+  };
+  return prob;
+}
+
+}  // namespace
+
+SizingProblem make_ngm_problem() {
+  SizingProblem prob = make_ngm_problem_base();
+  prob.paper_sim_seconds = 2.4;  // paper: Spectre schematic simulation
+
+  const spice::TechCard card = spice::TechCard::finfet16();
+  const auto param_defs = prob.params;
+  prob.evaluate =
+      [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
+    const NgmParams p = ngm_params_from_grid(param_defs, idx);
+    auto res = simulate_ngm_ota(p, card);
+    if (!res.ok()) return res.error();
+    return SpecVector{res->gain, res->ugbw, res->phase_margin};
+  };
+  return prob;
+}
+
+std::size_t ngm_pex_corner_count() { return pex::standard_corners().size(); }
+
+SizingProblem make_ngm_pex_problem() {
+  SizingProblem prob = make_ngm_problem_base();
+  prob.name = "ngm_ota_pex";
+  prob.description =
+      "Negative-gm OTA through layout parasitics + PVT worst case (paper "
+      "Section III-D / Table IV)";
+  prob.paper_sim_seconds = 91.0;  // paper: BAG PEX simulation
+  // Deployment enforces only the 60 degree minimum for phase margin.
+  prob.specs[2].sample_lo = 60.0;
+  prob.specs[2].sample_hi = 60.0;
+
+  const spice::TechCard nominal = spice::TechCard::finfet16();
+  const auto param_defs = prob.params;
+  const auto spec_defs = prob.specs;
+  const pex::ParasiticModel parasitics = transfer_parasitics();
+  const std::vector<pex::PvtCorner> corners = pex::standard_corners();
+
+  prob.evaluate = [nominal, param_defs, spec_defs, parasitics,
+                   corners](const ParamVector& idx)
+      -> util::Expected<SpecVector> {
+    const NgmParams p = ngm_params_from_grid(param_defs, idx);
+    NgmBuildOptions options;
+    options.parasitics = &parasitics;
+    std::vector<SpecVector> corner_results;
+    for (const pex::PvtCorner& corner : corners) {
+      const spice::TechCard card = pex::apply_corner(nominal, corner);
+      auto res = simulate_ngm_ota(p, card, options);
+      if (!res.ok()) return res.error();
+      corner_results.push_back(
+          SpecVector{res->gain, res->ugbw, res->phase_margin});
+    }
+    return worst_case_fold(spec_defs, corner_results);
+  };
+  return prob;
+}
+
+}  // namespace autockt::circuits

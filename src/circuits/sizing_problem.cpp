@@ -1,0 +1,109 @@
+#include "circuits/sizing_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autockt::circuits {
+
+namespace {
+constexpr double kDenominatorGuard = 1e-12;
+}
+
+double SpecDef::rel(double observed, double target) const {
+  const double denom =
+      std::fabs(observed) + std::fabs(target) + kDenominatorGuard;
+  switch (sense) {
+    case SpecSense::GreaterEq:
+      return (observed - target) / denom;
+    case SpecSense::LessEq:
+    case SpecSense::Minimize:
+      return (target - observed) / denom;
+  }
+  return 0.0;
+}
+
+double lookup_norm(double value, double g) {
+  const double denom = std::fabs(value) + std::fabs(g) + kDenominatorGuard;
+  return (value - g) / denom;
+}
+
+double SizingProblem::action_space_log10() const {
+  double acc = 0.0;
+  for (const ParamDef& p : params) {
+    acc += std::log10(static_cast<double>(p.grid_size()));
+  }
+  return acc;
+}
+
+ParamVector SizingProblem::center_params() const {
+  ParamVector out;
+  out.reserve(params.size());
+  for (const ParamDef& p : params) out.push_back(p.grid_size() / 2);
+  return out;
+}
+
+SpecVector SizingProblem::fail_specs() const {
+  SpecVector out;
+  out.reserve(specs.size());
+  for (const SpecDef& s : specs) out.push_back(s.fail_value);
+  return out;
+}
+
+bool SizingProblem::valid_params(const ParamVector& p) const {
+  if (p.size() != params.size()) return false;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < 0 || p[i] >= params[i].grid_size()) return false;
+  }
+  return true;
+}
+
+std::vector<double> SizingProblem::param_values(const ParamVector& p) const {
+  std::vector<double> out;
+  out.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out.push_back(params[i].value(p[i]));
+  }
+  return out;
+}
+
+double SizingProblem::reward_eq1(const SpecVector& observed,
+                                 const SpecVector& target) const {
+  double r = 0.0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const double rel = specs[i].rel(observed[i], target[i]);
+    if (specs[i].sense == SpecSense::Minimize) {
+      r += rel;  // unclamped: keeps rewarding reductions below the budget
+    } else {
+      r += std::min(rel, 0.0);
+    }
+  }
+  return r;
+}
+
+double SizingProblem::hard_violation(const SpecVector& observed,
+                                     const SpecVector& target) const {
+  double r = 0.0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    r += std::min(specs[i].rel(observed[i], target[i]), 0.0);
+  }
+  return r;
+}
+
+SpecVector worst_case_fold(const std::vector<SpecDef>& specs,
+                           const std::vector<SpecVector>& corner_results) {
+  SpecVector out(specs.size(), 0.0);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    double worst = corner_results.front()[s];
+    for (const SpecVector& corner : corner_results) {
+      if (specs[s].sense == SpecSense::GreaterEq) {
+        worst = std::min(worst, corner[s]);
+      } else {
+        worst = std::max(worst, corner[s]);
+      }
+    }
+    out[s] = worst;
+  }
+  return out;
+}
+
+}  // namespace autockt::circuits

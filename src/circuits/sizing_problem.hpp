@@ -1,0 +1,117 @@
+#pragma once
+// The analog sizing problem abstraction shared by the RL environment, the
+// baselines and the experiment harnesses.
+//
+// A problem is: a discretized parameter grid (the paper's [start, end, step]
+// action-space notation), a list of design specifications with senses and
+// target sampling ranges, and an evaluation function mapping a grid point to
+// observed specification values (by running the circuit simulator).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace autockt::circuits {
+
+/// How an observed value o relates to its target t to count as satisfied.
+///  * GreaterEq: o >= t               (gain, bandwidth, phase margin)
+///  * LessEq:    o <= t               (settling time, noise)
+///  * Minimize:  o <= t, and Eq. 1 keeps rewarding reductions below t
+///    (the paper's o_th terms, e.g. bias current as a power proxy)
+enum class SpecSense { GreaterEq, LessEq, Minimize };
+
+struct ParamDef {
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+  double step = 1.0;
+
+  /// Number of grid points (paper: {x : 0 <= x_i < K}).
+  int grid_size() const {
+    return static_cast<int>((end - start) / step + 1.5);
+  }
+  /// Physical value at grid index `idx`.
+  double value(int idx) const { return start + step * static_cast<double>(idx); }
+};
+
+struct SpecDef {
+  std::string name;
+  SpecSense sense = SpecSense::GreaterEq;
+  double sample_lo = 0.0;   // deployment/training target sampling range
+  double sample_hi = 1.0;
+  double norm_const = 1.0;  // fixed reference g for lookup normalization
+  double fail_value = 0.0;  // observed value substituted when the simulator
+                            // cannot produce a measurement
+
+  /// Signed relative satisfaction: >= 0 iff the spec is met. This is the
+  /// paper's (o - o*)/(o + o*) with the sign arranged per sense.
+  double rel(double observed, double target) const;
+
+  bool satisfied(double observed, double target, double tol = 0.0) const {
+    return rel(observed, target) >= -tol;
+  }
+};
+
+using SpecVector = std::vector<double>;   // aligned with SizingProblem::specs
+using ParamVector = std::vector<int>;     // grid indices
+
+/// Paper's fixed-reference normalization: (value - g) / (value + g), with a
+/// guard for degenerate denominators. Maps (0, inf) to (-1, 1).
+double lookup_norm(double value, double g);
+
+struct SizingProblem {
+  std::string name;
+  std::string description;
+  std::vector<ParamDef> params;
+  std::vector<SpecDef> specs;
+
+  /// Simulate one grid point. Errors indicate the simulator could not
+  /// produce measurements (e.g. DC non-convergence); callers substitute
+  /// per-spec fail_value.
+  std::function<util::Expected<SpecVector>(const ParamVector&)> evaluate;
+
+  /// Per-simulation wall-clock cost reported by the paper for this setup;
+  /// used to convert sample counts to paper-equivalent hours.
+  double paper_sim_seconds = 0.025;
+
+  /// log10 of the total number of parameter combinations.
+  double action_space_log10() const;
+
+  /// Paper: on reset, parameters start at the grid centre K/2.
+  ParamVector center_params() const;
+
+  /// Spec vector of all fail_values (used when evaluate() errors out).
+  SpecVector fail_specs() const;
+
+  bool valid_params(const ParamVector& p) const;
+
+  /// Physical parameter values at a grid point (for reporting).
+  std::vector<double> param_values(const ParamVector& p) const;
+
+  // ---- Eq. 1 reward pieces (shared by env, baselines, deployment) -------
+
+  /// The paper's Eq. 1: hard terms clamped at zero plus the unclamped
+  /// minimize terms.
+  double reward_eq1(const SpecVector& observed, const SpecVector& target) const;
+
+  /// Sum of min(rel, 0) over ALL specs (minimize treated as a <= bound).
+  /// The goal test (and deployment "reached" counting) uses this.
+  double hard_violation(const SpecVector& observed,
+                        const SpecVector& target) const;
+
+  /// All specifications met to 1% relative tolerance.
+  bool goal_met(const SpecVector& observed, const SpecVector& target) const {
+    return hard_violation(observed, target) >= -kGoalTol;
+  }
+
+  static constexpr double kGoalTol = 0.01;
+};
+
+/// Fold per-corner spec vectors into the worst case per spec (PEX/PVT flow):
+/// GreaterEq keeps the minimum, LessEq/Minimize the maximum.
+SpecVector worst_case_fold(const std::vector<SpecDef>& specs,
+                           const std::vector<SpecVector>& corner_results);
+
+}  // namespace autockt::circuits

@@ -1,0 +1,136 @@
+#include "env/sizing_env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autockt::env {
+
+using circuits::ParamVector;
+using circuits::SpecVector;
+
+SizingEnv::SizingEnv(std::shared_ptr<const circuits::SizingProblem> problem,
+                     EnvConfig config)
+    : problem_(std::move(problem)), config_(config) {
+  if (!problem_) throw std::invalid_argument("SizingEnv: null problem");
+  target_.assign(problem_->specs.size(), 0.0);
+  for (std::size_t i = 0; i < problem_->specs.size(); ++i) {
+    target_[i] = 0.5 * (problem_->specs[i].sample_lo +
+                        problem_->specs[i].sample_hi);
+  }
+}
+
+int SizingEnv::obs_size() const {
+  return static_cast<int>(2 * problem_->specs.size() +
+                          problem_->params.size());
+}
+
+int SizingEnv::num_params() const {
+  return static_cast<int>(problem_->params.size());
+}
+
+void SizingEnv::set_target(SpecVector target) {
+  if (target.size() != problem_->specs.size()) {
+    throw std::invalid_argument("SizingEnv: target size mismatch");
+  }
+  target_ = std::move(target);
+}
+
+std::vector<double> SizingEnv::reset() {
+  params_ = problem_->center_params();
+  steps_ = 0;
+  evaluate_current();
+  return observe();
+}
+
+void SizingEnv::evaluate_current() {
+  auto result = problem_->evaluate(params_);
+  ++sims_;
+  if (result.ok()) {
+    cur_specs_ = std::move(result.value());
+    last_eval_failed_ = false;
+  } else {
+    cur_specs_ = problem_->fail_specs();
+    last_eval_failed_ = true;
+  }
+}
+
+double SizingEnv::current_reward() const {
+  const bool goal = problem_->goal_met(cur_specs_, target_);
+  if (config_.eq1_shaping) {
+    // Non-terminal steps: the clamped violation sum (<= 0), so there is no
+    // incentive to linger in an episode. The terminal bonus is the paper's
+    // "10 + r" with the full Eq. 1 value, whose unclamped minimize term
+    // rewards finishing *below* the power budget.
+    if (goal) return config_.goal_bonus + problem_->reward_eq1(cur_specs_, target_);
+    return problem_->hard_violation(cur_specs_, target_);
+  }
+  // Sparse ablation: +bonus on goal, small per-step penalty otherwise.
+  return goal ? config_.goal_bonus : -1.0 / std::max(config_.horizon, 1);
+}
+
+bool SizingEnv::current_goal_met() const {
+  return problem_->goal_met(cur_specs_, target_);
+}
+
+SizingEnv::StepResult SizingEnv::step(const std::vector<int>& action) {
+  if (action.size() != problem_->params.size()) {
+    throw std::invalid_argument("SizingEnv: action size mismatch");
+  }
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    const int delta = action[i] - 1;  // {0,1,2} -> {-1,0,+1}
+    const int hi = problem_->params[i].grid_size() - 1;
+    params_[i] = std::clamp(params_[i] + delta, 0, hi);
+  }
+  ++steps_;
+  evaluate_current();
+
+  StepResult out;
+  out.goal_met = current_goal_met();
+  out.reward = current_reward();
+  out.done = out.goal_met || steps_ >= config_.horizon;
+  out.obs = observe();
+  return out;
+}
+
+std::vector<double> SizingEnv::observe() const {
+  std::vector<double> obs;
+  obs.reserve(static_cast<std::size_t>(obs_size()));
+  for (std::size_t i = 0; i < problem_->specs.size(); ++i) {
+    obs.push_back(
+        circuits::lookup_norm(cur_specs_[i], problem_->specs[i].norm_const));
+  }
+  for (std::size_t i = 0; i < problem_->specs.size(); ++i) {
+    obs.push_back(
+        circuits::lookup_norm(target_[i], problem_->specs[i].norm_const));
+  }
+  for (std::size_t i = 0; i < problem_->params.size(); ++i) {
+    const int hi = problem_->params[i].grid_size() - 1;
+    obs.push_back(hi == 0 ? 0.0
+                          : 2.0 * static_cast<double>(params_[i]) /
+                                    static_cast<double>(hi) -
+                                1.0);
+  }
+  return obs;
+}
+
+SpecVector sample_target(const circuits::SizingProblem& problem,
+                         util::Rng& rng) {
+  SpecVector target;
+  target.reserve(problem.specs.size());
+  for (const auto& spec : problem.specs) {
+    target.push_back(rng.uniform(spec.sample_lo, spec.sample_hi));
+  }
+  return target;
+}
+
+std::vector<SpecVector> sample_targets(const circuits::SizingProblem& problem,
+                                       std::size_t count, util::Rng& rng) {
+  std::vector<SpecVector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(sample_target(problem, rng));
+  }
+  return out;
+}
+
+}  // namespace autockt::env

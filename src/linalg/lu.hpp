@@ -1,0 +1,151 @@
+#pragma once
+// Partial-pivot LU factorization and solves for dense real/complex systems.
+// This is the single linear-algebra kernel behind DC Newton iterations,
+// AC sweeps, transient companion solves and adjoint noise analysis.
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace autockt::linalg {
+
+namespace detail {
+inline double abs_of(double v) { return std::fabs(v); }
+inline double abs_of(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace detail
+
+/// LU factorization with row pivoting. Holds the factors in-place plus the
+/// permutation, and can solve for many right-hand sides (and the transposed
+/// system, needed by adjoint noise analysis).
+template <typename T>
+class LuFactorization {
+ public:
+  /// Factorizes a copy of `a`. Check ok() before solving.
+  explicit LuFactorization(Matrix<T> a) : lu_(std::move(a)) {
+    const std::size_t n = lu_.rows();
+    singular_ = (n != lu_.cols());
+    if (singular_) return;
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    for (std::size_t col = 0; col < n; ++col) {
+      // Pivot selection.
+      std::size_t pivot = col;
+      double best = detail::abs_of(lu_(col, col));
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const double mag = detail::abs_of(lu_(r, col));
+        if (mag > best) {
+          best = mag;
+          pivot = r;
+        }
+      }
+      if (best < kSingularTol) {
+        singular_ = true;
+        return;
+      }
+      if (pivot != col) {
+        for (std::size_t c = 0; c < n; ++c)
+          std::swap(lu_(col, c), lu_(pivot, c));
+        std::swap(perm_[col], perm_[pivot]);
+        parity_ = -parity_;
+      }
+      // Elimination.
+      const T inv_piv = T(1) / lu_(col, col);
+      for (std::size_t r = col + 1; r < n; ++r) {
+        const T factor = lu_(r, col) * inv_piv;
+        lu_(r, col) = factor;
+        if (factor == T{}) continue;
+        T* dst = lu_.row_ptr(r);
+        const T* src = lu_.row_ptr(col);
+        for (std::size_t c = col + 1; c < n; ++c) dst[c] -= factor * src[c];
+      }
+    }
+  }
+
+  bool ok() const { return !singular_; }
+
+  /// Solve A x = b. Requires ok().
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = lu_.rows();
+    std::vector<T> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+    // Forward substitution (unit lower).
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = x[i];
+      const T* row = lu_.row_ptr(i);
+      for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+      x[i] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      const T* row = lu_.row_ptr(ii);
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+      x[ii] = acc / row[ii];
+    }
+    return x;
+  }
+
+  /// Solve A^T x = b (A^H for complex is NOT applied; this is the plain
+  /// transpose, which is what interreciprocal adjoint analysis needs).
+  std::vector<T> solve_transposed(const std::vector<T>& b) const {
+    const std::size_t n = lu_.rows();
+    // A = P^T L U  =>  A^T = U^T L^T P. Solve U^T y = b, L^T z = y, x = P^T z.
+    std::vector<T> y(b);
+    // U^T is lower triangular with diagonal of U.
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = y[i];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * y[j];
+      y[i] = acc / lu_(i, i);
+    }
+    // L^T is unit upper triangular.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = y[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(j, ii) * y[j];
+      y[ii] = acc;
+    }
+    std::vector<T> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = y[i];
+    return x;
+  }
+
+  /// Determinant (product of pivots times permutation parity).
+  T determinant() const {
+    if (singular_) return T{};
+    T det = static_cast<T>(parity_);
+    for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+    return det;
+  }
+
+ private:
+  static constexpr double kSingularTol = 1e-300;
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int parity_ = 1;
+  bool singular_ = false;
+};
+
+/// One-shot convenience: solve A x = b, returning empty vector on singular A.
+template <typename T>
+std::vector<T> solve(const Matrix<T>& a, const std::vector<T>& b) {
+  LuFactorization<T> lu(a);
+  if (!lu.ok()) return {};
+  return lu.solve(b);
+}
+
+/// Residual infinity-norm ||A x - b||_inf, used by tests.
+template <typename T>
+double residual_norm(const Matrix<T>& a, const std::vector<T>& x,
+                     const std::vector<T>& b) {
+  auto ax = a.mul(x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    worst = std::max(worst, detail::abs_of(ax[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace autockt::linalg

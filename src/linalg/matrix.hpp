@@ -1,0 +1,83 @@
+#pragma once
+// Dense row-major matrix over double or complex<double>.
+//
+// MNA systems in this project are small (< ~30 unknowns), so a dense
+// representation with partial-pivot LU is both simpler and faster than a
+// sparse solver at this scale.
+
+#include <algorithm>
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace autockt::linalg {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      assert(row.size() == cols_);
+      for (const T& v : row) data_.push_back(v);
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  Matrix<T> transposed() const {
+    Matrix<T> out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  /// Matrix-vector product (sizes must agree).
+  std::vector<T> mul(const std::vector<T>& x) const {
+    assert(x.size() == cols_);
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      T acc{};
+      const T* row = row_ptr(r);
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+
+}  // namespace autockt::linalg

@@ -1,0 +1,58 @@
+#pragma once
+// Categorical-distribution helpers for the factored multi-discrete policy
+// head: each circuit parameter gets an independent 3-way (decrement / hold /
+// increment) softmax over a slice of the policy network's output.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autockt::nn {
+
+/// Numerically stable softmax of logits[offset, offset+k).
+inline std::vector<double> softmax_slice(const std::vector<double>& logits,
+                                         std::size_t offset, std::size_t k) {
+  double max_logit = logits[offset];
+  for (std::size_t i = 1; i < k; ++i) {
+    max_logit = std::max(max_logit, logits[offset + i]);
+  }
+  std::vector<double> probs(k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    probs[i] = std::exp(logits[offset + i] - max_logit);
+    sum += probs[i];
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+inline int sample_categorical(const std::vector<double>& probs,
+                              util::Rng& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(probs.size()) - 1;
+}
+
+inline int argmax(const std::vector<double>& probs) {
+  int best = 0;
+  for (std::size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+inline double entropy(const std::vector<double>& probs) {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 1e-12) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace autockt::nn

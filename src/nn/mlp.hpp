@@ -1,0 +1,90 @@
+#pragma once
+// Minimal dense neural-network stack with hand-derived backpropagation:
+// flat parameter storage (so the optimizer sees one contiguous vector),
+// tanh hidden layers, linear output. This is the substrate for the PPO
+// policy/value networks (paper: three layers of 50 neurons) and for the
+// GA+ML baseline's discriminator.
+//
+// Inference (`forward`) is const and allocation-light, so multiple rollout
+// workers can query one frozen network concurrently.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autockt::nn {
+
+enum class Activation { Tanh, Relu };
+
+class Mlp {
+ public:
+  /// layer_sizes = {in, hidden..., out}. Hidden layers use `act`; the output
+  /// layer is linear with weights scaled by `final_scale` at init (small
+  /// values keep an initial policy near-uniform, which PPO likes).
+  Mlp(std::vector<int> layer_sizes, Activation act, std::uint64_t seed,
+      double final_scale = 1.0);
+
+  int input_size() const { return sizes_.front(); }
+  int output_size() const { return sizes_.back(); }
+
+  /// Thread-safe inference.
+  std::vector<double> forward(const std::vector<double>& x) const;
+
+  /// Cached activations for one forward pass, consumed by backward().
+  struct Trace {
+    std::vector<std::vector<double>> inputs;  // input to each layer
+    std::vector<double> output;
+  };
+  Trace forward_trace(const std::vector<double>& x) const;
+
+  /// Accumulate parameter gradients given dLoss/dOutput for the pass
+  /// recorded in `trace`. Returns dLoss/dInput.
+  std::vector<double> backward(const Trace& trace,
+                               const std::vector<double>& d_output);
+
+  void zero_grad();
+
+  std::vector<double>& params() { return params_; }
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double>& grads() { return grads_; }
+
+  std::size_t param_count() const { return params_.size(); }
+
+  /// Text serialization (architecture + weights).
+  void save(std::ostream& out) const;
+  static Mlp load(std::istream& in);
+
+ private:
+  struct Layer {
+    int in = 0, out = 0;
+    std::size_t w_off = 0, b_off = 0;
+  };
+
+  double activate(double v) const;
+  double activate_grad(double pre) const;
+
+  std::vector<int> sizes_;
+  Activation act_;
+  std::vector<Layer> layers_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+};
+
+/// Adam optimizer over a flat parameter vector.
+class Adam {
+ public:
+  explicit Adam(std::size_t n, double lr = 3e-4, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+
+  void step(std::vector<double>& params, const std::vector<double>& grads);
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<double> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace autockt::nn

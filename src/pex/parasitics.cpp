@@ -1,0 +1,40 @@
+#include "pex/parasitics.hpp"
+
+namespace autockt::pex {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+double ParasiticModel::net_cap(double attached_width_m,
+                               std::uint64_t net_key) const {
+  const double base = cap_fixed + cap_per_width * attached_width_m;
+  // Deterministic layout factor in [1 - variation, 1 + variation].
+  const std::uint64_t h = mix(net_key ^ mix(salt));
+  const double unit =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return base * (1.0 + variation * (2.0 * unit - 1.0));
+}
+
+std::uint64_t ParasiticModel::net_key(const std::string& topology,
+                                      const std::string& net) {
+  return mix(fnv1a(topology) * 31 + fnv1a(net));
+}
+
+}  // namespace autockt::pex

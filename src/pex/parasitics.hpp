@@ -1,0 +1,42 @@
+#pragma once
+// Geometry-driven parasitic model: the stand-in for the Berkeley Analog
+// Generator's layout + extraction flow (see DESIGN.md substitution table).
+//
+// A layout generator produces, for a given parameter vector, a deterministic
+// layout — and therefore deterministic parasitics that grow with device
+// sizes and routing complexity. We model exactly those properties:
+//   * every annotated internal net receives a grounded wiring capacitance
+//     with a fixed floor plus a term proportional to the attached gate width
+//   * a deterministic pseudo-random layout factor (hashed from the net key)
+//     perturbs each capacitance, emulating placement/routing idiosyncrasy
+//     without breaking reproducibility
+// The net effect matches what the paper exploits: PEX evaluation shifts
+// bandwidth and phase margin in a way that correlates with, but differs
+// from, the schematic — so a schematic-trained agent remains useful but
+// needs extra corrective steps (Table IV).
+
+#include <cstdint>
+#include <string>
+
+namespace autockt::pex {
+
+struct ParasiticModel {
+  /// Fixed wiring/via capacitance floor per annotated net (F).
+  double cap_fixed = 2.0e-15;
+  /// Routing capacitance per meter of attached device width (F/m).
+  double cap_per_width = 0.8e-9;
+  /// Relative amplitude of the deterministic layout variation, in [0, 1).
+  double variation = 0.25;
+  /// Salt mixed into the per-net hash; lets tests derive distinct layouts.
+  std::uint64_t salt = 0x5eedULL;
+
+  /// Parasitic capacitance for a net with `attached_width_m` of total device
+  /// width connected to it. Deterministic in (net_key, salt).
+  double net_cap(double attached_width_m, std::uint64_t net_key) const;
+
+  /// Stable key for a named net of a named topology.
+  static std::uint64_t net_key(const std::string& topology,
+                               const std::string& net);
+};
+
+}  // namespace autockt::pex

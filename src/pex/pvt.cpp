@@ -1,0 +1,34 @@
+#include "pex/pvt.hpp"
+
+#include <cmath>
+
+namespace autockt::pex {
+
+std::vector<PvtCorner> standard_corners() {
+  return {
+      {"tt", 1.0, 0.0, 1.0, 300.0},
+      {"ss_hot_lv", 0.95, +0.03, 0.89, 358.0},
+      {"ff_cold_hv", 1.05, -0.03, 1.10, 248.0},
+  };
+}
+
+spice::TechCard apply_corner(spice::TechCard card, const PvtCorner& corner) {
+  card.name += "@" + corner.name;
+  card.vdd *= corner.vdd_scale;
+  card.vth_n += corner.vth_shift;
+  card.vth_p += corner.vth_shift;
+  // First-order temperature dependence: mobility degrades as T^-1.5 around
+  // the nominal 300 K, thresholds drift -0.3 mV/K (FinFET-class tempco,
+  // small enough that a slow-corner Vth shift stays a net increase).
+  const double t_ratio = corner.temp_k / 300.0;
+  const double mobility_temp = 1.0 / (t_ratio * std::sqrt(t_ratio));
+  card.u_cox_n *= corner.mobility_scale * mobility_temp;
+  card.u_cox_p *= corner.mobility_scale * mobility_temp;
+  const double vth_drift = -0.3e-3 * (corner.temp_k - 300.0);
+  card.vth_n += vth_drift;
+  card.vth_p += vth_drift;
+  card.temp_k = corner.temp_k;
+  return card;
+}
+
+}  // namespace autockt::pex

@@ -1,0 +1,27 @@
+#pragma once
+// Process/voltage/temperature corners. The paper's BAG flow simulates each
+// candidate design across PVT variations and takes the worst performing
+// metric; we reproduce that with corner-perturbed technology cards.
+
+#include <string>
+#include <vector>
+
+#include "spice/mosfet.hpp"
+
+namespace autockt::pex {
+
+struct PvtCorner {
+  std::string name;
+  double vdd_scale = 1.0;        // supply multiplier
+  double vth_shift = 0.0;        // added to both Vth magnitudes (V)
+  double mobility_scale = 1.0;   // uCox multiplier
+  double temp_k = 300.0;
+};
+
+/// Typical / slow-hot-lowV / fast-cold-highV corner set.
+std::vector<PvtCorner> standard_corners();
+
+/// Derive a corner card from the nominal technology card.
+spice::TechCard apply_corner(spice::TechCard card, const PvtCorner& corner);
+
+}  // namespace autockt::pex

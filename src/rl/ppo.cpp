@@ -1,0 +1,353 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "nn/categorical.hpp"
+
+namespace autockt::rl {
+
+namespace {
+
+constexpr int kActions = env::SizingEnv::kActionsPerParam;
+
+struct Transition {
+  std::vector<double> obs;
+  std::vector<int> action;
+  double logp = 0.0;
+  double reward = 0.0;
+  double value = 0.0;
+};
+
+struct Episode {
+  std::vector<Transition> steps;
+  bool terminal_goal = false;   // ended by reaching the target
+  double bootstrap_value = 0.0; // V(s_T) when truncated by the horizon
+  double total_reward = 0.0;
+};
+
+/// Global-norm gradient clipping (in place).
+void clip_grad_norm(std::vector<double>& grads, double max_norm) {
+  double sq = 0.0;
+  for (double g : grads) sq += g * g;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (double& g : grads) g *= scale;
+  }
+}
+
+}  // namespace
+
+PpoAgent::PpoAgent(int obs_size, int num_params, PpoConfig config)
+    : config_(config),
+      obs_size_(obs_size),
+      num_params_(num_params),
+      policy_([&] {
+        std::vector<int> sizes{obs_size};
+        for (int i = 0; i < config.hidden_layers; ++i)
+          sizes.push_back(config.hidden);
+        sizes.push_back(num_params * kActions);
+        return nn::Mlp(sizes, nn::Activation::Tanh, config.seed * 7919 + 1,
+                       /*final_scale=*/0.01);
+      }()),
+      value_([&] {
+        std::vector<int> sizes{obs_size};
+        for (int i = 0; i < config.hidden_layers; ++i)
+          sizes.push_back(config.hidden);
+        sizes.push_back(1);
+        return nn::Mlp(sizes, nn::Activation::Tanh, config.seed * 104729 + 2,
+                       /*final_scale=*/1.0);
+      }()) {}
+
+std::vector<int> PpoAgent::act_sample(const std::vector<double>& obs,
+                                      util::Rng& rng, double* logp_out) const {
+  const std::vector<double> logits = policy_.forward(obs);
+  std::vector<int> action(static_cast<std::size_t>(num_params_), 1);
+  double logp = 0.0;
+  for (int h = 0; h < num_params_; ++h) {
+    const auto probs = nn::softmax_slice(
+        logits, static_cast<std::size_t>(h) * kActions, kActions);
+    const int a = nn::sample_categorical(probs, rng);
+    action[static_cast<std::size_t>(h)] = a;
+    logp += std::log(std::max(probs[static_cast<std::size_t>(a)], 1e-12));
+  }
+  if (logp_out != nullptr) *logp_out = logp;
+  return action;
+}
+
+std::vector<int> PpoAgent::act_greedy(const std::vector<double>& obs) const {
+  const std::vector<double> logits = policy_.forward(obs);
+  std::vector<int> action(static_cast<std::size_t>(num_params_), 1);
+  for (int h = 0; h < num_params_; ++h) {
+    const auto probs = nn::softmax_slice(
+        logits, static_cast<std::size_t>(h) * kActions, kActions);
+    action[static_cast<std::size_t>(h)] = nn::argmax(probs);
+  }
+  return action;
+}
+
+double PpoAgent::value(const std::vector<double>& obs) const {
+  return value_.forward(obs)[0];
+}
+
+TrainHistory PpoAgent::train(
+    const std::function<env::SizingEnv()>& env_factory,
+    const std::vector<circuits::SpecVector>& train_targets,
+    const std::function<void(const IterationStats&)>& on_iteration) {
+  if (train_targets.empty()) {
+    throw std::invalid_argument("PpoAgent::train: no training targets");
+  }
+  TrainHistory history;
+  util::Rng master_rng(config_.seed);
+  nn::Adam opt_policy(policy_.param_count(), config_.lr_policy);
+  nn::Adam opt_value(value_.param_count(), config_.lr_value);
+
+  const int workers = std::max(1, config_.num_workers);
+  long cumulative_steps = 0;
+  int patience_hits = 0;
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // ---- 1. Parallel rollout collection --------------------------------
+    const int quota =
+        (config_.steps_per_iteration + workers - 1) / workers;
+    std::vector<std::vector<Episode>> worker_episodes(
+        static_cast<std::size_t>(workers));
+    std::vector<std::uint64_t> worker_seeds;
+    worker_seeds.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) worker_seeds.push_back(master_rng.next());
+
+    auto collect = [&](int w) {
+      util::Rng rng(worker_seeds[static_cast<std::size_t>(w)]);
+      env::SizingEnv sizing_env = env_factory();
+      auto& episodes = worker_episodes[static_cast<std::size_t>(w)];
+      int steps = 0;
+      while (steps < quota) {
+        sizing_env.set_target(
+            train_targets[rng.bounded(train_targets.size())]);
+        std::vector<double> obs = sizing_env.reset();
+        Episode ep;
+        for (;;) {
+          Transition tr;
+          tr.obs = obs;
+          tr.action = act_sample(obs, rng, &tr.logp);
+          tr.value = value(obs);
+          auto sr = sizing_env.step(tr.action);
+          tr.reward = sr.reward;
+          ep.total_reward += sr.reward;
+          obs = sr.obs;
+          ep.steps.push_back(std::move(tr));
+          ++steps;
+          if (sr.done) {
+            ep.terminal_goal = sr.goal_met;
+            if (!sr.goal_met) ep.bootstrap_value = value(obs);
+            break;
+          }
+        }
+        episodes.push_back(std::move(ep));
+      }
+    };
+
+    if (workers == 1) {
+      collect(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) threads.emplace_back(collect, w);
+      for (auto& t : threads) t.join();
+    }
+
+    // ---- 2. GAE advantages and returns ----------------------------------
+    std::vector<const Transition*> batch;
+    std::vector<double> advantages;
+    std::vector<double> returns;
+    double reward_sum = 0.0;
+    double goal_sum = 0.0;
+    double len_sum = 0.0;
+    std::size_t episode_count = 0;
+
+    for (const auto& episodes : worker_episodes) {
+      for (const Episode& ep : episodes) {
+        ++episode_count;
+        reward_sum += ep.total_reward;
+        goal_sum += ep.terminal_goal ? 1.0 : 0.0;
+        len_sum += static_cast<double>(ep.steps.size());
+
+        double next_value = ep.terminal_goal ? 0.0 : ep.bootstrap_value;
+        double gae = 0.0;
+        std::vector<double> ep_adv(ep.steps.size(), 0.0);
+        for (std::size_t t = ep.steps.size(); t-- > 0;) {
+          const Transition& tr = ep.steps[t];
+          const double delta =
+              tr.reward + config_.gamma * next_value - tr.value;
+          gae = delta + config_.gamma * config_.gae_lambda * gae;
+          ep_adv[t] = gae;
+          next_value = tr.value;
+        }
+        for (std::size_t t = 0; t < ep.steps.size(); ++t) {
+          batch.push_back(&ep.steps[t]);
+          advantages.push_back(ep_adv[t]);
+          returns.push_back(ep_adv[t] + ep.steps[t].value);
+        }
+      }
+    }
+    cumulative_steps += static_cast<long>(batch.size());
+
+    // Normalize advantages over the iteration batch.
+    {
+      double mean = 0.0;
+      for (double a : advantages) mean += a;
+      mean /= static_cast<double>(advantages.size());
+      double var = 0.0;
+      for (double a : advantages) var += (a - mean) * (a - mean);
+      const double stddev =
+          std::sqrt(var / static_cast<double>(advantages.size())) + 1e-8;
+      for (double& a : advantages) a = (a - mean) / stddev;
+    }
+
+    // ---- 3. Clipped-surrogate updates -----------------------------------
+    double policy_loss_acc = 0.0;
+    double value_loss_acc = 0.0;
+    double entropy_acc = 0.0;
+    long loss_terms = 0;
+
+    std::vector<std::size_t> order(batch.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      // Fisher-Yates shuffle with the master stream.
+      for (std::size_t i = order.size(); i-- > 1;) {
+        std::swap(order[i], order[master_rng.bounded(i + 1)]);
+      }
+      for (std::size_t start = 0; start < order.size();
+           start += static_cast<std::size_t>(config_.minibatch)) {
+        const std::size_t stop = std::min(
+            start + static_cast<std::size_t>(config_.minibatch), order.size());
+        const double inv_b = 1.0 / static_cast<double>(stop - start);
+
+        policy_.zero_grad();
+        value_.zero_grad();
+
+        for (std::size_t k = start; k < stop; ++k) {
+          const std::size_t idx = order[k];
+          const Transition& tr = *batch[idx];
+          const double adv = advantages[idx];
+
+          // Policy pass.
+          nn::Mlp::Trace trace = policy_.forward_trace(tr.obs);
+          double logp_new = 0.0;
+          std::vector<std::vector<double>> head_probs(
+              static_cast<std::size_t>(num_params_));
+          for (int h = 0; h < num_params_; ++h) {
+            head_probs[static_cast<std::size_t>(h)] = nn::softmax_slice(
+                trace.output, static_cast<std::size_t>(h) * kActions,
+                kActions);
+            logp_new += std::log(std::max(
+                head_probs[static_cast<std::size_t>(h)]
+                          [static_cast<std::size_t>(
+                              tr.action[static_cast<std::size_t>(h)])],
+                1e-12));
+          }
+          const double ratio = std::exp(logp_new - tr.logp);
+          const double unclipped = ratio * adv;
+          const double clipped =
+              std::clamp(ratio, 1.0 - config_.clip, 1.0 + config_.clip) * adv;
+          policy_loss_acc += -std::min(unclipped, clipped);
+
+          // dLoss/dlogp: active only when the unclipped branch is selected.
+          const double dlogp =
+              unclipped <= clipped ? -ratio * adv * inv_b : 0.0;
+
+          std::vector<double> d_logits(
+              static_cast<std::size_t>(num_params_ * kActions), 0.0);
+          for (int h = 0; h < num_params_; ++h) {
+            const auto& probs = head_probs[static_cast<std::size_t>(h)];
+            const double ent = nn::entropy(probs);
+            entropy_acc += ent;
+            const std::size_t off = static_cast<std::size_t>(h) * kActions;
+            for (int j = 0; j < kActions; ++j) {
+              const double p = probs[static_cast<std::size_t>(j)];
+              const double onehot =
+                  tr.action[static_cast<std::size_t>(h)] == j ? 1.0 : 0.0;
+              double g = dlogp * (onehot - p);
+              // Entropy bonus: Loss -= c_H * H  =>  dLoss/dz += c_H * p (log p + H).
+              g += config_.entropy_coef * inv_b * p *
+                   (std::log(std::max(p, 1e-12)) + ent);
+              d_logits[off + static_cast<std::size_t>(j)] += g;
+            }
+          }
+          policy_.backward(trace, d_logits);
+
+          // Value pass.
+          nn::Mlp::Trace vtrace = value_.forward_trace(tr.obs);
+          const double v = vtrace.output[0];
+          const double err = v - returns[idx];
+          value_loss_acc += 0.5 * err * err;
+          value_.backward(vtrace, {err * inv_b});
+          ++loss_terms;
+        }
+
+        clip_grad_norm(policy_.grads(), config_.max_grad_norm);
+        clip_grad_norm(value_.grads(), config_.max_grad_norm);
+        opt_policy.step(policy_.params(), policy_.grads());
+        opt_value.step(value_.params(), value_.grads());
+      }
+    }
+
+    // ---- 4. Bookkeeping and early stop -----------------------------------
+    IterationStats stats;
+    stats.iteration = iter;
+    stats.cumulative_env_steps = cumulative_steps;
+    stats.mean_episode_reward =
+        reward_sum / static_cast<double>(episode_count);
+    stats.goal_rate = goal_sum / static_cast<double>(episode_count);
+    stats.mean_episode_len = len_sum / static_cast<double>(episode_count);
+    stats.policy_loss =
+        policy_loss_acc / static_cast<double>(std::max(loss_terms, 1L));
+    stats.value_loss =
+        value_loss_acc / static_cast<double>(std::max(loss_terms, 1L));
+    stats.entropy = entropy_acc /
+                    static_cast<double>(std::max(loss_terms, 1L) * num_params_);
+    history.iterations.push_back(stats);
+    if (on_iteration) on_iteration(stats);
+
+    if (stats.mean_episode_reward >= config_.target_mean_reward ||
+        stats.goal_rate >= config_.target_goal_rate) {
+      if (++patience_hits >= config_.stop_patience) {
+        history.converged = true;
+        break;
+      }
+    } else {
+      patience_hits = 0;
+    }
+  }
+  history.total_env_steps = cumulative_steps;
+  return history;
+}
+
+void PpoAgent::save(std::ostream& out) const {
+  out << "ppo_agent " << obs_size_ << " " << num_params_ << "\n";
+  policy_.save(out);
+  value_.save(out);
+}
+
+PpoAgent PpoAgent::load(std::istream& in) {
+  std::string magic;
+  int obs_size = 0, num_params = 0;
+  in >> magic >> obs_size >> num_params;
+  if (magic != "ppo_agent") {
+    throw std::runtime_error("PpoAgent::load: bad header");
+  }
+  PpoConfig config;
+  PpoAgent agent(obs_size, num_params, config);
+  agent.policy_ = nn::Mlp::load(in);
+  agent.value_ = nn::Mlp::load(in);
+  return agent;
+}
+
+}  // namespace autockt::rl

@@ -1,0 +1,60 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "spice/units.hpp"
+
+namespace autockt::spice {
+
+namespace {
+
+util::Expected<std::vector<std::complex<double>>> solve_complex(
+    const Circuit& circuit, const OpPoint& op, double freq) {
+  const std::size_t n = circuit.num_unknowns();
+  linalg::ComplexMatrix a(n, n);
+  std::vector<std::complex<double>> b(n, {0.0, 0.0});
+  ComplexStamp ctx{a, b, op.node_v};
+  ctx.omega = 2.0 * kPi * freq;
+  ctx.num_nodes = circuit.num_nodes();
+  circuit.stamp_complex(ctx);
+
+  linalg::LuFactorization<std::complex<double>> lu(a);
+  if (!lu.ok()) {
+    return util::Error{"AC matrix singular at f=" + std::to_string(freq), 2};
+  }
+  return lu.solve(b);
+}
+
+}  // namespace
+
+util::Expected<std::vector<AcPoint>> ac_sweep(const Circuit& circuit,
+                                              const OpPoint& op, NodeId probe_p,
+                                              NodeId probe_m,
+                                              const AcOptions& options) {
+  const double decades = std::log10(options.f_stop / options.f_start);
+  const int total =
+      std::max(2, static_cast<int>(std::ceil(decades * options.points_per_decade)) + 1);
+
+  std::vector<AcPoint> sweep;
+  sweep.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(total - 1);
+    const double freq = options.f_start * std::pow(10.0, frac * decades);
+    auto x = solve_complex(circuit, op, freq);
+    if (!x.ok()) return x.error();
+
+    std::complex<double> v{0.0, 0.0};
+    if (probe_p != kGround) v += (*x)[probe_p - 1];
+    if (probe_m != kGround) v -= (*x)[probe_m - 1];
+    sweep.push_back({freq, v});
+  }
+  return sweep;
+}
+
+util::Expected<std::vector<std::complex<double>>> ac_solve_at(
+    const Circuit& circuit, const OpPoint& op, double freq) {
+  return solve_complex(circuit, op, freq);
+}
+
+}  // namespace autockt::spice

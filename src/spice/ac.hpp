@@ -1,0 +1,35 @@
+#pragma once
+// Small-signal AC analysis: complex MNA sweep around a converged DC
+// operating point. The stimulus is whatever sources carry a nonzero ac_mag.
+
+#include <complex>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "util/expected.hpp"
+
+namespace autockt::spice {
+
+struct AcPoint {
+  double freq = 0.0;                     // Hz
+  std::complex<double> value{0.0, 0.0};  // V(probe_p) - V(probe_m)
+};
+
+struct AcOptions {
+  double f_start = 1e3;
+  double f_stop = 1e11;
+  int points_per_decade = 10;
+};
+
+/// Log-spaced sweep of the probe voltage. Fails if the AC matrix is singular
+/// at any frequency (which indicates a malformed netlist).
+util::Expected<std::vector<AcPoint>> ac_sweep(const Circuit& circuit,
+                                              const OpPoint& op, NodeId probe_p,
+                                              NodeId probe_m,
+                                              const AcOptions& options = {});
+
+/// Single-frequency full solution (all node voltages + branch currents).
+util::Expected<std::vector<std::complex<double>>> ac_solve_at(
+    const Circuit& circuit, const OpPoint& op, double freq);
+
+}  // namespace autockt::spice

@@ -1,0 +1,98 @@
+#include "spice/characterize.hpp"
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+
+namespace autockt::spice {
+
+namespace {
+
+/// Terminal-voltage vector for a standalone device: nodes 1=d, 2=g, 3=s.
+CurvePoint eval_device(const Mosfet& device, double vd, double vg,
+                       double vs, double x) {
+  const auto ss = device.linearize({0.0, vd, vg, vs});
+  CurvePoint p;
+  p.x = x;
+  p.id = std::fabs(ss.id);
+  p.gm = ss.gm;
+  p.gds = ss.gds;
+  return p;
+}
+
+}  // namespace
+
+std::vector<CurvePoint> id_vgs_curve(const TechCard& card, MosType type,
+                                     const MosGeom& geom, double vds,
+                                     const SweepSpec& sweep) {
+  const Mosfet device("dut", 1, 2, 3, 0, type, geom, card);
+  std::vector<CurvePoint> curve;
+  curve.reserve(static_cast<std::size_t>(sweep.points));
+  for (int i = 0; i < sweep.points; ++i) {
+    const double v = sweep.start + (sweep.stop - sweep.start) * i /
+                                       std::max(sweep.points - 1, 1);
+    if (type == MosType::Nmos) {
+      curve.push_back(eval_device(device, vds, v, 0.0, v));
+    } else {
+      // PMOS mirrored: source at the card supply, |Vgs| and |Vds| positive.
+      curve.push_back(eval_device(device, card.vdd - vds, card.vdd - v,
+                                  card.vdd, v));
+    }
+  }
+  return curve;
+}
+
+std::vector<CurvePoint> id_vds_curve(const TechCard& card, MosType type,
+                                     const MosGeom& geom, double vgs,
+                                     const SweepSpec& sweep) {
+  const Mosfet device("dut", 1, 2, 3, 0, type, geom, card);
+  std::vector<CurvePoint> curve;
+  curve.reserve(static_cast<std::size_t>(sweep.points));
+  for (int i = 0; i < sweep.points; ++i) {
+    const double v = sweep.start + (sweep.stop - sweep.start) * i /
+                                       std::max(sweep.points - 1, 1);
+    if (type == MosType::Nmos) {
+      curve.push_back(eval_device(device, v, vgs, 0.0, v));
+    } else {
+      curve.push_back(eval_device(device, card.vdd - v, card.vdd - vgs,
+                                  card.vdd, v));
+    }
+  }
+  return curve;
+}
+
+double inverter_trip_voltage(const TechCard& card, double wn, double wp,
+                             double length) {
+  // Bisection on f(vin) = vout(vin) - vin, which is monotone decreasing for
+  // an inverter.
+  auto vout_of = [&](double vin) -> double {
+    Circuit ckt;
+    const NodeId vdd = ckt.add_node("vdd");
+    const NodeId in = ckt.add_node("in");
+    const NodeId out = ckt.add_node("out");
+    ckt.add<VoltageSource>("vs", vdd, kGround, Waveform::constant(card.vdd));
+    ckt.add<VoltageSource>("vi", in, kGround, Waveform::constant(vin));
+    ckt.add<Mosfet>("mn", out, in, kGround, kGround, MosType::Nmos,
+                    MosGeom{wn, length, 1}, card);
+    ckt.add<Mosfet>("mp", out, in, vdd, vdd, MosType::Pmos,
+                    MosGeom{wp, length, 1}, card);
+    DcOptions opt;
+    opt.initial_node_v = {0.0, card.vdd, vin, card.vdd / 2.0};
+    auto op = solve_op(ckt, opt);
+    return op.ok() ? op->voltage(out) : card.vdd / 2.0;
+  };
+
+  double lo = 0.0, hi = card.vdd;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (vout_of(mid) > mid) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace autockt::spice

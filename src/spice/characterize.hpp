@@ -1,0 +1,43 @@
+#pragma once
+// Device characterization sweeps — the I-V and small-signal curves an
+// analog designer pulls from a PDK before sizing anything. Used by the
+// mosfet_characterization example and by tests that pin the technology
+// cards' behaviour.
+
+#include <vector>
+
+#include "spice/mosfet.hpp"
+
+namespace autockt::spice {
+
+struct CurvePoint {
+  double x = 0.0;    // swept voltage (V)
+  double id = 0.0;   // drain current magnitude (A)
+  double gm = 0.0;   // transconductance (S)
+  double gds = 0.0;  // output conductance (S)
+};
+
+struct SweepSpec {
+  double start = 0.0;
+  double stop = 1.2;
+  int points = 121;
+};
+
+/// Id/gm/gds vs Vgs at fixed Vds (source and bulk grounded, NMOS
+/// convention; PMOS is mirrored internally so callers always pass positive
+/// magnitudes).
+std::vector<CurvePoint> id_vgs_curve(const TechCard& card, MosType type,
+                                     const MosGeom& geom, double vds,
+                                     const SweepSpec& sweep = {});
+
+/// Id/gm/gds vs Vds at fixed Vgs.
+std::vector<CurvePoint> id_vds_curve(const TechCard& card, MosType type,
+                                     const MosGeom& geom, double vgs,
+                                     const SweepSpec& sweep = {});
+
+/// Transition ("trip") voltage of a CMOS inverter built from the card:
+/// the input level where output equals input. Bisection on the DC solve.
+double inverter_trip_voltage(const TechCard& card, double wn, double wp,
+                             double length);
+
+}  // namespace autockt::spice

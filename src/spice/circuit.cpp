@@ -1,0 +1,73 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace autockt::spice {
+
+NodeId Circuit::add_node(const std::string& name) {
+  if (node_ids_.count(name) > 0) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  const NodeId id = node_names_.size();
+  node_names_.push_back(name);
+  node_ids_[name] = id;
+  return id;
+}
+
+NodeId Circuit::node(const std::string& name) const {
+  if (name == "0" || name == "gnd") return kGround;
+  auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) {
+    throw std::out_of_range("unknown node: " + name);
+  }
+  return it->second;
+}
+
+const Device* Circuit::find(const std::string& name) const {
+  for (const auto& dev : devices_) {
+    if (dev->name() == name) return dev.get();
+  }
+  return nullptr;
+}
+
+void Circuit::stamp_real(RealStamp& ctx) const {
+  for (const auto& dev : devices_) dev->stamp_real(ctx);
+  if (ctx.gmin > 0.0) {
+    // Homotopy: small conductance from every node to ground.
+    for (NodeId n = 1; n < num_nodes(); ++n) {
+      ctx.a(ctx.row_of_node(n), ctx.row_of_node(n)) += ctx.gmin;
+    }
+  }
+}
+
+void Circuit::stamp_complex(ComplexStamp& ctx) const {
+  for (const auto& dev : devices_) dev->stamp_complex(ctx);
+}
+
+std::vector<CapElement> Circuit::collect_caps() const {
+  std::vector<CapElement> out;
+  for (const auto& dev : devices_) dev->collect_caps(out);
+  return out;
+}
+
+std::vector<NoiseSource> Circuit::collect_noise(
+    const std::vector<double>& op_voltages, double freq, double temp_k) const {
+  std::vector<NoiseSource> out;
+  for (const auto& dev : devices_) {
+    dev->collect_noise(op_voltages, freq, temp_k, out);
+  }
+  return out;
+}
+
+OpPoint Circuit::unpack(const std::vector<double>& x) const {
+  OpPoint op;
+  op.node_v.assign(num_nodes(), 0.0);
+  for (NodeId n = 1; n < num_nodes(); ++n) op.node_v[n] = x[n - 1];
+  op.branch_i.assign(num_branches(), 0.0);
+  for (std::size_t b = 0; b < num_branches(); ++b) {
+    op.branch_i[b] = x[(num_nodes() - 1) + b];
+  }
+  return op;
+}
+
+}  // namespace autockt::spice

@@ -1,0 +1,85 @@
+#pragma once
+// Netlist container: named nodes, owned devices, branch-unknown bookkeeping,
+// and whole-circuit stamping used by every analysis.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/device.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace autockt::spice {
+
+/// Converged operating point: node voltages (indexed by NodeId, [0] is
+/// ground) and branch currents (indexed by branch number).
+struct OpPoint {
+  std::vector<double> node_v;
+  std::vector<double> branch_i;
+
+  double voltage(NodeId n) const { return node_v[n]; }
+};
+
+class Circuit {
+ public:
+  Circuit() { node_names_.push_back("0"); }
+
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+  Circuit(Circuit&&) = default;
+  Circuit& operator=(Circuit&&) = default;
+
+  /// Create a named node; names must be unique. Returns its id.
+  NodeId add_node(const std::string& name);
+
+  /// Look up an existing node id by name (throws on unknown name).
+  NodeId node(const std::string& name) const;
+
+  bool has_node(const std::string& name) const {
+    return node_ids_.count(name) > 0;
+  }
+
+  std::size_t num_nodes() const { return node_names_.size(); }  // incl. ground
+  std::size_t num_branches() const { return num_branches_; }
+  std::size_t num_unknowns() const {
+    return (num_nodes() - 1) + num_branches();
+  }
+
+  /// Construct and register a device. Returns a non-owning pointer.
+  template <typename T, typename... Args>
+  T* add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = dev.get();
+    raw->set_first_branch(num_branches_);
+    num_branches_ += raw->branch_count();
+    devices_.push_back(std::move(dev));
+    return raw;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Find a device by name; nullptr if absent.
+  const Device* find(const std::string& name) const;
+
+  // ---- whole-circuit stamping ------------------------------------------
+  void stamp_real(RealStamp& ctx) const;
+  void stamp_complex(ComplexStamp& ctx) const;
+  std::vector<CapElement> collect_caps() const;
+  std::vector<NoiseSource> collect_noise(const std::vector<double>& op_voltages,
+                                         double freq, double temp_k) const;
+
+  /// Split a raw MNA unknown vector into an OpPoint.
+  OpPoint unpack(const std::vector<double>& x) const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::size_t num_branches_ = 0;
+};
+
+}  // namespace autockt::spice

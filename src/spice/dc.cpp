@@ -1,0 +1,122 @@
+#include "spice/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+
+namespace autockt::spice {
+
+namespace {
+
+struct NewtonResult {
+  bool converged = false;
+  std::vector<double> x;  // full unknown vector
+};
+
+/// Plain damped Newton at fixed (gmin, source_scale), warm-started from `x0`.
+NewtonResult newton(const Circuit& circuit, const DcOptions& opt, double gmin,
+                    double source_scale, std::vector<double> x0) {
+  const std::size_t n_unknowns = circuit.num_unknowns();
+  const std::size_t n_nodes = circuit.num_nodes();
+  NewtonResult res;
+  res.x = std::move(x0);
+  res.x.resize(n_unknowns, 0.0);
+
+  std::vector<double> node_v(n_nodes, 0.0);
+  linalg::RealMatrix a(n_unknowns, n_unknowns);
+  std::vector<double> b(n_unknowns, 0.0);
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    for (NodeId n = 1; n < n_nodes; ++n) node_v[n] = res.x[n - 1];
+    a.fill(0.0);
+    std::fill(b.begin(), b.end(), 0.0);
+    RealStamp ctx{a, b, node_v};
+    ctx.gmin = gmin;
+    ctx.source_scale = source_scale;
+    ctx.num_nodes = n_nodes;
+    circuit.stamp_real(ctx);
+
+    linalg::LuFactorization<double> lu(a);
+    if (!lu.ok()) return res;  // singular: report non-convergence
+    const std::vector<double> x_new = lu.solve(b);
+
+    // Convergence check on the undamped node-voltage update.
+    double worst = 0.0;
+    for (std::size_t i = 0; i + 1 < n_nodes; ++i) {
+      const double dv = std::fabs(x_new[i] - res.x[i]);
+      const double tol = opt.v_abstol + opt.v_reltol * std::fabs(x_new[i]);
+      worst = std::max(worst, dv - tol);
+    }
+    if (worst <= 0.0) {
+      res.x = x_new;
+      res.converged = true;
+      return res;
+    }
+
+    // Damped update: clamp per-node moves, take branch currents in full.
+    for (std::size_t i = 0; i < n_unknowns; ++i) {
+      double step = x_new[i] - res.x[i];
+      if (i + 1 < n_nodes) {
+        step = std::clamp(step, -opt.max_step, opt.max_step);
+      }
+      res.x[i] += step;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+util::Expected<OpPoint> solve_op(const Circuit& circuit,
+                                 const DcOptions& options) {
+  std::vector<double> x0(circuit.num_unknowns(), 0.0);
+  if (!options.initial_node_v.empty()) {
+    for (NodeId n = 1;
+         n < std::min(circuit.num_nodes(), options.initial_node_v.size() + 0);
+         ++n) {
+      x0[n - 1] = options.initial_node_v[n];
+    }
+  }
+
+  // Stage 1: plain Newton from the caller's guess.
+  NewtonResult best = newton(circuit, options, 0.0, 1.0, x0);
+  if (best.converged) return circuit.unpack(best.x);
+
+  // Stage 2: gmin stepping — heavy shunt conductance first, then relax.
+  // Homotopy stages run with a larger iteration budget: they are the
+  // last-resort path and only execute for hard bias points.
+  DcOptions homotopy = options;
+  homotopy.max_iterations = 3 * options.max_iterations;
+  std::vector<double> x = x0;
+  bool chain_ok = true;
+  for (double gmin = 1e-2; gmin >= 1e-13; gmin *= 1e-2) {
+    NewtonResult r = newton(circuit, homotopy, gmin, 1.0, x);
+    if (!r.converged) {
+      chain_ok = false;
+      break;
+    }
+    x = r.x;
+  }
+  if (chain_ok) {
+    NewtonResult r = newton(circuit, homotopy, 0.0, 1.0, x);
+    if (r.converged) return circuit.unpack(r.x);
+  }
+
+  // Stage 3: source stepping — ramp all independent sources from zero.
+  x.assign(circuit.num_unknowns(), 0.0);
+  chain_ok = true;
+  for (double scale : {0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0}) {
+    NewtonResult r = newton(circuit, homotopy, 0.0, scale, x);
+    if (!r.converged) {
+      chain_ok = false;
+      break;
+    }
+    x = r.x;
+  }
+  if (chain_ok) return circuit.unpack(x);
+
+  return util::Error{"DC operating point did not converge", 1};
+}
+
+}  // namespace autockt::spice

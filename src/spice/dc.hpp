@@ -1,0 +1,26 @@
+#pragma once
+// DC operating-point solver: damped Newton-Raphson with gmin-stepping and
+// source-stepping homotopy fallbacks. Non-convergence is reported through
+// util::Expected, never as a silent NaN solution.
+
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "util/expected.hpp"
+
+namespace autockt::spice {
+
+struct DcOptions {
+  int max_iterations = 120;
+  double v_abstol = 1e-9;    // absolute voltage tolerance (V)
+  double v_reltol = 1e-6;    // relative voltage tolerance
+  double max_step = 0.4;     // Newton damping: max node-voltage move (V)
+  /// Optional starting guess for node voltages (size = num_nodes incl.
+  /// ground). Empty means all-zeros.
+  std::vector<double> initial_node_v;
+};
+
+util::Expected<OpPoint> solve_op(const Circuit& circuit,
+                                 const DcOptions& options = {});
+
+}  // namespace autockt::spice

@@ -1,0 +1,155 @@
+#pragma once
+// Device abstraction for the MNA engine.
+//
+// Devices are immutable and stateless: every stamping call receives the full
+// evaluation context (candidate node voltages, time, frequency). This makes
+// circuit evaluation trivially thread-safe — multiple RL environments can
+// evaluate copies of the same topology concurrently.
+//
+// Conventions:
+//  * Node 0 is ground and has no matrix row/column.
+//  * Matrix index of node n (n > 0) is n - 1.
+//  * Voltage sources append one branch-current unknown each, after the nodes.
+//  * Nonlinear devices stamp their Newton companion model: for an injected
+//    current J(v) leaving node d, they add the Jacobian dJ/dv to the matrix
+//    and move J(v0) - (dJ/dv)·v0 to the right-hand side.
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace autockt::spice {
+
+using NodeId = std::size_t;  // 0 == ground
+inline constexpr NodeId kGround = 0;
+
+/// Real-valued (DC / transient Newton iteration) stamping context.
+struct RealStamp {
+  linalg::RealMatrix& a;
+  std::vector<double>& b;
+  const std::vector<double>& voltages;  // candidate solution, indexed by node
+  double time = 0.0;                    // transient time; 0 for DC
+  bool transient = false;               // sources: use waveform(t) vs dc()
+  double gmin = 0.0;                    // Newton homotopy conductance
+  double source_scale = 1.0;            // source-stepping homotopy factor
+  std::size_t num_nodes = 0;            // including ground
+
+  std::size_t row_of_node(NodeId n) const { return n - 1; }
+  std::size_t row_of_branch(std::size_t branch) const {
+    return (num_nodes - 1) + branch;
+  }
+
+  /// Conductance g between nodes a_node and b_node.
+  void conductance(NodeId n1, NodeId n2, double g) {
+    if (n1 != kGround) a(row_of_node(n1), row_of_node(n1)) += g;
+    if (n2 != kGround) a(row_of_node(n2), row_of_node(n2)) += g;
+    if (n1 != kGround && n2 != kGround) {
+      a(row_of_node(n1), row_of_node(n2)) -= g;
+      a(row_of_node(n2), row_of_node(n1)) -= g;
+    }
+  }
+
+  /// d(current leaving `at`)/d(voltage of `wrt`) += g.
+  void jacobian(NodeId at, NodeId wrt, double g) {
+    if (at != kGround && wrt != kGround)
+      a(row_of_node(at), row_of_node(wrt)) += g;
+  }
+
+  /// Current `i` injected INTO node n (KCL right-hand side).
+  void inject(NodeId n, double i) {
+    if (n != kGround) b[row_of_node(n)] += i;
+  }
+};
+
+/// Complex-valued (AC / noise) stamping context. Devices linearize around the
+/// provided DC operating point.
+struct ComplexStamp {
+  linalg::ComplexMatrix& a;
+  std::vector<std::complex<double>>& b;
+  const std::vector<double>& op_voltages;  // converged DC solution by node
+  double omega = 0.0;                      // rad/s
+  std::size_t num_nodes = 0;
+
+  std::size_t row_of_node(NodeId n) const { return n - 1; }
+  std::size_t row_of_branch(std::size_t branch) const {
+    return (num_nodes - 1) + branch;
+  }
+
+  void admittance(NodeId n1, NodeId n2, std::complex<double> y) {
+    if (n1 != kGround) a(row_of_node(n1), row_of_node(n1)) += y;
+    if (n2 != kGround) a(row_of_node(n2), row_of_node(n2)) += y;
+    if (n1 != kGround && n2 != kGround) {
+      a(row_of_node(n1), row_of_node(n2)) -= y;
+      a(row_of_node(n2), row_of_node(n1)) -= y;
+    }
+  }
+
+  void transadmittance(NodeId at, NodeId wrt, std::complex<double> y) {
+    if (at != kGround && wrt != kGround)
+      a(row_of_node(at), row_of_node(wrt)) += y;
+  }
+
+  void inject(NodeId n, std::complex<double> i) {
+    if (n != kGround) b[row_of_node(n)] += i;
+  }
+};
+
+/// A linear capacitance contributed by a device; the transient engine owns
+/// the companion-model state for each element.
+struct CapElement {
+  NodeId n1 = kGround;
+  NodeId n2 = kGround;
+  double capacitance = 0.0;
+};
+
+/// One small-signal noise current source (between two nodes) with its power
+/// spectral density at the query frequency.
+struct NoiseSource {
+  NodeId n1 = kGround;   // current flows n1 -> n2
+  NodeId n2 = kGround;
+  double psd = 0.0;      // A^2/Hz at the queried frequency
+  std::string origin;    // device name, for reporting
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = default;
+  Device& operator=(const Device&) = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of branch-current unknowns this device introduces (voltage
+  /// sources: 1). `first_branch` is assigned by the circuit at registration.
+  virtual std::size_t branch_count() const { return 0; }
+  void set_first_branch(std::size_t b) { first_branch_ = b; }
+  std::size_t first_branch() const { return first_branch_; }
+
+  /// Stamp the resistive/Newton-linearized part. Capacitances are NOT
+  /// stamped here; the transient engine adds companion stamps for the
+  /// elements reported by collect_caps().
+  virtual void stamp_real(RealStamp& ctx) const = 0;
+
+  /// Stamp the small-signal model at ctx.omega (including capacitances).
+  virtual void stamp_complex(ComplexStamp& ctx) const = 0;
+
+  /// Report linear capacitances for transient companion integration.
+  virtual void collect_caps(std::vector<CapElement>& /*out*/) const {}
+
+  /// Report noise current sources at frequency `freq`, given the operating
+  /// point; used by the adjoint noise analysis.
+  virtual void collect_noise(const std::vector<double>& /*op_voltages*/,
+                             double /*freq*/, double /*temp_k*/,
+                             std::vector<NoiseSource>& /*out*/) const {}
+
+ private:
+  std::string name_;
+  std::size_t first_branch_ = 0;
+};
+
+}  // namespace autockt::spice

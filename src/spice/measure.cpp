@@ -1,0 +1,103 @@
+#include "spice/measure.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "spice/units.hpp"
+
+namespace autockt::spice {
+
+namespace {
+
+/// Log-log interpolated crossing of |H| through `level` between samples i
+/// and i+1. Returns the frequency of the crossing.
+double interp_crossing(const std::vector<AcPoint>& sweep, std::size_t i,
+                       double level) {
+  const double m0 = std::abs(sweep[i].value);
+  const double m1 = std::abs(sweep[i + 1].value);
+  const double lf0 = std::log10(sweep[i].freq);
+  const double lf1 = std::log10(sweep[i + 1].freq);
+  const double lm0 = std::log10(std::max(m0, 1e-30));
+  const double lm1 = std::log10(std::max(m1, 1e-30));
+  const double lt = std::log10(std::max(level, 1e-30));
+  if (lm1 == lm0) return sweep[i].freq;
+  const double frac = (lt - lm0) / (lm1 - lm0);
+  return std::pow(10.0, lf0 + frac * (lf1 - lf0));
+}
+
+}  // namespace
+
+AcMeasurements measure_ac(const std::vector<AcPoint>& sweep) {
+  AcMeasurements m;
+  if (sweep.size() < 2) return m;
+
+  m.dc_gain = std::abs(sweep.front().value);
+
+  // Unwrapped phase in degrees, relative to the first point.
+  std::vector<double> phase(sweep.size(), 0.0);
+  double prev = std::arg(sweep.front().value);
+  double offset = 0.0;
+  phase[0] = 0.0;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    double ph = std::arg(sweep[i].value);
+    while (ph + offset - prev > kPi) offset -= 2.0 * kPi;
+    while (ph + offset - prev < -kPi) offset += 2.0 * kPi;
+    const double unwrapped = ph + offset;
+    phase[i] = (unwrapped - std::arg(sweep.front().value)) * 180.0 / kPi;
+    prev = unwrapped;
+  }
+
+  // -3 dB cutoff: first downward crossing of dc_gain/sqrt(2).
+  const double level3db = m.dc_gain / std::sqrt(2.0);
+  for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {
+    const double m0 = std::abs(sweep[i].value);
+    const double m1 = std::abs(sweep[i + 1].value);
+    if (m0 >= level3db && m1 < level3db) {
+      m.f3db = interp_crossing(sweep, i, level3db);
+      m.f3db_found = true;
+      break;
+    }
+  }
+
+  // Unity-gain crossing and phase margin.
+  if (m.dc_gain > 1.0) {
+    for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {
+      const double m0 = std::abs(sweep[i].value);
+      const double m1 = std::abs(sweep[i + 1].value);
+      if (m0 >= 1.0 && m1 < 1.0) {
+        m.ugbw = interp_crossing(sweep, i, 1.0);
+        m.ugbw_found = true;
+        // Linear-in-log-f phase interpolation at the crossing.
+        const double lf0 = std::log10(sweep[i].freq);
+        const double lf1 = std::log10(sweep[i + 1].freq);
+        const double frac =
+            lf1 == lf0 ? 0.0 : (std::log10(m.ugbw) - lf0) / (lf1 - lf0);
+        const double ph = phase[i] + frac * (phase[i + 1] - phase[i]);
+        m.phase_margin_deg = 180.0 + ph;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+double settling_time(const std::vector<double>& time,
+                     const std::vector<double>& waveform, double tol) {
+  if (time.size() < 2 || waveform.size() != time.size()) return 0.0;
+  const double v_final = waveform.back();
+  const double v_initial = waveform.front();
+  const double amplitude = std::fabs(v_final - v_initial);
+  if (amplitude < 1e-15) return 0.0;
+  const double band = tol * amplitude;
+
+  // Walk backwards: the settling instant is the last time the waveform was
+  // outside the band.
+  for (std::size_t i = waveform.size(); i-- > 0;) {
+    if (std::fabs(waveform[i] - v_final) > band) {
+      return i + 1 < time.size() ? time[i + 1] : time.back();
+    }
+  }
+  return time.front();
+}
+
+}  // namespace autockt::spice

@@ -1,0 +1,32 @@
+#pragma once
+// Specification extraction from analysis results: the quantities the paper's
+// environments observe (gain, unity-gain bandwidth, phase margin, -3 dB
+// cutoff, settling time).
+
+#include <vector>
+
+#include "spice/ac.hpp"
+#include "spice/transient.hpp"
+
+namespace autockt::spice {
+
+struct AcMeasurements {
+  double dc_gain = 0.0;           // |H| at the lowest swept frequency (V/V)
+  double f3db = 0.0;              // -3 dB cutoff (Hz); 0 if not found
+  double ugbw = 0.0;              // unity-gain frequency (Hz); 0 if |H| < 1
+  double phase_margin_deg = 0.0;  // 180 + unwrapped relative phase at UGBW
+  bool ugbw_found = false;
+  bool f3db_found = false;
+};
+
+/// Extracts gain/bandwidth/phase metrics from a log-spaced AC sweep. Phase
+/// is unwrapped and referenced to the lowest-frequency point, so inverting
+/// and non-inverting amplifiers measure the same phase margin.
+AcMeasurements measure_ac(const std::vector<AcPoint>& sweep);
+
+/// Time for waveform to enter and stay within +/- tol * |step amplitude|
+/// of its final value. Returns the full window length if it never settles.
+double settling_time(const std::vector<double>& time,
+                     const std::vector<double>& waveform, double tol = 0.02);
+
+}  // namespace autockt::spice

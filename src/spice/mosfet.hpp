@@ -1,0 +1,128 @@
+#pragma once
+// Smoothed square-law MOSFET model with channel-length modulation,
+// subthreshold continuation, drain/source swap symmetry and geometry-derived
+// capacitances.
+//
+// This is the stand-in for the paper's BSIM 45 nm predictive models and the
+// TSMC 16 nm FinFET PDK (see DESIGN.md, substitution table). The model is
+// C-infinity smooth in all terminal voltages, which keeps Newton iterations
+// well-behaved across the whole sizing grid:
+//
+//   Vov_eff  = n*vT * softplus((Vgs - Vth)/(n*vT))      (EKV-style inversion)
+//   Vds_eff  = Vov_eff * tanh(Vds / Vov_eff)            (smooth triode/sat)
+//   Id       = u*Cox*(W/L) * (Vov_eff*Vds_eff - Vds_eff^2/2) * (1 + lambda*Vds)
+//
+// Noise: thermal 4kT*gamma*gm plus 1/f flicker Kf*Id/(Cox*W*L*f).
+
+#include <string>
+#include <vector>
+
+#include "spice/device.hpp"
+
+namespace autockt::spice {
+
+enum class MosType { Nmos, Pmos };
+
+/// Operating region classification (diagnostic; the model itself is smooth).
+enum class MosRegion { Subthreshold, Triode, Saturation };
+
+/// Process/technology card. One card instance describes one PVT condition;
+/// the PEX engine derives corner cards by perturbing a nominal card.
+struct TechCard {
+  std::string name;
+  double vdd = 1.2;          // nominal supply (V)
+  double temp_k = 300.0;     // simulation temperature (K)
+
+  double u_cox_n = 3.0e-4;   // NMOS transconductance factor uCox (A/V^2)
+  double u_cox_p = 1.2e-4;   // PMOS uCox (A/V^2)
+  double vth_n = 0.35;       // NMOS threshold (V)
+  double vth_p = 0.35;       // PMOS threshold magnitude (V)
+  double lambda_n = 0.15;    // CLM at L = l_min (1/V); scales as l_min/L
+  double lambda_p = 0.20;
+  double l_min = 45e-9;      // minimum drawn length (m)
+
+  double cox_area = 1.0e-2;  // gate oxide cap (F/m^2)
+  double cov_w = 3.0e-10;    // overlap cap per width (F/m)
+  double cj_w = 5.0e-10;     // junction cap per width (F/m)
+
+  double subthreshold_n = 1.5;  // slope factor
+  double gamma_noise = 1.0;     // thermal noise excess factor
+  double kf = 1.0e-26;          // flicker coefficient (see model above)
+
+  bool quantized_width = false;  // FinFET: widths come in fin quanta
+  double fin_width = 0.0;        // electrical width per fin (m)
+
+  /// 45 nm planar predictive-technology-like card (paper's PTM 45 nm).
+  static TechCard ptm45();
+  /// 16 nm FinFET-like card (paper's TSMC 16 nm FF).
+  static TechCard finfet16();
+};
+
+/// Drawn geometry of one device.
+struct MosGeom {
+  double width = 1e-6;   // electrical width per finger (m)
+  double length = 90e-9; // channel length (m)
+  int mult = 1;          // parallel fingers
+
+  double total_width() const { return width * static_cast<double>(mult); }
+};
+
+/// Small-signal linearization at a bias point.
+struct MosSmallSignal {
+  double id = 0.0;     // drain current, sign per device polarity (A)
+  double gm = 0.0;     // transconductance magnitude (S)
+  double gds = 0.0;    // output conductance magnitude (S)
+  double vov_eff = 0.0;
+  MosRegion region = MosRegion::Subthreshold;
+};
+
+class Mosfet : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+         MosType type, MosGeom geom, const TechCard& card);
+
+  MosType type() const { return type_; }
+  const MosGeom& geom() const { return geom_; }
+
+  void stamp_real(RealStamp& ctx) const override;
+  void stamp_complex(ComplexStamp& ctx) const override;
+  void collect_caps(std::vector<CapElement>& out) const override;
+  void collect_noise(const std::vector<double>& op_voltages, double freq,
+                     double temp_k,
+                     std::vector<NoiseSource>& out) const override;
+
+  /// Evaluate the model at explicit terminal voltages (indexed by node).
+  MosSmallSignal linearize(const std::vector<double>& voltages) const;
+
+  double cgs() const { return cgs_; }
+  double cgd() const { return cgd_; }
+  double cdb() const { return cdb_; }
+  double csb() const { return csb_; }
+
+ private:
+  // Model evaluation with drain/source symmetry handling. Outputs the
+  // injected current J at the (possibly swapped) drain node and its
+  // derivatives w.r.t. the actual node voltages.
+  struct Eval {
+    NodeId d_eff, s_eff;   // after swap
+    double j = 0.0;        // current leaving d_eff into the device
+    double gds = 0.0;      // dJ/dv(d_eff)
+    double gm = 0.0;       // dJ/dv(g)
+    double id_mag = 0.0;   // |channel current|
+    double vov_eff = 0.0;
+    double vds = 0.0;      // swapped, polarity-corrected (>= 0)
+    double vgs = 0.0;
+  };
+  Eval evaluate(const std::vector<double>& voltages) const;
+
+  NodeId d_, g_, s_, b_;
+  MosType type_;
+  MosGeom geom_;
+  // Card-derived constants captured at construction (cards are per-corner
+  // value types; see DESIGN.md).
+  double u_cox_, vth_, lambda_eff_, nvt_, gamma_noise_, kf_, cox_area_;
+  double temp_k_;
+  double cgs_, cgd_, cdb_, csb_;
+};
+
+}  // namespace autockt::spice

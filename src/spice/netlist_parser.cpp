@@ -1,0 +1,382 @@
+#include "spice/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace autockt::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '*') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+util::Error at_line(std::size_t line_no, const std::string& message) {
+  return util::Error{"line " + std::to_string(line_no) + ": " + message, 10};
+}
+
+/// Resolve a node token, creating the node on first use.
+NodeId node_of(Circuit& ckt, const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "0" || n == "gnd") return kGround;
+  if (!ckt.has_node(n)) return ckt.add_node(n);
+  return ckt.node(n);
+}
+
+/// key=value option map from trailing tokens.
+std::map<std::string, std::string> options_from(
+    const std::vector<std::string>& tokens, std::size_t first) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      out[lower(tokens[i])] = "";
+    } else {
+      out[lower(tokens[i].substr(0, eq))] = tokens[i].substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+/// Source tail parser: "dc <v> [ac <mag>] [step v0 v1 t0 trise]".
+struct SourceSpec {
+  Waveform wave = Waveform::constant(0.0);
+  double ac_mag = 0.0;
+};
+
+util::Expected<SourceSpec> parse_source_tail(
+    const std::vector<std::string>& tokens, std::size_t i,
+    std::size_t line_no) {
+  SourceSpec spec;
+  while (i < tokens.size()) {
+    const std::string key = lower(tokens[i]);
+    if (key == "dc") {
+      if (i + 1 >= tokens.size()) return at_line(line_no, "dc needs a value");
+      auto v = parse_spice_number(tokens[i + 1]);
+      if (!v.ok()) return v.error();
+      spec.wave = Waveform::constant(*v);
+      i += 2;
+    } else if (key == "ac") {
+      if (i + 1 >= tokens.size()) return at_line(line_no, "ac needs a value");
+      auto v = parse_spice_number(tokens[i + 1]);
+      if (!v.ok()) return v.error();
+      spec.ac_mag = *v;
+      i += 2;
+    } else if (key == "step") {
+      if (i + 4 >= tokens.size()) {
+        return at_line(line_no, "step needs v0 v1 t0 trise");
+      }
+      double vals[4];
+      for (int k = 0; k < 4; ++k) {
+        auto v = parse_spice_number(tokens[i + 1 + static_cast<std::size_t>(k)]);
+        if (!v.ok()) return v.error();
+        vals[k] = *v;
+      }
+      spec.wave = Waveform::step(vals[0], vals[1], vals[2], vals[3]);
+      i += 5;
+    } else {
+      // Bare number == dc value (SPICE shorthand "V1 a 0 1.2").
+      auto v = parse_spice_number(tokens[i]);
+      if (!v.ok()) return at_line(line_no, "unexpected token '" + tokens[i] + "'");
+      spec.wave = Waveform::constant(*v);
+      ++i;
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<double> ParsedNetlist::initial_node_voltages() const {
+  std::vector<double> out(circuit.num_nodes(), 0.0);
+  for (const auto& [node, volts] : nodesets) {
+    if (node != kGround && node < out.size()) out[node] = volts;
+  }
+  return out;
+}
+
+util::Expected<double> parse_spice_number(const std::string& token) {
+  if (token.empty()) return util::Error{"empty number", 11};
+  const std::string t = lower(token);
+  char* end = nullptr;
+  const double base = std::strtod(t.c_str(), &end);
+  if (end == t.c_str()) {
+    return util::Error{"bad number '" + token + "'", 11};
+  }
+  const std::string suffix(end);
+  double scale = 1.0;
+  if (suffix.empty()) {
+    scale = 1.0;
+  } else if (suffix == "t") {
+    scale = 1e12;
+  } else if (suffix == "g") {
+    scale = 1e9;
+  } else if (suffix == "meg") {
+    scale = 1e6;
+  } else if (suffix == "k") {
+    scale = 1e3;
+  } else if (suffix == "m") {
+    scale = 1e-3;
+  } else if (suffix == "u") {
+    scale = 1e-6;
+  } else if (suffix == "n") {
+    scale = 1e-9;
+  } else if (suffix == "p") {
+    scale = 1e-12;
+  } else if (suffix == "f") {
+    scale = 1e-15;
+  } else {
+    return util::Error{"unknown suffix '" + suffix + "' in '" + token + "'",
+                       11};
+  }
+  return base * scale;
+}
+
+util::Expected<ParsedNetlist> parse_netlist(const std::string& text) {
+  ParsedNetlist out;
+  TechCard default_card = TechCard::ptm45();
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool ended = false;
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (ended) break;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string head = lower(tokens[0]);
+
+    // ---- directives ------------------------------------------------------
+    if (head[0] == '.') {
+      if (head == ".title") {
+        std::ostringstream title;
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          if (i > 1) title << ' ';
+          title << tokens[i];
+        }
+        out.title = title.str();
+      } else if (head == ".card") {
+        if (tokens.size() < 2) return at_line(line_no, ".card needs a name");
+        const std::string name = lower(tokens[1]);
+        if (name == "ptm45") {
+          default_card = TechCard::ptm45();
+        } else if (name == "finfet16") {
+          default_card = TechCard::finfet16();
+        } else {
+          return at_line(line_no, "unknown card '" + tokens[1] + "'");
+        }
+      } else if (head == ".nodeset") {
+        if (tokens.size() < 3) {
+          return at_line(line_no, ".nodeset needs node and voltage");
+        }
+        auto v = parse_spice_number(tokens[2]);
+        if (!v.ok()) return v.error();
+        out.nodesets.emplace_back(node_of(out.circuit, tokens[1]), *v);
+      } else if (head == ".op") {
+        out.want_op = true;
+      } else if (head == ".ac") {
+        if (tokens.size() < 4) {
+          return at_line(line_no, ".ac needs probe f_start f_stop");
+        }
+        AcRequest req;
+        req.probe = lower(tokens[1]);
+        auto f0 = parse_spice_number(tokens[2]);
+        auto f1 = parse_spice_number(tokens[3]);
+        if (!f0.ok()) return f0.error();
+        if (!f1.ok()) return f1.error();
+        req.options.f_start = *f0;
+        req.options.f_stop = *f1;
+        if (tokens.size() > 4) {
+          auto ppd = parse_spice_number(tokens[4]);
+          if (!ppd.ok()) return ppd.error();
+          req.options.points_per_decade = static_cast<int>(*ppd);
+        }
+        out.ac.push_back(std::move(req));
+      } else if (head == ".tran") {
+        if (tokens.size() < 4) {
+          return at_line(line_no, ".tran needs probe t_stop dt");
+        }
+        TranRequest req;
+        req.probe = lower(tokens[1]);
+        auto ts = parse_spice_number(tokens[2]);
+        auto dt = parse_spice_number(tokens[3]);
+        if (!ts.ok()) return ts.error();
+        if (!dt.ok()) return dt.error();
+        req.options.t_stop = *ts;
+        req.options.dt = *dt;
+        out.tran.push_back(std::move(req));
+      } else if (head == ".noise") {
+        if (tokens.size() < 4) {
+          return at_line(line_no, ".noise needs probe f_start f_stop");
+        }
+        NoiseRequest req;
+        req.probe = lower(tokens[1]);
+        auto f0 = parse_spice_number(tokens[2]);
+        auto f1 = parse_spice_number(tokens[3]);
+        if (!f0.ok()) return f0.error();
+        if (!f1.ok()) return f1.error();
+        req.options.f_start = *f0;
+        req.options.f_stop = *f1;
+        out.noise.push_back(std::move(req));
+      } else if (head == ".end") {
+        ended = true;
+      } else {
+        return at_line(line_no, "unknown directive '" + tokens[0] + "'");
+      }
+      continue;
+    }
+
+    // ---- elements --------------------------------------------------------
+    const char kind = head[0];
+    const std::string name = lower(tokens[0]);
+    switch (kind) {
+      case 'r': {
+        if (tokens.size() < 4) return at_line(line_no, "R needs 2 nodes + value");
+        auto v = parse_spice_number(tokens[3]);
+        if (!v.ok()) return at_line(line_no, v.error().message);
+        if (*v <= 0.0) return at_line(line_no, "resistance must be positive");
+        out.circuit.add<Resistor>(name, node_of(out.circuit, tokens[1]),
+                                  node_of(out.circuit, tokens[2]), *v);
+        break;
+      }
+      case 'c': {
+        if (tokens.size() < 4) return at_line(line_no, "C needs 2 nodes + value");
+        auto v = parse_spice_number(tokens[3]);
+        if (!v.ok()) return at_line(line_no, v.error().message);
+        if (*v < 0.0) return at_line(line_no, "capacitance must be >= 0");
+        out.circuit.add<Capacitor>(name, node_of(out.circuit, tokens[1]),
+                                   node_of(out.circuit, tokens[2]), *v);
+        break;
+      }
+      case 'v':
+      case 'i': {
+        if (tokens.size() < 3) return at_line(line_no, "source needs 2 nodes");
+        auto spec = parse_source_tail(tokens, 3, line_no);
+        if (!spec.ok()) return spec.error();
+        const NodeId np = node_of(out.circuit, tokens[1]);
+        const NodeId nm = node_of(out.circuit, tokens[2]);
+        if (kind == 'v') {
+          out.circuit.add<VoltageSource>(name, np, nm, spec->wave,
+                                         spec->ac_mag);
+        } else {
+          out.circuit.add<CurrentSource>(name, np, nm, spec->wave,
+                                         spec->ac_mag);
+        }
+        break;
+      }
+      case 'g': {
+        if (tokens.size() < 6) {
+          return at_line(line_no, "G needs 4 nodes + transconductance");
+        }
+        auto gm = parse_spice_number(tokens[5]);
+        if (!gm.ok()) return at_line(line_no, gm.error().message);
+        out.circuit.add<Vccs>(name, node_of(out.circuit, tokens[1]),
+                              node_of(out.circuit, tokens[2]),
+                              node_of(out.circuit, tokens[3]),
+                              node_of(out.circuit, tokens[4]), *gm);
+        break;
+      }
+      case 'b': {
+        if (tokens.size() < 4) {
+          return at_line(line_no, "B needs bias node, sense node, target");
+        }
+        auto v = parse_spice_number(tokens[3]);
+        if (!v.ok()) return at_line(line_no, v.error().message);
+        out.circuit.add<BiasProbe>(name, node_of(out.circuit, tokens[1]),
+                                   node_of(out.circuit, tokens[2]), *v);
+        break;
+      }
+      case 'm': {
+        if (tokens.size() < 6) {
+          return at_line(line_no, "M needs d g s b + nmos|pmos [+ options]");
+        }
+        const std::string type = lower(tokens[5]);
+        if (type != "nmos" && type != "pmos") {
+          return at_line(line_no, "device type must be nmos or pmos");
+        }
+        const auto options = options_from(tokens, 6);
+        MosGeom geom;
+        geom.length = 2.0 * default_card.l_min;
+        TechCard card = default_card;
+        if (auto it = options.find("card"); it != options.end()) {
+          if (it->second == "ptm45") {
+            card = TechCard::ptm45();
+          } else if (it->second == "finfet16") {
+            card = TechCard::finfet16();
+          } else {
+            return at_line(line_no, "unknown card '" + it->second + "'");
+          }
+        }
+        if (auto it = options.find("w"); it != options.end()) {
+          auto v = parse_spice_number(it->second);
+          if (!v.ok()) return at_line(line_no, v.error().message);
+          geom.width = *v;
+        } else {
+          return at_line(line_no, "M device needs w=<width>");
+        }
+        if (auto it = options.find("l"); it != options.end()) {
+          auto v = parse_spice_number(it->second);
+          if (!v.ok()) return at_line(line_no, v.error().message);
+          geom.length = *v;
+        }
+        if (auto it = options.find("mult"); it != options.end()) {
+          auto v = parse_spice_number(it->second);
+          if (!v.ok()) return at_line(line_no, v.error().message);
+          geom.mult = static_cast<int>(*v);
+        }
+        out.circuit.add<Mosfet>(
+            name, node_of(out.circuit, tokens[1]),
+            node_of(out.circuit, tokens[2]), node_of(out.circuit, tokens[3]),
+            node_of(out.circuit, tokens[4]),
+            type == "nmos" ? MosType::Nmos : MosType::Pmos, geom, card);
+        break;
+      }
+      default:
+        return at_line(line_no, "unknown element '" + tokens[0] + "'");
+    }
+  }
+
+  // Validate analysis probes exist.
+  auto check_probe = [&](const std::string& probe) -> bool {
+    return probe == "0" || probe == "gnd" || out.circuit.has_node(probe);
+  };
+  for (const auto& req : out.ac) {
+    if (!check_probe(req.probe)) {
+      return util::Error{".ac probe node '" + req.probe + "' not in netlist",
+                         10};
+    }
+  }
+  for (const auto& req : out.tran) {
+    if (!check_probe(req.probe)) {
+      return util::Error{".tran probe node '" + req.probe + "' not in netlist",
+                         10};
+    }
+  }
+  for (const auto& req : out.noise) {
+    if (!check_probe(req.probe)) {
+      return util::Error{".noise probe node '" + req.probe + "' not in netlist",
+                         10};
+    }
+  }
+  return out;
+}
+
+}  // namespace autockt::spice

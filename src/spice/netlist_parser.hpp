@@ -1,0 +1,76 @@
+#pragma once
+// SPICE-dialect netlist parser: lets users drive the simulator from text
+// decks instead of the C++ builder API (see examples/netlist_cli.cpp).
+//
+// Supported grammar (case-insensitive keywords, '*' comments, one element
+// per line, engineering suffixes f p n u m k meg g t on all numbers):
+//
+//   .title <anything>
+//   .card ptm45 | finfet16          default technology card for M devices
+//   V<name> n+ n- dc <v> [ac <mag>] [step <v0> <v1> <t0> <trise>]
+//   I<name> n+ n- dc <i> [ac <mag>] [step <i0> <i1> <t0> <trise>]
+//   R<name> n1 n2 <ohms>
+//   C<name> n1 n2 <farads>
+//   G<name> out+ out- in+ in- <gm>  voltage-controlled current source
+//   M<name> d g s b nmos|pmos w=<m> l=<m> [mult=<int>] [card=<name>]
+//   B<name> bias sense <target_v>   ideal bias servo (nullor)
+//   .nodeset <node> <volts>         initial DC guess for a node
+//   .op                             request a DC operating point
+//   .ac <probe_node> <f_start> <f_stop> [points_per_decade]
+//   .tran <probe_node> <t_stop> <dt>
+//   .noise <probe_node> <f_start> <f_stop>
+//   .end
+//
+// Node names are arbitrary identifiers; "0" and "gnd" are ground. Nodes are
+// created on first use.
+
+#include <string>
+#include <vector>
+
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/noise.hpp"
+#include "spice/transient.hpp"
+#include "util/expected.hpp"
+
+namespace autockt::spice {
+
+struct AcRequest {
+  std::string probe;
+  AcOptions options;
+};
+
+struct TranRequest {
+  std::string probe;
+  TranOptions options;
+};
+
+struct NoiseRequest {
+  std::string probe;
+  NoiseOptions options;
+};
+
+/// A parsed deck: the circuit plus the analyses the deck requested.
+struct ParsedNetlist {
+  Circuit circuit;
+  std::string title;
+  bool want_op = false;
+  std::vector<AcRequest> ac;
+  std::vector<TranRequest> tran;
+  std::vector<NoiseRequest> noise;
+  /// .nodeset entries, resolved to node ids (see initial_node_voltages()).
+  std::vector<std::pair<NodeId, double>> nodesets;
+
+  /// Initial-guess vector for spice::DcOptions built from the .nodeset
+  /// directives (zeros elsewhere).
+  std::vector<double> initial_node_voltages() const;
+};
+
+/// Parse a numeric literal with optional engineering suffix ("2.2k",
+/// "0.5u", "10meg", "1e-12"). Returns an error naming the bad token.
+util::Expected<double> parse_spice_number(const std::string& token);
+
+/// Parse a whole deck. Errors carry the line number and offending text.
+util::Expected<ParsedNetlist> parse_netlist(const std::string& text);
+
+}  // namespace autockt::spice

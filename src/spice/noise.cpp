@@ -1,0 +1,76 @@
+#include "spice/noise.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "linalg/lu.hpp"
+#include "spice/units.hpp"
+
+namespace autockt::spice {
+
+double NoiseResult::total_output_vrms() const {
+  return std::sqrt(std::max(total_output_v2, 0.0));
+}
+
+util::Expected<NoiseResult> noise_sweep(const Circuit& circuit,
+                                        const OpPoint& op, NodeId probe_p,
+                                        NodeId probe_m,
+                                        const NoiseOptions& options) {
+  const std::size_t n = circuit.num_unknowns();
+  const double decades = std::log10(options.f_stop / options.f_start);
+  const int total = std::max(
+      2, static_cast<int>(std::ceil(decades * options.points_per_decade)) + 1);
+
+  NoiseResult result;
+  result.freq.reserve(static_cast<std::size_t>(total));
+  result.out_psd.reserve(static_cast<std::size_t>(total));
+
+  const double temp_k = 300.0;
+
+  linalg::ComplexMatrix a(n, n);
+  for (int i = 0; i < total; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(total - 1);
+    const double freq = options.f_start * std::pow(10.0, frac * decades);
+
+    a.fill({0.0, 0.0});
+    std::vector<std::complex<double>> dummy_b(n, {0.0, 0.0});
+    ComplexStamp ctx{a, dummy_b, op.node_v};
+    ctx.omega = 2.0 * kPi * freq;
+    ctx.num_nodes = circuit.num_nodes();
+    circuit.stamp_complex(ctx);
+
+    linalg::LuFactorization<std::complex<double>> lu(a);
+    if (!lu.ok()) {
+      return util::Error{"noise matrix singular at f=" + std::to_string(freq),
+                         4};
+    }
+
+    // Adjoint: x_a = Y^-T c with c selecting the probe voltage.
+    std::vector<std::complex<double>> c(n, {0.0, 0.0});
+    if (probe_p != kGround) c[probe_p - 1] += 1.0;
+    if (probe_m != kGround) c[probe_m - 1] -= 1.0;
+    const std::vector<std::complex<double>> xa = lu.solve_transposed(c);
+
+    double psd = 0.0;
+    for (const NoiseSource& src :
+         circuit.collect_noise(op.node_v, freq, temp_k)) {
+      std::complex<double> h{0.0, 0.0};
+      if (src.n1 != kGround) h -= xa[src.n1 - 1];
+      if (src.n2 != kGround) h += xa[src.n2 - 1];
+      psd += std::norm(h) * src.psd;
+    }
+    result.freq.push_back(freq);
+    result.out_psd.push_back(psd);
+  }
+
+  // Trapezoidal integration in linear frequency over the log-spaced grid.
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < result.freq.size(); ++i) {
+    acc += 0.5 * (result.out_psd[i] + result.out_psd[i + 1]) *
+           (result.freq[i + 1] - result.freq[i]);
+  }
+  result.total_output_v2 = acc;
+  return result;
+}
+
+}  // namespace autockt::spice

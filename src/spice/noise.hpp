@@ -1,0 +1,34 @@
+#pragma once
+// Small-signal noise analysis via the adjoint (interreciprocal) method:
+// one transposed solve per frequency yields the transfer from every internal
+// noise current source to the probe, so cost is independent of the number of
+// noise sources.
+
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "util/expected.hpp"
+
+namespace autockt::spice {
+
+struct NoiseOptions {
+  double f_start = 1e3;
+  double f_stop = 1e10;
+  int points_per_decade = 5;
+};
+
+struct NoiseResult {
+  std::vector<double> freq;      // Hz
+  std::vector<double> out_psd;   // V^2/Hz at the probe
+  double total_output_v2 = 0.0;  // integrated output noise power (V^2)
+
+  double total_output_vrms() const;
+};
+
+/// Output-referred noise at probe_p - probe_m over the sweep band.
+util::Expected<NoiseResult> noise_sweep(const Circuit& circuit,
+                                        const OpPoint& op, NodeId probe_p,
+                                        NodeId probe_m,
+                                        const NoiseOptions& options = {});
+
+}  // namespace autockt::spice

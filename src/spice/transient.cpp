@@ -1,0 +1,135 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+
+namespace autockt::spice {
+
+namespace {
+
+/// Trapezoidal companion state for one capacitive element.
+struct CapState {
+  CapElement elem;
+  double v = 0.0;  // voltage across (n1 - n2) at the previous accepted step
+  double i = 0.0;  // current through at the previous accepted step
+};
+
+double across(const std::vector<double>& node_v, const CapElement& e) {
+  const double v1 = e.n1 == kGround ? 0.0 : node_v[e.n1];
+  const double v2 = e.n2 == kGround ? 0.0 : node_v[e.n2];
+  return v1 - v2;
+}
+
+}  // namespace
+
+util::Expected<TranResult> transient(const Circuit& circuit,
+                                     const OpPoint& initial,
+                                     const std::vector<NodeId>& probes,
+                                     const TranOptions& options) {
+  const std::size_t n_unknowns = circuit.num_unknowns();
+  const std::size_t n_nodes = circuit.num_nodes();
+  const double h = options.dt;
+
+  std::vector<CapState> caps;
+  for (const CapElement& e : circuit.collect_caps()) {
+    CapState s;
+    s.elem = e;
+    s.v = across(initial.node_v, e);
+    s.i = 0.0;  // steady state: no capacitor current
+    caps.push_back(s);
+  }
+
+  // Full unknown vector, warm-started from the operating point.
+  std::vector<double> x(n_unknowns, 0.0);
+  for (NodeId n = 1; n < n_nodes; ++n) x[n - 1] = initial.node_v[n];
+  for (std::size_t b = 0; b < circuit.num_branches(); ++b) {
+    x[(n_nodes - 1) + b] = initial.branch_i[b];
+  }
+
+  TranResult result;
+  const auto steps = static_cast<std::size_t>(std::ceil(options.t_stop / h));
+  result.time.reserve(steps + 1);
+  result.waveforms.assign(probes.size(), {});
+
+  std::vector<double> node_v(n_nodes, 0.0);
+  linalg::RealMatrix a(n_unknowns, n_unknowns);
+  std::vector<double> b(n_unknowns, 0.0);
+
+  auto record = [&](double t) {
+    result.time.push_back(t);
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      const NodeId n = probes[p];
+      result.waveforms[p].push_back(n == kGround ? 0.0 : x[n - 1]);
+    }
+  };
+  record(0.0);
+
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double t = static_cast<double>(k) * h;
+    bool converged = false;
+
+    for (int iter = 0; iter < options.max_newton; ++iter) {
+      for (NodeId n = 1; n < n_nodes; ++n) node_v[n] = x[n - 1];
+      a.fill(0.0);
+      std::fill(b.begin(), b.end(), 0.0);
+      RealStamp ctx{a, b, node_v};
+      ctx.time = t;
+      ctx.transient = true;
+      ctx.num_nodes = n_nodes;
+      circuit.stamp_real(ctx);
+
+      // Trapezoidal companions: i_new = geq*v_new - (geq*v_old + i_old).
+      for (const CapState& s : caps) {
+        const double geq = 2.0 * s.elem.capacitance / h;
+        const double ihist = geq * s.v + s.i;
+        ctx.conductance(s.elem.n1, s.elem.n2, geq);
+        ctx.inject(s.elem.n1, ihist);
+        ctx.inject(s.elem.n2, -ihist);
+      }
+
+      linalg::LuFactorization<double> lu(a);
+      if (!lu.ok()) {
+        return util::Error{"transient matrix singular at t=" +
+                               std::to_string(t),
+                           3};
+      }
+      const std::vector<double> x_new = lu.solve(b);
+
+      double worst = 0.0;
+      for (std::size_t i = 0; i + 1 < n_nodes; ++i) {
+        const double dv = std::fabs(x_new[i] - x[i]);
+        const double tol = options.v_abstol + options.v_reltol * std::fabs(x_new[i]);
+        worst = std::max(worst, dv - tol);
+      }
+      if (worst <= 0.0) {
+        x = x_new;
+        converged = true;
+        break;
+      }
+      for (std::size_t i = 0; i < n_unknowns; ++i) {
+        double step = x_new[i] - x[i];
+        if (i + 1 < n_nodes) step = std::clamp(step, -options.max_step, options.max_step);
+        x[i] += step;
+      }
+    }
+    if (!converged) {
+      return util::Error{"transient Newton failed at t=" + std::to_string(t), 3};
+    }
+
+    // Accept the step: roll companion state forward.
+    for (NodeId n = 1; n < n_nodes; ++n) node_v[n] = x[n - 1];
+    for (CapState& s : caps) {
+      const double geq = 2.0 * s.elem.capacitance / h;
+      const double v_new = across(node_v, s.elem);
+      const double i_new = geq * v_new - (geq * s.v + s.i);
+      s.v = v_new;
+      s.i = i_new;
+    }
+    record(t);
+  }
+  return result;
+}
+
+}  // namespace autockt::spice

@@ -1,0 +1,26 @@
+#pragma once
+// Physical constants and unit helpers used across the simulator.
+
+namespace autockt::spice {
+
+inline constexpr double kBoltzmann = 1.380649e-23;   // J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+inline constexpr double kRoomTempK = 300.0;          // K
+inline constexpr double kPi = 3.141592653589793;
+
+/// Thermal voltage kT/q at temperature `temp_k`.
+inline double thermal_voltage(double temp_k) {
+  return kBoltzmann * temp_k / kElectronCharge;
+}
+
+// Readability multipliers for netlist construction.
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+}  // namespace autockt::spice

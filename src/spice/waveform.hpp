@@ -1,0 +1,68 @@
+#pragma once
+// Time-domain source waveforms for transient analysis. Steps use a short
+// linear ramp instead of an ideal discontinuity so Newton iterations at the
+// step edge stay well-conditioned.
+
+#include <algorithm>
+
+namespace autockt::spice {
+
+struct Waveform {
+  enum class Kind { Constant, Step, Pulse };
+
+  Kind kind = Kind::Constant;
+  double base = 0.0;    // value before t0 (and DC value)
+  double level = 0.0;   // value after the edge
+  double t0 = 0.0;      // edge start time
+  double t_rise = 1e-12;  // linear ramp duration
+  double t_width = 0.0;   // pulse width (Pulse only)
+
+  static Waveform constant(double value) {
+    Waveform w;
+    w.kind = Kind::Constant;
+    w.base = value;
+    return w;
+  }
+
+  static Waveform step(double from, double to, double at, double rise = 1e-12) {
+    Waveform w;
+    w.kind = Kind::Step;
+    w.base = from;
+    w.level = to;
+    w.t0 = at;
+    w.t_rise = rise;
+    return w;
+  }
+
+  static Waveform pulse(double from, double to, double at, double width,
+                        double rise = 1e-12) {
+    Waveform w = step(from, to, at, rise);
+    w.kind = Kind::Pulse;
+    w.t_width = width;
+    return w;
+  }
+
+  /// Value at time `t`; DC analyses use value(0) semantics via dc().
+  double value(double t) const {
+    switch (kind) {
+      case Kind::Constant:
+        return base;
+      case Kind::Step: {
+        const double ramp = std::clamp((t - t0) / t_rise, 0.0, 1.0);
+        return base + (level - base) * ramp;
+      }
+      case Kind::Pulse: {
+        const double up = std::clamp((t - t0) / t_rise, 0.0, 1.0);
+        const double down =
+            std::clamp((t - (t0 + t_width)) / t_rise, 0.0, 1.0);
+        return base + (level - base) * (up - down);
+      }
+    }
+    return base;
+  }
+
+  /// Operating-point value (time-zero; steps are at their base level).
+  double dc() const { return base; }
+};
+
+}  // namespace autockt::spice

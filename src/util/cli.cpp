@@ -1,0 +1,59 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace autockt::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace autockt::util

@@ -1,0 +1,29 @@
+#pragma once
+// Tiny command-line parser shared by examples and bench binaries.
+// Supports --flag, --key=value and --key value forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace autockt::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace autockt::util

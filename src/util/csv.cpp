@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace autockt::util {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    cells.push_back(os.str());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+}  // namespace autockt::util

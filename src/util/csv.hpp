@@ -1,0 +1,31 @@
+#pragma once
+// CSV emission for figure data. Bench binaries dump per-point series
+// (training curves, reached/unreached scatter data, histograms) so the
+// paper's figures can be re-plotted from files.
+
+#include <string>
+#include <vector>
+
+namespace autockt::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::vector<std::string>& cells);
+
+  std::string to_string() const;
+
+  /// Write to `path`; returns false (and leaves no partial file guarantee)
+  /// on I/O failure.
+  bool save(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autockt::util

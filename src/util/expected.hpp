@@ -1,0 +1,58 @@
+#pragma once
+// Minimal expected/error-or-value type (std::expected is C++23; we target
+// C++20). Used for operations that can fail for reasons the caller must
+// handle explicitly, e.g. DC operating-point non-convergence.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace autockt::util {
+
+/// Error payload: a human-readable message plus an optional machine code.
+struct Error {
+  std::string message;
+  int code = 0;
+};
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Expected: " + error().message);
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Expected: " + error().message);
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!ok()) throw std::runtime_error("Expected: " + error().message);
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    return std::get<Error>(data_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace autockt::util

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace autockt::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::Info};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace autockt::util

@@ -1,0 +1,122 @@
+#pragma once
+// Deterministic, explicitly seeded random number generation.
+//
+// All stochastic components in this repository (spec sampling, PPO rollouts,
+// genetic-algorithm mutation, parasitic variation) draw from util::Rng so that
+// every experiment is exactly reproducible from a single --seed argument.
+// The generator is xoshiro256++ seeded through splitmix64, which gives good
+// statistical quality without any global state.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace autockt::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xa0c0c0de2020ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Unbiased uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    // Lemire's rejection method.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next();
+      // Use 128-bit multiply-shift reduction.
+      __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (stable for a given stream id).
+  Rng split(std::uint64_t stream) {
+    return Rng(next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace autockt::util

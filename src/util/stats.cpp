@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autockt::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double correlation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::size_t Histogram::total() const {
+  std::size_t acc = 0;
+  for (auto c : counts) acc += c;
+  return acc;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+Histogram make_histogram(const std::vector<double>& xs, double lo, double hi,
+                         std::size_t bins) {
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins == 0 ? 1 : bins, 0);
+  if (hi <= lo) {
+    h.counts[0] = xs.size();
+    return h;
+  }
+  const double width = (hi - lo) / static_cast<double>(h.counts.size());
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(h.counts.size()) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+std::vector<double> ema(const std::vector<double>& xs, double alpha) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double acc = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    acc = first ? x : alpha * x + (1.0 - alpha) * acc;
+    first = false;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace autockt::util

@@ -1,0 +1,41 @@
+#pragma once
+// Descriptive statistics over small in-memory samples; used by experiment
+// harnesses (sample-efficiency averages, percentile tables, histograms) and
+// by tests asserting distributional properties.
+
+#include <cstddef>
+#include <vector>
+
+namespace autockt::util {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input returns 0.
+double percentile(std::vector<double> xs, double p);
+
+/// Pearson correlation coefficient; returns 0 for degenerate inputs.
+double correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets. Out-of-range
+/// samples are clamped to the first/last bucket.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const;
+  double bin_center(std::size_t i) const;
+};
+
+Histogram make_histogram(const std::vector<double>& xs, double lo, double hi,
+                         std::size_t bins);
+
+/// Exponential moving average smoothing (used for reward curves).
+std::vector<double> ema(const std::vector<double>& xs, double alpha);
+
+}  // namespace autockt::util

@@ -1,0 +1,30 @@
+#pragma once
+// Console table rendering for experiment output. Every bench binary prints a
+// paper-vs-measured table through this utility so the formats stay uniform.
+
+#include <string>
+#include <vector>
+
+namespace autockt::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string to_string() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autockt::util

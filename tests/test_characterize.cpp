@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "circuits/problems.hpp"
+#include "spice/characterize.hpp"
+
+using namespace autockt;
+using namespace autockt::spice;
+
+namespace {
+MosGeom default_geom(const TechCard& card) {
+  MosGeom geom;
+  geom.width = card.quantized_width ? 20.0 * card.fin_width : 10e-6;
+  geom.length = 2.0 * card.l_min;
+  return geom;
+}
+}  // namespace
+
+TEST(Characterize, IdVgsIsMonotone) {
+  const auto card = TechCard::ptm45();
+  const auto curve =
+      id_vgs_curve(card, MosType::Nmos, default_geom(card), card.vdd / 2.0);
+  ASSERT_GT(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].id, curve[i - 1].id);
+  }
+}
+
+TEST(Characterize, PmosCurveMirrorsShape) {
+  const auto card = TechCard::ptm45();
+  const auto n = id_vgs_curve(card, MosType::Nmos, default_geom(card), 0.6);
+  const auto p = id_vgs_curve(card, MosType::Pmos, default_geom(card), 0.6);
+  ASSERT_EQ(n.size(), p.size());
+  // Both monotone increasing in |Vgs| with positive currents.
+  EXPECT_GT(p.back().id, p.front().id);
+  EXPECT_GE(p.front().id, 0.0);
+}
+
+TEST(Characterize, IdVdsSaturates) {
+  const auto card = TechCard::ptm45();
+  const auto curve = id_vds_curve(card, MosType::Nmos, default_geom(card),
+                                  card.vth_n + 0.2);
+  // Slope (gds) in deep saturation is much smaller than in triode.
+  const auto& triode = curve[3];
+  const auto& sat = curve[curve.size() - 2];
+  EXPECT_GT(triode.gds, 5.0 * sat.gds);
+}
+
+TEST(Characterize, GmPeaksAboveThreshold) {
+  const auto card = TechCard::ptm45();
+  const auto curve =
+      id_vgs_curve(card, MosType::Nmos, default_geom(card), card.vdd / 2.0);
+  double gm_below = 0.0, gm_above = 0.0;
+  for (const auto& p : curve) {
+    if (p.x < card.vth_n - 0.1) gm_below = std::max(gm_below, p.gm);
+    if (p.x > card.vth_n + 0.2) gm_above = std::max(gm_above, p.gm);
+  }
+  EXPECT_GT(gm_above, 10.0 * gm_below);
+}
+
+TEST(Characterize, InverterTripNearMidRail) {
+  const auto card = TechCard::ptm45();
+  const double trip = inverter_trip_voltage(card, 2e-6, 4e-6, 90e-9);
+  EXPECT_GT(trip, 0.3 * card.vdd);
+  EXPECT_LT(trip, 0.7 * card.vdd);
+}
+
+TEST(Characterize, TripMovesWithPullupStrength) {
+  const auto card = TechCard::ptm45();
+  const double weak_p = inverter_trip_voltage(card, 4e-6, 1e-6, 90e-9);
+  const double strong_p = inverter_trip_voltage(card, 1e-6, 8e-6, 90e-9);
+  EXPECT_GT(strong_p, weak_p);  // stronger PMOS pulls the trip point up
+}
+
+// Concurrency: the paper's training runs parallel rollout workers, each
+// evaluating circuits. Problem evaluation must be thread-safe and
+// deterministic under concurrency.
+TEST(Concurrency, ParallelEvaluationsAreDeterministic) {
+  const auto prob = circuits::make_ngm_problem();
+  const auto center = prob.center_params();
+  const auto reference = prob.evaluate(center);
+  ASSERT_TRUE(reference.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRepsPerThread = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kRepsPerThread; ++rep) {
+        auto specs = prob.evaluate(center);
+        if (!specs.ok() || *specs != *reference) ++mismatches[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int m : mismatches) EXPECT_EQ(m, 0);
+}
+
+TEST(Concurrency, DistinctProblemsEvaluateConcurrently) {
+  const auto tia = circuits::make_tia_problem();
+  const auto opamp = circuits::make_two_stage_problem();
+  bool tia_ok = false, opamp_ok = false;
+  std::thread a([&] { tia_ok = tia.evaluate(tia.center_params()).ok(); });
+  std::thread b([&] { opamp_ok = opamp.evaluate(opamp.center_params()).ok(); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(tia_ok);
+  EXPECT_TRUE(opamp_ok);
+}

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt::linalg;
+using autockt::util::Rng;
+
+TEST(Matrix, InitializerListAndIndexing) {
+  RealMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  RealMatrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MulMatchesHandComputation) {
+  RealMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = m.mul({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  RealMatrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const auto x = solve(a, {3.0, 5.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  RealMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  LuFactorization<double> lu(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_TRUE(solve(a, {1.0, 1.0}).empty());
+}
+
+TEST(Lu, RejectsNonSquare) {
+  RealMatrix a(2, 3);
+  LuFactorization<double> lu(a);
+  EXPECT_FALSE(lu.ok());
+}
+
+TEST(Lu, DeterminantWithPivoting) {
+  // Requires a row swap; det = -2.
+  RealMatrix a{{0.0, 1.0}, {2.0, 0.0}};
+  LuFactorization<double> lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<double>;
+  ComplexMatrix a{{C(1, 1), C(0, 0)}, {C(0, 0), C(0, 2)}};
+  const auto x = solve(a, std::vector<C>{C(2, 0), C(4, 0)});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(std::abs(x[0] - C(1, -1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - C(0, -2)), 0.0, 1e-12);
+}
+
+// Property sweep: random diagonally dominant systems of several sizes must
+// solve to tight residuals, for both plain and transposed solves.
+class LuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuProperty, RandomSystemsSolveWithTightResidual) {
+  const int n = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(n));
+  for (int rep = 0; rep < 20; ++rep) {
+    RealMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+      a(r, r) += n;  // dominance => well-conditioned
+      b[static_cast<std::size_t>(r)] = rng.uniform(-2.0, 2.0);
+    }
+    LuFactorization<double> lu(a);
+    ASSERT_TRUE(lu.ok());
+    EXPECT_LT(residual_norm(a, lu.solve(b), b), 1e-9);
+  }
+}
+
+TEST_P(LuProperty, TransposedSolveMatchesExplicitTranspose) {
+  const int n = GetParam();
+  Rng rng(2000 + static_cast<std::uint64_t>(n));
+  for (int rep = 0; rep < 10; ++rep) {
+    RealMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+      a(r, r) += n;
+      b[static_cast<std::size_t>(r)] = rng.uniform(-2.0, 2.0);
+    }
+    LuFactorization<double> lu(a);
+    ASSERT_TRUE(lu.ok());
+    const auto xt = lu.solve_transposed(b);
+    EXPECT_LT(residual_norm(a.transposed(), xt, b), 1e-9);
+  }
+}
+
+TEST_P(LuProperty, ComplexRandomSystems) {
+  using C = std::complex<double>;
+  const int n = GetParam();
+  Rng rng(3000 + static_cast<std::uint64_t>(n));
+  for (int rep = 0; rep < 10; ++rep) {
+    ComplexMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    std::vector<C> b(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        a(r, c) = C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+      }
+      a(r, r) += C(2.0 * n, 0.0);
+      b[static_cast<std::size_t>(r)] =
+          C(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+    LuFactorization<C> lu(a);
+    ASSERT_TRUE(lu.ok());
+    EXPECT_LT(residual_norm(a, lu.solve(b), b), 1e-9);
+    EXPECT_LT(residual_norm(a.transposed(), lu.solve_transposed(b), b), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

@@ -1,0 +1,196 @@
+// Additional property and edge-case coverage for measurement extraction and
+// environment observation normalization — the places where subtle sign or
+// unwrapping bugs would silently corrupt every experiment downstream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <memory>
+
+#include "circuits/problems.hpp"
+#include "env/sizing_env.hpp"
+#include "spice/measure.hpp"
+#include "spice/units.hpp"
+#include "test_helpers.hpp"
+
+using namespace autockt;
+using namespace autockt::spice;
+
+namespace {
+
+/// Synthesize a log-spaced sweep of an n-pole low-pass with DC gain a0 and
+/// identical poles at f_p, optionally with a 180-degree DC inversion.
+std::vector<AcPoint> synth_sweep(double a0, double f_pole, int n_poles,
+                                 bool inverting, double f_start = 1e2,
+                                 double f_stop = 1e11, int ppd = 20) {
+  std::vector<AcPoint> sweep;
+  const double decades = std::log10(f_stop / f_start);
+  const int total = static_cast<int>(decades * ppd) + 1;
+  for (int i = 0; i < total; ++i) {
+    const double f = f_start * std::pow(10.0, decades * i / (total - 1));
+    std::complex<double> h(a0, 0.0);
+    if (inverting) h = -h;
+    for (int p = 0; p < n_poles; ++p) {
+      h /= std::complex<double>(1.0, f / f_pole);
+    }
+    sweep.push_back({f, h});
+  }
+  return sweep;
+}
+
+}  // namespace
+
+TEST(MeasureExtra, SinglePoleUgbwEqualsGbw) {
+  // One-pole: UGBW = a0 * f_pole, PM = 90 + atan-ish correction.
+  const auto sweep = synth_sweep(100.0, 1e6, 1, false);
+  const auto m = measure_ac(sweep);
+  ASSERT_TRUE(m.ugbw_found);
+  EXPECT_NEAR(m.ugbw, 100.0 * 1e6, 0.02 * 100.0 * 1e6);
+  EXPECT_NEAR(m.phase_margin_deg, 90.0, 2.0);
+  ASSERT_TRUE(m.f3db_found);
+  EXPECT_NEAR(m.f3db, 1e6, 0.02e6);
+}
+
+TEST(MeasureExtra, InvertingAmpMeasuresSamePhaseMargin) {
+  // The 180-degree DC phase of an inverting amplifier must not corrupt the
+  // phase-margin reference.
+  const auto pos = measure_ac(synth_sweep(100.0, 1e6, 1, false));
+  const auto neg = measure_ac(synth_sweep(100.0, 1e6, 1, true));
+  ASSERT_TRUE(pos.ugbw_found);
+  ASSERT_TRUE(neg.ugbw_found);
+  EXPECT_NEAR(pos.phase_margin_deg, neg.phase_margin_deg, 0.5);
+  EXPECT_NEAR(pos.ugbw, neg.ugbw, pos.ugbw * 1e-6);
+}
+
+TEST(MeasureExtra, TwoPoleLowersPhaseMargin) {
+  // Two coincident poles at UGBW/10: phase margin collapses toward zero.
+  const auto one = measure_ac(synth_sweep(100.0, 1e6, 1, false));
+  const auto two = measure_ac(synth_sweep(100.0, 1e6, 2, false));
+  ASSERT_TRUE(one.ugbw_found);
+  ASSERT_TRUE(two.ugbw_found);
+  EXPECT_LT(two.phase_margin_deg, one.phase_margin_deg - 30.0);
+  EXPECT_LT(two.ugbw, one.ugbw);  // second pole pulls the crossing in
+}
+
+TEST(MeasureExtra, ThreePoleCanGoNegativePm) {
+  const auto m = measure_ac(synth_sweep(1000.0, 1e5, 3, false));
+  ASSERT_TRUE(m.ugbw_found);
+  EXPECT_LT(m.phase_margin_deg, 0.0);  // unstable if the loop were closed
+}
+
+TEST(MeasureExtra, UnityGainAmpHasNoCrossing) {
+  const auto m = measure_ac(synth_sweep(0.99, 1e6, 1, false));
+  EXPECT_FALSE(m.ugbw_found);
+  EXPECT_NEAR(m.dc_gain, 0.99, 1e-6);
+}
+
+TEST(MeasureExtra, EmptyAndTinySweepsAreSafe) {
+  EXPECT_FALSE(measure_ac({}).ugbw_found);
+  std::vector<AcPoint> one{{1e3, {2.0, 0.0}}};
+  const auto m = measure_ac(one);
+  EXPECT_FALSE(m.ugbw_found);
+  EXPECT_FALSE(m.f3db_found);
+}
+
+TEST(MeasureExtra, SettlingDetectsOvershootReentry) {
+  // A waveform that enters the band, leaves, and re-enters must report the
+  // final entry time.
+  std::vector<double> time, wave;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i / 1000.0;
+    double v = 1.0;
+    if (t < 0.2) {
+      v = t / 0.2;  // ramp
+    } else if (t > 0.5 && t < 0.55) {
+      v = 1.1;  // late excursion outside the 2% band
+    }
+    time.push_back(t);
+    wave.push_back(v);
+  }
+  const double ts = settling_time(time, wave, 0.02);
+  EXPECT_GT(ts, 0.5);
+  EXPECT_LT(ts, 0.6);
+}
+
+// ---- environment observation normalization ------------------------------
+
+TEST(ObsNormalization, MatchesLookupFormula) {
+  auto prob = std::make_shared<const circuits::SizingProblem>(
+      test_support::make_synthetic_problem(2, 11));
+  env::SizingEnv sizing_env(prob, env::EnvConfig{});
+  sizing_env.set_target({10.5, 4.8, 1.4});
+  const auto obs = sizing_env.reset();
+
+  const auto& specs = prob->specs;
+  const auto cur = sizing_env.cur_specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_NEAR(obs[i], circuits::lookup_norm(cur[i], specs[i].norm_const),
+                1e-12);
+    EXPECT_NEAR(obs[specs.size() + i],
+                circuits::lookup_norm(sizing_env.target()[i],
+                                      specs[i].norm_const),
+                1e-12);
+  }
+}
+
+TEST(ObsNormalization, ParamBlockSpansMinusOneToOne) {
+  auto prob = std::make_shared<const circuits::SizingProblem>(
+      test_support::make_synthetic_problem(2, 11));
+  env::SizingEnv sizing_env(prob, env::EnvConfig{});
+  sizing_env.reset();
+  // Drive both params to the bottom, then the top.
+  for (int i = 0; i < 12; ++i) sizing_env.step({0, 0});
+  auto obs = sizing_env.step({1, 1}).obs;
+  EXPECT_NEAR(obs[obs.size() - 2], -1.0, 1e-12);
+  EXPECT_NEAR(obs[obs.size() - 1], -1.0, 1e-12);
+}
+
+// ---- boundary robustness of the real problems ---------------------------
+
+TEST(BoundaryRobustness, TiaGridCornersEvaluate) {
+  const auto prob = circuits::make_tia_problem();
+  circuits::ParamVector lo, hi;
+  for (const auto& def : prob.params) {
+    lo.push_back(0);
+    hi.push_back(def.grid_size() - 1);
+  }
+  EXPECT_TRUE(prob.evaluate(lo).ok());
+  EXPECT_TRUE(prob.evaluate(hi).ok());
+}
+
+TEST(BoundaryRobustness, TwoStageGridCornersEvaluate) {
+  const auto prob = circuits::make_two_stage_problem();
+  circuits::ParamVector lo, hi;
+  for (const auto& def : prob.params) {
+    lo.push_back(0);
+    hi.push_back(def.grid_size() - 1);
+  }
+  // Corner designs may be terrible circuits, but evaluation must either
+  // succeed or fail explicitly — never crash or hang.
+  auto a = prob.evaluate(lo);
+  auto b = prob.evaluate(hi);
+  if (a.ok()) {
+    for (double v : *a) EXPECT_TRUE(std::isfinite(v));
+  }
+  if (b.ok()) {
+    for (double v : *b) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(BoundaryRobustness, NgmGridCornersEvaluate) {
+  const auto prob = circuits::make_ngm_problem();
+  circuits::ParamVector lo, hi;
+  for (const auto& def : prob.params) {
+    lo.push_back(0);
+    hi.push_back(def.grid_size() - 1);
+  }
+  auto a = prob.evaluate(lo);
+  auto b = prob.evaluate(hi);
+  if (a.ok()) {
+    for (double v : *a) EXPECT_TRUE(std::isfinite(v));
+  }
+  if (b.ok()) {
+    for (double v : *b) EXPECT_TRUE(std::isfinite(v));
+  }
+}

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+#include "spice/mosfet.hpp"
+
+using namespace autockt::spice;
+
+namespace {
+
+/// Channel current of a standalone device at given terminal voltages
+/// (nodes: 1=d, 2=g, 3=s; ground unused).
+double drain_current(const Mosfet& m, double vd, double vg, double vs) {
+  const std::vector<double> v{0.0, vd, vg, vs};
+  return m.linearize(v).id;
+}
+
+Mosfet make_nmos(const TechCard& card, double w = 10e-6, double l = 90e-9) {
+  return Mosfet("m", 1, 2, 3, 0, MosType::Nmos, MosGeom{w, l, 1}, card);
+}
+
+Mosfet make_pmos(const TechCard& card, double w = 10e-6, double l = 90e-9) {
+  return Mosfet("m", 1, 2, 3, 0, MosType::Pmos, MosGeom{w, l, 1}, card);
+}
+
+}  // namespace
+
+TEST(Mosfet, CurrentIncreasesWithVgs) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  double prev = drain_current(m, 1.0, 0.2, 0.0);
+  for (double vg = 0.3; vg <= 1.2; vg += 0.1) {
+    const double id = drain_current(m, 1.0, vg, 0.0);
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, CurrentIncreasesWithVds) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  double prev = drain_current(m, 0.01, 0.8, 0.0);
+  for (double vd = 0.05; vd <= 1.2; vd += 0.05) {
+    const double id = drain_current(m, vd, 0.8, 0.0);
+    EXPECT_GE(id, prev);  // monotone non-decreasing (CLM keeps slope > 0)
+    prev = id;
+  }
+}
+
+TEST(Mosfet, SubthresholdCurrentIsTiny) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  const double id_off = drain_current(m, 1.0, 0.0, 0.0);
+  const double id_on = drain_current(m, 1.0, 1.0, 0.0);
+  EXPECT_GT(id_on / std::max(id_off, 1e-30), 1e4);
+}
+
+TEST(Mosfet, DrainSourceSwapSymmetry) {
+  // The channel is symmetric: exchanging the drain and source potentials
+  // (same gate voltage) conducts the same current magnitude, with the
+  // internal swap keeping the model smooth.
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  const double forward = drain_current(m, 0.3, 0.9, 0.0);
+  // Labeled source now sits at the higher potential; the effective source
+  // is the drain terminal, so Vgs_eff = 0.9 and Vds_eff = 0.3 again.
+  const double reverse = drain_current(m, 0.0, 0.9, 0.3);
+  EXPECT_NEAR(forward, reverse, std::fabs(forward) * 1e-9);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  const auto card = TechCard::ptm45();
+  TechCard sym = card;
+  sym.u_cox_p = sym.u_cox_n;  // symmetric card for the mirror test
+  sym.vth_p = sym.vth_n;
+  sym.lambda_p = sym.lambda_n;
+  const auto n = make_nmos(sym);
+  const auto p = make_pmos(sym);
+  const double id_n = drain_current(n, 0.6, 0.8, 0.0);
+  // Mirror biasing: source at 1.2 V, gate 0.8 below it, drain 0.6 below it.
+  const double id_p = drain_current(p, 0.6, 0.4, 1.2);
+  EXPECT_NEAR(id_n, -id_p, std::fabs(id_n) * 1e-9);
+}
+
+TEST(Mosfet, GmMatchesNumericDerivative) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  const double h = 1e-7;
+  for (double vg : {0.3, 0.45, 0.6, 0.9, 1.1}) {
+    const auto ss = m.linearize({0.0, 0.8, vg, 0.0});
+    const double numeric = (drain_current(m, 0.8, vg + h, 0.0) -
+                            drain_current(m, 0.8, vg - h, 0.0)) /
+                           (2.0 * h);
+    EXPECT_NEAR(ss.gm, numeric, std::max(1e-9, std::fabs(numeric) * 1e-4))
+        << "vg=" << vg;
+  }
+}
+
+TEST(Mosfet, GdsMatchesNumericDerivative) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  const double h = 1e-7;
+  for (double vd : {0.1, 0.3, 0.6, 1.0}) {
+    const auto ss = m.linearize({0.0, vd, 0.8, 0.0});
+    const double numeric = (drain_current(m, vd + h, 0.8, 0.0) -
+                            drain_current(m, vd - h, 0.8, 0.0)) /
+                           (2.0 * h);
+    EXPECT_NEAR(ss.gds, numeric, std::max(1e-9, std::fabs(numeric) * 1e-4))
+        << "vd=" << vd;
+  }
+}
+
+TEST(Mosfet, RegionClassification) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  EXPECT_EQ(m.linearize({0.0, 1.0, 0.1, 0.0}).region,
+            MosRegion::Subthreshold);
+  EXPECT_EQ(m.linearize({0.0, 0.05, 1.1, 0.0}).region, MosRegion::Triode);
+  EXPECT_EQ(m.linearize({0.0, 1.1, 0.7, 0.0}).region, MosRegion::Saturation);
+}
+
+TEST(Mosfet, CurrentScalesWithWidthAndMultiplier) {
+  const auto card = TechCard::ptm45();
+  const auto m1 = make_nmos(card, 5e-6);
+  const auto m2 = make_nmos(card, 10e-6);
+  const Mosfet m2x("m", 1, 2, 3, 0, MosType::Nmos, MosGeom{5e-6, 90e-9, 2},
+                   card);
+  const double i1 = drain_current(m1, 0.8, 0.8, 0.0);
+  EXPECT_NEAR(drain_current(m2, 0.8, 0.8, 0.0), 2.0 * i1, i1 * 1e-9);
+  EXPECT_NEAR(drain_current(m2x, 0.8, 0.8, 0.0), 2.0 * i1, i1 * 1e-9);
+}
+
+TEST(Mosfet, LongerChannelLowersLambda) {
+  const auto card = TechCard::ptm45();
+  const auto short_l = make_nmos(card, 10e-6, card.l_min);
+  const auto long_l = make_nmos(card, 10e-6, 4.0 * card.l_min);
+  const auto ss_short = short_l.linearize({0.0, 1.0, 0.8, 0.0});
+  const auto ss_long = long_l.linearize({0.0, 1.0, 0.8, 0.0});
+  // Normalize by current: gds/id is the CLM measure.
+  EXPECT_GT(ss_short.gds / ss_short.id, ss_long.gds / ss_long.id);
+}
+
+TEST(Mosfet, CapacitancesScaleWithGeometry) {
+  const auto card = TechCard::ptm45();
+  const auto small = make_nmos(card, 2e-6);
+  const auto big = make_nmos(card, 8e-6);
+  EXPECT_NEAR(big.cgs() / small.cgs(), 4.0, 1e-9);
+  EXPECT_NEAR(big.cgd() / small.cgd(), 4.0, 1e-9);
+  EXPECT_GT(big.cdb(), small.cdb());
+}
+
+TEST(Mosfet, NoisePsdPositiveAndGrowsWithGm) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  std::vector<NoiseSource> weak, strong;
+  m.collect_noise({0.0, 0.8, 0.5, 0.0}, 1e6, 300.0, weak);
+  m.collect_noise({0.0, 0.8, 1.0, 0.0}, 1e6, 300.0, strong);
+  ASSERT_EQ(weak.size(), 1u);
+  ASSERT_EQ(strong.size(), 1u);
+  EXPECT_GT(weak[0].psd, 0.0);
+  EXPECT_GT(strong[0].psd, weak[0].psd);
+}
+
+TEST(Mosfet, FlickerNoiseFallsWithFrequency) {
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  std::vector<NoiseSource> lo, hi;
+  m.collect_noise({0.0, 0.8, 1.0, 0.0}, 1e3, 300.0, lo);
+  m.collect_noise({0.0, 0.8, 1.0, 0.0}, 1e9, 300.0, hi);
+  EXPECT_GT(lo[0].psd, hi[0].psd);
+}
+
+TEST(Mosfet, SmoothAcrossThreshold) {
+  // The smoothed model must have no kinks: check that gm is continuous by
+  // comparing one-sided finite differences across Vth.
+  const auto card = TechCard::ptm45();
+  const auto m = make_nmos(card);
+  const double vth = card.vth_n;
+  const double below = m.linearize({0.0, 0.8, vth - 1e-6, 0.0}).gm;
+  const double above = m.linearize({0.0, 0.8, vth + 1e-6, 0.0}).gm;
+  EXPECT_NEAR(below, above, std::fabs(above) * 1e-3);
+}
+
+TEST(TechCards, SaneValues) {
+  const auto p45 = TechCard::ptm45();
+  const auto f16 = TechCard::finfet16();
+  EXPECT_GT(p45.vdd, f16.vdd * 0.9);  // older node, higher supply
+  EXPECT_FALSE(p45.quantized_width);
+  EXPECT_TRUE(f16.quantized_width);
+  EXPECT_GT(f16.fin_width, 0.0);
+  EXPECT_GT(f16.u_cox_n, p45.u_cox_n);  // FinFET drive strength
+  EXPECT_LT(f16.l_min, p45.l_min);
+}
+
+TEST(Mosfet, DiodeConnectedDcConverges) {
+  // Diode-connected NMOS fed by a resistor — a classic NR test case.
+  const auto card = TechCard::ptm45();
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId d = ckt.add_node("d");
+  ckt.add<VoltageSource>("v1", vdd, kGround, Waveform::constant(card.vdd));
+  ckt.add<Resistor>("r", vdd, d, 10e3);
+  ckt.add<Mosfet>("m", d, d, kGround, kGround, MosType::Nmos,
+                  MosGeom{10e-6, 90e-9, 1}, card);
+  auto op = solve_op(ckt);
+  ASSERT_TRUE(op.ok());
+  // Gate voltage must sit above threshold but far below the supply.
+  EXPECT_GT(op->voltage(d), card.vth_n * 0.8);
+  EXPECT_LT(op->voltage(d), card.vdd * 0.7);
+}

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "spice/ac.hpp"
+#include "spice/dc.hpp"
+#include "spice/measure.hpp"
+#include "spice/netlist_parser.hpp"
+#include "spice/units.hpp"
+
+using namespace autockt::spice;
+
+// ---------------------------------------------------------------- numbers
+
+TEST(SpiceNumber, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("1e-12"), 1e-12);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("2.5E6"), 2.5e6);
+}
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("5.6k"), 5.6e3);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("10meg"), 10e6);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("1t"), 1e12);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("50n"), 50e-9);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("2p"), 2e-12);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("100f"), 100e-15);
+}
+
+TEST(SpiceNumber, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("5.6K"), 5.6e3);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("10MEG"), 10e6);
+}
+
+TEST(SpiceNumber, RejectsGarbage) {
+  EXPECT_FALSE(parse_spice_number("abc").ok());
+  EXPECT_FALSE(parse_spice_number("").ok());
+  EXPECT_FALSE(parse_spice_number("1.5x").ok());
+  EXPECT_FALSE(parse_spice_number("2kk").ok());
+}
+
+// ---------------------------------------------------------------- decks
+
+TEST(NetlistParser, ResistorDividerSolves) {
+  const auto parsed = parse_netlist(R"(
+* a comment line
+.title divider
+v1 a 0 dc 2.0
+r1 a b 1k
+r2 b 0 1k
+.op
+.end
+)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->title, "divider");
+  EXPECT_TRUE(parsed->want_op);
+  auto op = solve_op(parsed->circuit);
+  ASSERT_TRUE(op.ok());
+  EXPECT_NEAR(op->voltage(parsed->circuit.node("b")), 1.0, 1e-9);
+}
+
+TEST(NetlistParser, BareDcValueShorthand) {
+  const auto parsed = parse_netlist("v1 a 0 1.5\nr1 a 0 1k\n");
+  ASSERT_TRUE(parsed.ok());
+  auto op = solve_op(parsed->circuit);
+  ASSERT_TRUE(op.ok());
+  EXPECT_NEAR(op->voltage(parsed->circuit.node("a")), 1.5, 1e-9);
+}
+
+TEST(NetlistParser, RcDeckAcAnalysisMatchesBuilder) {
+  const auto parsed = parse_netlist(R"(
+v1 in 0 dc 1 ac 1
+r1 in out 1k
+c1 out 0 1n
+.ac out 1k 1g 10
+.end
+)");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->ac.size(), 1u);
+  auto op = solve_op(parsed->circuit);
+  ASSERT_TRUE(op.ok());
+  auto sweep = ac_sweep(parsed->circuit, *op,
+                        parsed->circuit.node(parsed->ac[0].probe), kGround,
+                        parsed->ac[0].options);
+  ASSERT_TRUE(sweep.ok());
+  const auto m = measure_ac(*sweep);
+  ASSERT_TRUE(m.f3db_found);
+  EXPECT_NEAR(m.f3db, 1.0 / (2.0 * kPi * 1e3 * 1e-9), m.f3db * 0.03);
+}
+
+TEST(NetlistParser, MosfetInverterBiasesUp) {
+  const auto parsed = parse_netlist(R"(
+.card ptm45
+vdd vdd 0 dc 1.2
+vin in 0 dc 0.55
+mn out in 0 0 nmos w=2u l=90n
+mp out in vdd vdd pmos w=4u l=90n
+.end
+)");
+  ASSERT_TRUE(parsed.ok());
+  auto op = solve_op(parsed->circuit);
+  ASSERT_TRUE(op.ok());
+  const double vout = op->voltage(parsed->circuit.node("out"));
+  EXPECT_GT(vout, 0.0);
+  EXPECT_LT(vout, 1.2);
+}
+
+TEST(NetlistParser, MosfetMultAndCardOverride) {
+  const auto parsed = parse_netlist(
+      "vdd d 0 dc 0.8\n"
+      "m1 d g 0 0 nmos w=0.5u l=32n mult=4 card=finfet16\n"
+      "vg g 0 dc 0.6\n");
+  ASSERT_TRUE(parsed.ok());
+  const auto* dev = parsed->circuit.find("m1");
+  ASSERT_NE(dev, nullptr);
+  const auto* mos = dynamic_cast<const Mosfet*>(dev);
+  ASSERT_NE(mos, nullptr);
+  EXPECT_EQ(mos->geom().mult, 4);
+  EXPECT_NEAR(mos->geom().width, 0.5e-6, 1e-12);
+}
+
+TEST(NetlistParser, StepSourceAndTranRequest) {
+  const auto parsed = parse_netlist(R"(
+v1 in 0 dc 0 step 0 1 1n 0.1n
+r1 in out 1k
+c1 out 0 1p
+.tran out 10n 10p
+)");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->tran.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->tran[0].options.t_stop, 10e-9);
+  EXPECT_DOUBLE_EQ(parsed->tran[0].options.dt, 10e-12);
+  auto op = solve_op(parsed->circuit);
+  ASSERT_TRUE(op.ok());
+  auto tran = transient(parsed->circuit, *op,
+                        {parsed->circuit.node("out")},
+                        parsed->tran[0].options);
+  ASSERT_TRUE(tran.ok());
+  EXPECT_NEAR(tran->waveforms[0].back(), 1.0, 0.01);
+}
+
+TEST(NetlistParser, VccsAndBiasProbe) {
+  const auto parsed = parse_netlist(R"(
+g1 out 0 bias 0 1m
+rl out 0 10k
+rb bias 0 1g
+b1 bias out 0.4
+)");
+  ASSERT_TRUE(parsed.ok());
+  auto op = solve_op(parsed->circuit);
+  ASSERT_TRUE(op.ok());
+  EXPECT_NEAR(op->voltage(parsed->circuit.node("out")), 0.4, 1e-6);
+}
+
+TEST(NetlistParser, NoiseRequest) {
+  const auto parsed = parse_netlist(
+      "v1 a 0 dc 1\nr1 a out 2k\nr2 out 0 2k\n.noise out 1k 1meg\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->noise.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->noise[0].options.f_stop, 1e6);
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(NetlistParser, ErrorsCarryLineNumbers) {
+  const auto parsed = parse_netlist("v1 a 0 dc 1\nr1 a 0 bogus\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(NetlistParser, RejectsUnknownElement) {
+  const auto parsed = parse_netlist("q1 a b c 1k\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("unknown element"),
+            std::string::npos);
+}
+
+TEST(NetlistParser, RejectsUnknownDirective) {
+  EXPECT_FALSE(parse_netlist(".frobnicate\n").ok());
+}
+
+TEST(NetlistParser, RejectsNegativeResistance) {
+  EXPECT_FALSE(parse_netlist("r1 a 0 -5\n").ok());
+}
+
+TEST(NetlistParser, RejectsMosfetWithoutWidth) {
+  EXPECT_FALSE(parse_netlist("m1 d g 0 0 nmos l=90n\n").ok());
+}
+
+TEST(NetlistParser, RejectsBadMosType) {
+  EXPECT_FALSE(parse_netlist("m1 d g 0 0 cmos w=1u\n").ok());
+}
+
+TEST(NetlistParser, RejectsUnknownCard) {
+  EXPECT_FALSE(parse_netlist(".card tsmc7\n").ok());
+}
+
+TEST(NetlistParser, RejectsProbeOnUnknownNode) {
+  const auto parsed = parse_netlist("v1 a 0 dc 1\nr1 a 0 1k\n.ac zz 1k 1meg\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("probe"), std::string::npos);
+}
+
+TEST(NetlistParser, StopsAtEndDirective) {
+  const auto parsed = parse_netlist(
+      "v1 a 0 dc 1\nr1 a 0 1k\n.end\nthis is not a netlist line\n");
+  EXPECT_TRUE(parsed.ok());
+}
+
+TEST(NetlistParser, GroundAliases) {
+  const auto parsed = parse_netlist("v1 a gnd dc 1\nr1 a 0 1k\n");
+  ASSERT_TRUE(parsed.ok());
+  // Only one non-ground node was created.
+  EXPECT_EQ(parsed->circuit.num_nodes(), 2u);
+}

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/categorical.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt::nn;
+using autockt::util::Rng;
+
+namespace {
+
+std::vector<double> random_vec(int n, Rng& rng, double scale = 1.0) {
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (double& v : x) v = scale * rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+/// Scalar loss used for gradient checking: L = sum_i w_i * y_i with fixed
+/// per-output weights, so dL/dy = w.
+double loss_of(const Mlp& mlp, const std::vector<double>& x,
+               const std::vector<double>& w) {
+  const auto y = mlp.forward(x);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) acc += w[i] * y[i];
+  return acc;
+}
+
+}  // namespace
+
+TEST(Mlp, OutputSizesAndDeterminism) {
+  Mlp mlp({4, 16, 3}, Activation::Tanh, 7);
+  Rng rng(1);
+  const auto x = random_vec(4, rng);
+  const auto y1 = mlp.forward(x);
+  const auto y2 = mlp.forward(x);
+  ASSERT_EQ(y1.size(), 3u);
+  EXPECT_EQ(y1, y2);
+
+  Mlp same({4, 16, 3}, Activation::Tanh, 7);
+  EXPECT_EQ(same.forward(x), y1);  // seed-deterministic init
+}
+
+TEST(Mlp, FinalScaleShrinksOutputs) {
+  Rng rng(1);
+  const auto x = random_vec(4, rng);
+  Mlp big({4, 16, 3}, Activation::Tanh, 7, 1.0);
+  Mlp small({4, 16, 3}, Activation::Tanh, 7, 0.01);
+  double norm_big = 0.0, norm_small = 0.0;
+  for (double v : big.forward(x)) norm_big += v * v;
+  for (double v : small.forward(x)) norm_small += v * v;
+  EXPECT_LT(norm_small, norm_big * 1e-2);
+}
+
+TEST(Mlp, RejectsDegenerateArchitecture) {
+  EXPECT_THROW(Mlp({4}, Activation::Tanh, 1), std::invalid_argument);
+}
+
+// The critical correctness test for the whole RL stack: analytic parameter
+// gradients must match central finite differences for several shapes and
+// both activations.
+class MlpGradCheck
+    : public ::testing::TestWithParam<std::tuple<std::vector<int>, Activation>> {};
+
+TEST_P(MlpGradCheck, ParameterGradientsMatchFiniteDifferences) {
+  const auto& [sizes, act] = GetParam();
+  Mlp mlp(sizes, act, 99);
+  Rng rng(5);
+  const auto x = random_vec(sizes.front(), rng);
+  const auto w = random_vec(sizes.back(), rng);
+
+  mlp.zero_grad();
+  const auto trace = mlp.forward_trace(x);
+  mlp.backward(trace, w);
+  const auto analytic = mlp.grads();
+
+  const double h = 1e-6;
+  // Probe a deterministic subset of parameters (checking all ~thousand is
+  // slow and adds nothing).
+  for (std::size_t i = 0; i < mlp.param_count();
+       i += std::max<std::size_t>(1, mlp.param_count() / 97)) {
+    const double saved = mlp.params()[i];
+    mlp.params()[i] = saved + h;
+    const double up = loss_of(mlp, x, w);
+    mlp.params()[i] = saved - h;
+    const double down = loss_of(mlp, x, w);
+    mlp.params()[i] = saved;
+    const double numeric = (up - down) / (2.0 * h);
+    EXPECT_NEAR(analytic[i], numeric,
+                1e-5 + 1e-4 * std::fabs(numeric))
+        << "param " << i;
+  }
+}
+
+TEST_P(MlpGradCheck, InputGradientsMatchFiniteDifferences) {
+  const auto& [sizes, act] = GetParam();
+  Mlp mlp(sizes, act, 123);
+  Rng rng(6);
+  auto x = random_vec(sizes.front(), rng);
+  const auto w = random_vec(sizes.back(), rng);
+
+  mlp.zero_grad();
+  const auto trace = mlp.forward_trace(x);
+  const auto d_input = mlp.backward(trace, w);
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double saved = x[i];
+    x[i] = saved + h;
+    const double up = loss_of(mlp, x, w);
+    x[i] = saved - h;
+    const double down = loss_of(mlp, x, w);
+    x[i] = saved;
+    EXPECT_NEAR(d_input[i], (up - down) / (2.0 * h), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MlpGradCheck,
+    ::testing::Values(
+        std::make_tuple(std::vector<int>{3, 8, 2}, Activation::Tanh),
+        std::make_tuple(std::vector<int>{5, 16, 16, 4}, Activation::Tanh),
+        std::make_tuple(std::vector<int>{18, 50, 50, 50, 21}, Activation::Tanh),
+        std::make_tuple(std::vector<int>{4, 12, 3}, Activation::Relu),
+        std::make_tuple(std::vector<int>{6, 20, 20, 1}, Activation::Relu)));
+
+TEST(Mlp, GradAccumulatesAcrossBackwardCalls) {
+  Mlp mlp({2, 4, 1}, Activation::Tanh, 3);
+  Rng rng(9);
+  const auto x = random_vec(2, rng);
+  mlp.zero_grad();
+  auto trace = mlp.forward_trace(x);
+  mlp.backward(trace, {1.0});
+  const auto once = mlp.grads();
+  mlp.backward(trace, {1.0});
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(mlp.grads()[i], 2.0 * once[i], 1e-12);
+  }
+  mlp.zero_grad();
+  for (double g : mlp.grads()) EXPECT_EQ(g, 0.0);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Mlp mlp({3, 10, 2}, Activation::Tanh, 11);
+  std::stringstream ss;
+  mlp.save(ss);
+  Mlp loaded = Mlp::load(ss);
+  Rng rng(4);
+  const auto x = random_vec(3, rng);
+  EXPECT_EQ(mlp.forward(x), loaded.forward(x));
+}
+
+TEST(Mlp, LoadRejectsGarbage) {
+  std::stringstream ss("not_a_model 3");
+  EXPECT_THROW(Mlp::load(ss), std::runtime_error);
+}
+
+TEST(Adam, MinimizesQuadraticBowl) {
+  // f(p) = sum (p_i - c_i)^2; Adam should converge near c.
+  const std::vector<double> target{1.0, -2.0, 0.5};
+  std::vector<double> p{0.0, 0.0, 0.0};
+  Adam adam(p.size(), 0.05);
+  std::vector<double> grads(p.size());
+  for (int step = 0; step < 2000; ++step) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      grads[i] = 2.0 * (p[i] - target[i]);
+    }
+    adam.step(p, grads);
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], target[i], 1e-3);
+  }
+}
+
+TEST(Adam, LrAccessors) {
+  Adam adam(3, 1e-3);
+  EXPECT_DOUBLE_EQ(adam.lr(), 1e-3);
+  adam.set_lr(5e-4);
+  EXPECT_DOUBLE_EQ(adam.lr(), 5e-4);
+}
+
+// ---------------------------------------------------------------- softmax
+
+TEST(Categorical, SoftmaxSumsToOne) {
+  const std::vector<double> logits{1.0, 2.0, 3.0, -10.0, 0.0, 10.0};
+  const auto p1 = softmax_slice(logits, 0, 3);
+  const auto p2 = softmax_slice(logits, 3, 3);
+  double s1 = 0.0, s2 = 0.0;
+  for (double p : p1) s1 += p;
+  for (double p : p2) s2 += p;
+  EXPECT_NEAR(s1, 1.0, 1e-12);
+  EXPECT_NEAR(s2, 1.0, 1e-12);
+  EXPECT_GT(p1[2], p1[0]);  // larger logit, larger probability
+}
+
+TEST(Categorical, SoftmaxStableForHugeLogits) {
+  const std::vector<double> logits{1000.0, 999.0, 0.0};
+  const auto p = softmax_slice(logits, 0, 3);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(Categorical, SamplingMatchesProbabilities) {
+  Rng rng(17);
+  const std::vector<double> probs{0.6, 0.3, 0.1};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(sample_categorical(probs, rng))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.6, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(Categorical, ArgmaxAndEntropyBounds) {
+  EXPECT_EQ(argmax({0.2, 0.5, 0.3}), 1);
+  EXPECT_NEAR(entropy({1.0, 0.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(entropy({1.0 / 3, 1.0 / 3, 1.0 / 3}), std::log(3.0), 1e-9);
+}

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "pex/parasitics.hpp"
+#include "pex/pvt.hpp"
+
+using namespace autockt::pex;
+using autockt::spice::TechCard;
+
+TEST(Parasitics, DeterministicForSameNet) {
+  ParasiticModel pm;
+  const auto key = ParasiticModel::net_key("topo", "out");
+  EXPECT_DOUBLE_EQ(pm.net_cap(1e-5, key), pm.net_cap(1e-5, key));
+}
+
+TEST(Parasitics, DifferentNetsDiffer) {
+  ParasiticModel pm;
+  const auto k1 = ParasiticModel::net_key("topo", "out");
+  const auto k2 = ParasiticModel::net_key("topo", "in");
+  EXPECT_NE(pm.net_cap(1e-5, k1), pm.net_cap(1e-5, k2));
+}
+
+TEST(Parasitics, SaltChangesLayout) {
+  ParasiticModel a, b;
+  b.salt = a.salt + 1;
+  const auto key = ParasiticModel::net_key("topo", "out");
+  EXPECT_NE(a.net_cap(1e-5, key), b.net_cap(1e-5, key));
+}
+
+TEST(Parasitics, GrowsWithAttachedWidth) {
+  ParasiticModel pm;
+  pm.variation = 0.0;  // isolate the deterministic part
+  const auto key = ParasiticModel::net_key("t", "n");
+  EXPECT_GT(pm.net_cap(2e-5, key), pm.net_cap(1e-5, key));
+  EXPECT_NEAR(pm.net_cap(0.0, key), pm.cap_fixed, 1e-20);
+}
+
+TEST(Parasitics, VariationStaysWithinBounds) {
+  ParasiticModel pm;
+  pm.variation = 0.25;
+  for (int i = 0; i < 200; ++i) {
+    const auto key = ParasiticModel::net_key("t", "net" + std::to_string(i));
+    const double base = pm.cap_fixed + pm.cap_per_width * 1e-5;
+    const double c = pm.net_cap(1e-5, key);
+    EXPECT_GE(c, base * (1.0 - pm.variation) - 1e-21);
+    EXPECT_LE(c, base * (1.0 + pm.variation) + 1e-21);
+  }
+}
+
+TEST(Parasitics, NetKeyIsStable) {
+  EXPECT_EQ(ParasiticModel::net_key("a", "b"),
+            ParasiticModel::net_key("a", "b"));
+  EXPECT_NE(ParasiticModel::net_key("a", "b"),
+            ParasiticModel::net_key("b", "a"));
+}
+
+TEST(Pvt, StandardCornersShape) {
+  const auto corners = standard_corners();
+  ASSERT_EQ(corners.size(), 3u);
+  EXPECT_EQ(corners[0].name, "tt");
+  // One slow-hot-lowV and one fast-cold-highV corner.
+  EXPECT_LT(corners[1].vdd_scale, 1.0);
+  EXPECT_GT(corners[1].temp_k, 300.0);
+  EXPECT_GT(corners[2].vdd_scale, 1.0);
+  EXPECT_LT(corners[2].temp_k, 300.0);
+}
+
+TEST(Pvt, TtCornerIsIdentityish) {
+  const auto card = TechCard::finfet16();
+  const auto tt = apply_corner(card, standard_corners()[0]);
+  EXPECT_DOUBLE_EQ(tt.vdd, card.vdd);
+  EXPECT_DOUBLE_EQ(tt.vth_n, card.vth_n);
+  EXPECT_DOUBLE_EQ(tt.u_cox_n, card.u_cox_n);
+}
+
+TEST(Pvt, SlowCornerDegradesDevices) {
+  const auto card = TechCard::finfet16();
+  const auto ss = apply_corner(card, standard_corners()[1]);
+  EXPECT_LT(ss.vdd, card.vdd);
+  EXPECT_GT(ss.vth_n, card.vth_n - 1e-9);  // vth up (shift) minus small temp drift
+  EXPECT_LT(ss.u_cox_n, card.u_cox_n);     // mobility down (process + hot)
+  EXPECT_GT(ss.temp_k, card.temp_k);
+}
+
+TEST(Pvt, FastCornerImprovesDrive) {
+  const auto card = TechCard::finfet16();
+  const auto ff = apply_corner(card, standard_corners()[2]);
+  EXPECT_GT(ff.vdd, card.vdd);
+  EXPECT_GT(ff.u_cox_n, card.u_cox_n);
+}
+
+TEST(Pvt, CornerNameIsAnnotated) {
+  const auto card = TechCard::finfet16();
+  const auto ss = apply_corner(card, standard_corners()[1]);
+  EXPECT_NE(ss.name.find("ss_hot_lv"), std::string::npos);
+}

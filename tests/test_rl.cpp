@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "rl/ppo.hpp"
+#include "test_helpers.hpp"
+
+using namespace autockt;
+using circuits::SpecVector;
+
+namespace {
+
+std::shared_ptr<const circuits::SizingProblem> synth() {
+  return std::make_shared<const circuits::SizingProblem>(
+      test_support::make_synthetic_problem(3, 21));
+}
+
+rl::PpoConfig small_config() {
+  rl::PpoConfig config;
+  config.max_iterations = 40;
+  config.steps_per_iteration = 800;
+  config.minibatch = 128;
+  config.epochs = 6;
+  config.num_workers = 2;
+  config.seed = 3;
+  return config;
+}
+
+}  // namespace
+
+TEST(PpoAgent, ActionShapesAndBounds) {
+  rl::PpoConfig config;
+  rl::PpoAgent agent(9, 3, config);
+  util::Rng rng(1);
+  const std::vector<double> obs(9, 0.1);
+  const auto a = agent.act_sample(obs, rng);
+  ASSERT_EQ(a.size(), 3u);
+  for (int v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, env::SizingEnv::kActionsPerParam);
+  }
+  const auto g = agent.act_greedy(obs);
+  ASSERT_EQ(g.size(), 3u);
+}
+
+TEST(PpoAgent, GreedyIsDeterministic) {
+  rl::PpoConfig config;
+  rl::PpoAgent agent(9, 3, config);
+  const std::vector<double> obs(9, -0.2);
+  EXPECT_EQ(agent.act_greedy(obs), agent.act_greedy(obs));
+}
+
+TEST(PpoAgent, LogProbIsConsistentWithSampling) {
+  rl::PpoConfig config;
+  rl::PpoAgent agent(9, 3, config);
+  util::Rng rng(2);
+  const std::vector<double> obs(9, 0.0);
+  double logp = 0.0;
+  agent.act_sample(obs, rng, &logp);
+  EXPECT_LE(logp, 0.0);                       // probability <= 1
+  EXPECT_GT(logp, 3.0 * std::log(1e-12));     // not degenerate
+}
+
+TEST(PpoAgent, TrainRejectsEmptyTargets) {
+  rl::PpoConfig config;
+  rl::PpoAgent agent(9, 3, config);
+  auto prob = synth();
+  EXPECT_THROW(agent.train([prob] { return env::SizingEnv(prob, {}); }, {}),
+               std::invalid_argument);
+}
+
+TEST(PpoAgent, LearnsSyntheticSizingProblem) {
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 15;
+  env::SizingEnv probe(prob, env_config);
+
+  rl::PpoConfig config = small_config();
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+
+  util::Rng rng(11);
+  const auto targets = env::sample_targets(*prob, 20, rng);
+  const auto history = agent.train(
+      [prob, env_config] { return env::SizingEnv(prob, env_config); },
+      targets);
+
+  ASSERT_FALSE(history.iterations.empty());
+  const auto& first = history.iterations.front();
+  const auto& last = history.iterations.back();
+  EXPECT_GT(last.mean_episode_reward, first.mean_episode_reward);
+  EXPECT_GT(last.goal_rate, 0.7);
+  EXPECT_GT(history.total_env_steps, 0);
+}
+
+TEST(PpoAgent, TrainingIsSeedReproducible) {
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+
+  auto run = [&](std::uint64_t seed) {
+    env::SizingEnv probe(prob, env_config);
+    rl::PpoConfig config = small_config();
+    config.max_iterations = 3;
+    config.seed = seed;
+    rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+    util::Rng rng(7);
+    const auto targets = env::sample_targets(*prob, 10, rng);
+    const auto history = agent.train(
+        [prob, env_config] { return env::SizingEnv(prob, env_config); },
+        targets);
+    return history.iterations.back().mean_episode_reward;
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+  // And a different seed gives a genuinely different trajectory.
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(PpoAgent, EarlyStopOnGoalRate) {
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 15;
+  env::SizingEnv probe(prob, env_config);
+  rl::PpoConfig config = small_config();
+  config.max_iterations = 60;
+  config.target_goal_rate = 0.75;
+  config.target_mean_reward = 1e9;  // force the goal-rate criterion
+  config.stop_patience = 1;
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+  util::Rng rng(13);
+  const auto targets = env::sample_targets(*prob, 10, rng);
+  const auto history = agent.train(
+      [prob, env_config] { return env::SizingEnv(prob, env_config); },
+      targets);
+  EXPECT_TRUE(history.converged);
+  EXPECT_LT(static_cast<int>(history.iterations.size()),
+            config.max_iterations);
+}
+
+TEST(PpoAgent, OnIterationCallbackFires) {
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env::SizingEnv probe(prob, env_config);
+  rl::PpoConfig config = small_config();
+  config.max_iterations = 2;
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+  util::Rng rng(17);
+  const auto targets = env::sample_targets(*prob, 5, rng);
+  int calls = 0;
+  agent.train([prob, env_config] { return env::SizingEnv(prob, env_config); },
+              targets,
+              [&](const rl::IterationStats& s) {
+                EXPECT_EQ(s.iteration, calls);
+                ++calls;
+              });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(PpoAgent, SaveLoadRoundTrip) {
+  rl::PpoConfig config;
+  rl::PpoAgent agent(9, 3, config);
+  std::stringstream ss;
+  agent.save(ss);
+  const auto loaded = rl::PpoAgent::load(ss);
+  EXPECT_EQ(loaded.obs_size(), 9);
+  EXPECT_EQ(loaded.num_params(), 3);
+  const std::vector<double> obs(9, 0.3);
+  EXPECT_EQ(agent.act_greedy(obs), loaded.act_greedy(obs));
+  EXPECT_DOUBLE_EQ(agent.value(obs), loaded.value(obs));
+}
+
+TEST(PpoAgent, LoadRejectsGarbage) {
+  std::stringstream ss("bogus");
+  EXPECT_THROW(rl::PpoAgent::load(ss), std::runtime_error);
+}
+
+TEST(PpoAgent, SingleWorkerMatchesConfig) {
+  // num_workers = 1 must work (serial path) and be reproducible.
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 8;
+  env::SizingEnv probe(prob, env_config);
+  rl::PpoConfig config = small_config();
+  config.num_workers = 1;
+  config.max_iterations = 2;
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+  util::Rng rng(19);
+  const auto targets = env::sample_targets(*prob, 5, rng);
+  const auto history = agent.train(
+      [prob, env_config] { return env::SizingEnv(prob, env_config); },
+      targets);
+  EXPECT_EQ(history.iterations.size(), 2u);
+  EXPECT_GE(history.iterations[0].cumulative_env_steps,
+            config.steps_per_iteration);
+}

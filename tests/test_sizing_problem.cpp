@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/problems.hpp"
+#include "circuits/sizing_problem.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt::circuits;
+
+TEST(ParamDef, GridSizeAndValues) {
+  ParamDef def{"w", 2.0, 10.0, 2.0};
+  EXPECT_EQ(def.grid_size(), 5);
+  EXPECT_DOUBLE_EQ(def.value(0), 2.0);
+  EXPECT_DOUBLE_EQ(def.value(4), 10.0);
+}
+
+TEST(ParamDef, FractionalStep) {
+  ParamDef def{"cc", 0.1, 10.0, 0.1};
+  EXPECT_EQ(def.grid_size(), 100);
+  EXPECT_NEAR(def.value(99), 10.0, 1e-9);
+}
+
+TEST(SpecDef, GreaterEqRelSign) {
+  SpecDef spec{"gain", SpecSense::GreaterEq, 0, 1, 1, 0};
+  EXPECT_GT(spec.rel(400.0, 300.0), 0.0);
+  EXPECT_LT(spec.rel(200.0, 300.0), 0.0);
+  EXPECT_NEAR(spec.rel(300.0, 300.0), 0.0, 1e-12);
+  EXPECT_TRUE(spec.satisfied(301.0, 300.0));
+  EXPECT_FALSE(spec.satisfied(290.0, 300.0));
+}
+
+TEST(SpecDef, LessEqRelSign) {
+  SpecDef spec{"noise", SpecSense::LessEq, 0, 1, 1, 0};
+  EXPECT_GT(spec.rel(1e-4, 2e-4), 0.0);
+  EXPECT_LT(spec.rel(3e-4, 2e-4), 0.0);
+  EXPECT_TRUE(spec.satisfied(2e-4, 2e-4));
+}
+
+TEST(SpecDef, RelMatchesPaperFormula) {
+  // (o - t)/(o + t) for GreaterEq.
+  SpecDef spec{"gain", SpecSense::GreaterEq, 0, 1, 1, 0};
+  EXPECT_NEAR(spec.rel(400.0, 200.0), 200.0 / 600.0, 1e-9);
+}
+
+TEST(SpecDef, ToleranceInSatisfied) {
+  SpecDef spec{"gain", SpecSense::GreaterEq, 0, 1, 1, 0};
+  EXPECT_FALSE(spec.satisfied(297.0, 300.0));
+  EXPECT_TRUE(spec.satisfied(297.0, 300.0, 0.01));
+}
+
+TEST(LookupNorm, MapsPositiveAxisToMinusOneOne) {
+  EXPECT_NEAR(lookup_norm(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_GT(lookup_norm(10.0, 1.0), 0.0);
+  EXPECT_LT(lookup_norm(0.1, 1.0), 0.0);
+  EXPECT_LT(std::fabs(lookup_norm(1e12, 1.0)), 1.0 + 1e-12);
+  EXPECT_LT(std::fabs(lookup_norm(0.0, 1.0)), 1.0 + 1e-12);
+}
+
+TEST(SizingProblem, CenterAndValidity) {
+  const auto prob = autockt::test_support::make_synthetic_problem(3, 21);
+  const auto center = prob.center_params();
+  ASSERT_EQ(center.size(), 3u);
+  EXPECT_EQ(center[0], 10);
+  EXPECT_TRUE(prob.valid_params(center));
+  EXPECT_FALSE(prob.valid_params({0, 0}));        // wrong arity
+  EXPECT_FALSE(prob.valid_params({0, 0, 21}));    // out of grid
+  EXPECT_FALSE(prob.valid_params({-1, 0, 0}));
+}
+
+TEST(SizingProblem, ActionSpaceLog10) {
+  const auto prob = autockt::test_support::make_synthetic_problem(3, 10);
+  EXPECT_NEAR(prob.action_space_log10(), 3.0, 1e-9);
+}
+
+TEST(SizingProblem, FailSpecsMatchDefs) {
+  const auto prob = autockt::test_support::make_synthetic_problem();
+  const auto fail = prob.fail_specs();
+  ASSERT_EQ(fail.size(), prob.specs.size());
+  EXPECT_DOUBLE_EQ(fail[0], 0.0);
+  EXPECT_DOUBLE_EQ(fail[1], 100.0);
+}
+
+TEST(SizingProblem, RewardEq1SignStructure) {
+  const auto prob = autockt::test_support::make_synthetic_problem();
+  // All met with margin: hard terms clamp to 0, minimize term positive.
+  SpecVector good{12.0, 3.0, 1.0};
+  SpecVector target{10.0, 5.0, 1.4};
+  EXPECT_GT(prob.reward_eq1(good, target), 0.0);
+  EXPECT_TRUE(prob.goal_met(good, target));
+
+  // Violating the GreaterEq spec makes the reward negative.
+  SpecVector bad{5.0, 3.0, 1.0};
+  EXPECT_LT(prob.reward_eq1(bad, target), 0.0);
+  EXPECT_FALSE(prob.goal_met(bad, target));
+}
+
+TEST(SizingProblem, HardViolationIsNonPositive) {
+  const auto prob = autockt::test_support::make_synthetic_problem();
+  autockt::util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    SpecVector o{rng.uniform(5, 15), rng.uniform(2, 8), rng.uniform(1, 2)};
+    SpecVector t{rng.uniform(5, 15), rng.uniform(2, 8), rng.uniform(1, 2)};
+    EXPECT_LE(prob.hard_violation(o, t), 1e-12);
+  }
+}
+
+TEST(SizingProblem, GoalTolIsOnePercent) {
+  const auto prob = autockt::test_support::make_synthetic_problem();
+  SpecVector target{10.0, 5.0, 1.2};
+  // Just inside 1% relative tolerance on the first spec: rel uses the
+  // symmetric denominator |o| + |t|, so a 1.95% shortfall is rel ~ -0.0098.
+  SpecVector nearly{10.0 * (1.0 - 0.0195), 4.0, 1.0};
+  EXPECT_TRUE(prob.goal_met(nearly, target));
+  SpecVector outside{10.0 * (1.0 - 0.03), 4.0, 1.0};
+  EXPECT_FALSE(prob.goal_met(outside, target));
+}
+
+TEST(WorstCaseFold, PicksWorstPerSense) {
+  std::vector<SpecDef> specs = {
+      {"gain", SpecSense::GreaterEq, 0, 1, 1, 0},
+      {"noise", SpecSense::LessEq, 0, 1, 1, 0},
+      {"power", SpecSense::Minimize, 0, 1, 1, 0},
+  };
+  std::vector<SpecVector> corners = {
+      {100.0, 2e-4, 1e-3},
+      {80.0, 5e-4, 2e-3},
+      {120.0, 1e-4, 0.5e-3},
+  };
+  const auto worst = worst_case_fold(specs, corners);
+  EXPECT_DOUBLE_EQ(worst[0], 80.0);    // min gain
+  EXPECT_DOUBLE_EQ(worst[1], 5e-4);    // max noise
+  EXPECT_DOUBLE_EQ(worst[2], 2e-3);    // max power
+}
+
+TEST(WorstCaseFold, SingleCornerIsIdentity) {
+  std::vector<SpecDef> specs = {{"gain", SpecSense::GreaterEq, 0, 1, 1, 0}};
+  const auto worst = worst_case_fold(specs, {{42.0}});
+  EXPECT_DOUBLE_EQ(worst[0], 42.0);
+}
+
+TEST(SizingProblem, ParamValuesMapGrid) {
+  const auto prob = autockt::test_support::make_synthetic_problem(2, 11);
+  const auto vals = prob.param_values({0, 10});
+  EXPECT_DOUBLE_EQ(vals[0], 0.0);
+  EXPECT_DOUBLE_EQ(vals[1], 10.0);
+}
+
+// Paper-facing checks: the shipped problems advertise the paper's shapes.
+// (Construction is cheap; no simulation happens here.)
+
+TEST(PaperProblems, TwoStageActionSpaceIs1e14) {
+  const auto prob = make_two_stage_problem();
+  EXPECT_EQ(prob.params.size(), 7u);  // six widths + Cc
+  EXPECT_NEAR(prob.action_space_log10(), 14.0, 0.3);
+  EXPECT_EQ(prob.specs.size(), 4u);   // gain, ugbw, pm, ibias
+  EXPECT_EQ(prob.specs[3].sense, SpecSense::Minimize);
+}
+
+TEST(PaperProblems, NgmActionSpaceIsOrder1e11) {
+  const auto prob = make_ngm_problem();
+  EXPECT_EQ(prob.params.size(), 7u);
+  EXPECT_GT(prob.action_space_log10(), 10.0);
+  EXPECT_LT(prob.action_space_log10(), 12.5);
+  EXPECT_EQ(prob.specs.size(), 3u);
+  // PM target sampled in a range (transfer-learning aid, Section III-C).
+  EXPECT_LT(prob.specs[2].sample_lo, prob.specs[2].sample_hi);
+}
+
+TEST(PaperProblems, TiaActionSpaceMatchesPaperGrids) {
+  const auto prob = make_tia_problem();
+  ASSERT_EQ(prob.params.size(), 6u);
+  EXPECT_EQ(prob.params[0].grid_size(), 5);   // width [2,10,2]
+  EXPECT_EQ(prob.params[1].grid_size(), 16);  // mult [2,32,2]
+  EXPECT_EQ(prob.params[4].grid_size(), 10);  // series [2,20,2]
+  EXPECT_EQ(prob.params[5].grid_size(), 20);  // parallel [1,20,1]
+}
+
+TEST(PaperProblems, PexVariantFixesPmLowerBound) {
+  const auto pex = make_ngm_pex_problem();
+  EXPECT_DOUBLE_EQ(pex.specs[2].sample_lo, pex.specs[2].sample_hi);
+  EXPECT_DOUBLE_EQ(pex.specs[2].sample_lo, 60.0);
+  EXPECT_GT(pex.paper_sim_seconds, make_ngm_problem().paper_sim_seconds);
+}

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/expected.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace autockt::util;
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BoundedZeroAndOne) {
+  Rng rng(3);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double mean = 0.0, var = 0.0;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal();
+  for (double x : xs) mean += x;
+  mean /= n;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split(1);
+  Rng a2(42);
+  Rng child2 = a2.split(1);
+  EXPECT_EQ(child.next(), child2.next());  // deterministic
+  EXPECT_NE(child.next(), a.next());       // not the parent stream
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  std::vector<double> none;
+  EXPECT_EQ(mean(none), 0.0);
+  EXPECT_EQ(stddev(none), 0.0);
+  EXPECT_EQ(percentile(none, 50), 0.0);
+  EXPECT_EQ(median(none), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+}
+
+TEST(Stats, CorrelationSigns) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationDegenerate) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(correlation(x, y), 0.0);
+  EXPECT_EQ(correlation(x, {}), 0.0);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const auto h = make_histogram({-1.0, 0.1, 0.5, 0.9, 2.0}, 0.0, 1.0, 4);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts.front(), 2u);  // -1.0 clamped + 0.1
+  EXPECT_EQ(h.counts.back(), 2u);   // 0.9 + 2.0 clamped
+}
+
+TEST(Stats, HistogramBinCenters) {
+  const auto h = make_histogram({}, 0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 0.75);
+}
+
+TEST(Stats, EmaFirstValueAndSmoothing) {
+  const auto smooth = ema({1.0, 2.0, 3.0}, 0.5);
+  EXPECT_DOUBLE_EQ(smooth[0], 1.0);
+  EXPECT_DOUBLE_EQ(smooth[1], 1.5);
+  EXPECT_DOUBLE_EQ(smooth[2], 2.25);
+}
+
+// ---------------------------------------------------------------- Table / CSV
+
+TEST(Table, AlignsColumnsAndPads) {
+  Table t({"a", "long_header"});
+  t.add_row({"xxxxx", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a     |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxxx | 1           |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsCompactly) {
+  EXPECT_EQ(Table::num(1063), "1063");
+  EXPECT_EQ(Table::num(2.5e7, 3), "2.5e+07");
+  EXPECT_EQ(Table::num(std::nan("")), "n/a");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(Csv, RoundTripNumbersAndHeader) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row(std::vector<double>{1.5, -2.0});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("x,y\n"), std::string::npos);
+  EXPECT_NE(s.find("1.5,-2\n"), std::string::npos);
+  EXPECT_EQ(csv.row_count(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"name"});
+  csv.add_row(std::vector<std::string>{"a,b \"quoted\""});
+  EXPECT_NE(csv.to_string().find("\"a,b \"\"quoted\"\"\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Cli
+
+TEST(Cli, ParsesKeyEqualsValue) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=foo"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("name", ""), "foo");
+}
+
+TEST(Cli, ParsesKeySpaceValueAndFlags) {
+  const char* argv[] = {"prog", "--n", "7", "pos", "--quick"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 7);
+  EXPECT_TRUE(args.get_bool("quick"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(Cli, FallbacksForMissingKeys) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int("missing", -5), -5);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, BoolValues) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes"};
+  CliArgs args(4, argv);
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_FALSE(args.get_bool("b"));
+  EXPECT_TRUE(args.get_bool("c"));
+}
+
+// ---------------------------------------------------------------- Expected
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(5);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 5);
+  EXPECT_EQ(e.value_or(9), 5);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(Error{"boom", 3});
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().message, "boom");
+  EXPECT_EQ(e.error().code, 3);
+  EXPECT_EQ(e.value_or(9), 9);
+}
+
+TEST(Expected, ThrowsOnBadAccess) {
+  Expected<int> e(Error{"nope"});
+  EXPECT_THROW(e.value(), std::runtime_error);
+}
