@@ -2,7 +2,7 @@
 // Shared scaffolding for the experiment benches (one binary per paper table
 // or figure). Provides:
 //  * frozen per-problem training configurations (the calibrated settings
-//    documented in EXPERIMENTS.md),
+//    documented in docs/EXPERIMENTS.md),
 //  * an agent cache so benches that share a topology don't retrain (the
 //    figure benches train and save; the table benches reuse),
 //  * uniform --quick / --seed handling.
@@ -34,7 +34,7 @@ inline BenchScale parse_scale(int argc, char** argv) {
   return s;
 }
 
-/// Calibrated training configuration per problem (see EXPERIMENTS.md).
+/// Calibrated training configuration per problem (see docs/EXPERIMENTS.md).
 inline core::AutoCktConfig training_config(const std::string& problem_name,
                                            const BenchScale& scale) {
   core::AutoCktConfig config;

@@ -2,7 +2,7 @@
 // paper sweeps the maximum trajectory length H and picks the one that
 // maximizes deployment quality. This bench retrains a (reduced-budget)
 // agent per horizon and reports deployment success and sample efficiency,
-// plus the sparse-reward ablation from DESIGN.md section 5 when
+// plus the sparse-reward ablation from docs/DESIGN.md section 5 when
 // --ablate-reward is passed.
 
 #include "bench_common.hpp"

@@ -1,0 +1,139 @@
+// Micro-benchmarks for the evaluation-backend layer: what a memo-cache hit
+// costs versus a real simulation, how much a batched PEX evaluation gains
+// from corner fan-out, and the raw overhead of the backend stack. These
+// bound the economics of the cache: one RL environment step is one
+// evaluation, and PPO revisits the grid centre every episode.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "circuits/problems.hpp"
+#include "eval/cached_backend.hpp"
+#include "eval/thread_pool.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt;
+
+namespace {
+
+/// A deterministic spread of valid grid points around the centre.
+std::vector<circuits::ParamVector> sample_points(
+    const circuits::SizingProblem& prob, std::size_t count,
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<circuits::ParamVector> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    circuits::ParamVector p;
+    p.reserve(prob.params.size());
+    for (const auto& def : prob.params) {
+      p.push_back(static_cast<int>(
+          rng.bounded(static_cast<std::uint64_t>(def.grid_size()))));
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace
+
+// ---- cached vs uncached single-point throughput ----------------------------
+
+static void BM_EvalUncached_TwoStage(benchmark::State& state) {
+  circuits::ProblemOptions options;
+  options.cache = false;
+  options.parallel_batch = false;
+  options.parallel_corners = false;
+  const auto prob = circuits::make_two_stage_problem(options);
+  const auto center = prob.center_params();
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_EvalUncached_TwoStage);
+
+static void BM_EvalCachedHit_TwoStage(benchmark::State& state) {
+  const auto prob = circuits::make_two_stage_problem();
+  const auto center = prob.center_params();
+  benchmark::DoNotOptimize(prob.evaluate(center).ok());  // warm the cache
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_EvalCachedHit_TwoStage);
+
+static void BM_EvalCachedHit_Pex(benchmark::State& state) {
+  const auto prob = circuits::make_ngm_pex_problem();
+  const auto center = prob.center_params();
+  benchmark::DoNotOptimize(prob.evaluate(center).ok());
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_EvalCachedHit_Pex);
+
+// ---- PEX corners: serial loop vs parallel CornerBackend --------------------
+
+static void BM_PexCornersSerial(benchmark::State& state) {
+  circuits::ProblemOptions options;
+  options.cache = false;
+  options.parallel_batch = false;
+  options.parallel_corners = false;
+  const auto prob = circuits::make_ngm_pex_problem(options);
+  const auto center = prob.center_params();
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_PexCornersSerial);
+
+static void BM_PexCornersParallel(benchmark::State& state) {
+  circuits::ProblemOptions options;
+  options.cache = false;
+  const auto prob = circuits::make_ngm_pex_problem(options);
+  const auto center = prob.center_params();
+  for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
+}
+BENCHMARK(BM_PexCornersParallel);
+
+// ---- batch-vs-serial population evaluation (the GA's unit of work) ---------
+
+static void BM_PexBatchSerial(benchmark::State& state) {
+  circuits::ProblemOptions options;
+  options.cache = false;
+  options.parallel_batch = false;
+  options.parallel_corners = false;
+  const auto prob = circuits::make_ngm_pex_problem(options);
+  const auto points =
+      sample_points(prob, static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob.evaluate_batch(points).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_PexBatchSerial)->Arg(8)->Arg(32);
+
+static void BM_PexBatchParallel(benchmark::State& state) {
+  circuits::ProblemOptions options;
+  options.cache = false;
+  const auto prob = circuits::make_ngm_pex_problem(options);
+  const auto points =
+      sample_points(prob, static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob.evaluate_batch(points).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_PexBatchParallel)->Arg(8)->Arg(32);
+
+static void BM_TwoStageBatchParallel(benchmark::State& state) {
+  circuits::ProblemOptions options;
+  options.cache = false;  // isolate fan-out gain from cache effects
+  const auto prob = circuits::make_two_stage_problem(options);
+  const auto points =
+      sample_points(prob, static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob.evaluate_batch(points).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_TwoStageBatchParallel)->Arg(64);
+
+BENCHMARK_MAIN();

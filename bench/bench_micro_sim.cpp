@@ -16,6 +16,17 @@
 
 using namespace autockt;
 
+/// Full-eval benches measure the raw simulator: strip the memo cache and
+/// fan-out layers the factories add by default (bench_micro_eval_cache
+/// measures those).
+static circuits::ProblemOptions raw_options() {
+  circuits::ProblemOptions options;
+  options.cache = false;
+  options.parallel_batch = false;
+  options.parallel_corners = false;
+  return options;
+}
+
 static void BM_LuSolveReal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
@@ -43,28 +54,28 @@ static void BM_TwoStageDcOp(benchmark::State& state) {
 BENCHMARK(BM_TwoStageDcOp);
 
 static void BM_FullEval_Tia(benchmark::State& state) {
-  const auto prob = circuits::make_tia_problem();
+  const auto prob = circuits::make_tia_problem(raw_options());
   const auto center = prob.center_params();
   for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
 }
 BENCHMARK(BM_FullEval_Tia);
 
 static void BM_FullEval_TwoStage(benchmark::State& state) {
-  const auto prob = circuits::make_two_stage_problem();
+  const auto prob = circuits::make_two_stage_problem(raw_options());
   const auto center = prob.center_params();
   for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
 }
 BENCHMARK(BM_FullEval_TwoStage);
 
 static void BM_FullEval_Ngm(benchmark::State& state) {
-  const auto prob = circuits::make_ngm_problem();
+  const auto prob = circuits::make_ngm_problem(raw_options());
   const auto center = prob.center_params();
   for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
 }
 BENCHMARK(BM_FullEval_Ngm);
 
 static void BM_FullEval_NgmPex(benchmark::State& state) {
-  const auto prob = circuits::make_ngm_pex_problem();
+  const auto prob = circuits::make_ngm_pex_problem(raw_options());
   const auto center = prob.center_params();
   for (auto _ : state) benchmark::DoNotOptimize(prob.evaluate(center).ok());
 }

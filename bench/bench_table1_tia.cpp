@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   table.print();
 
   // The GA feasibility column above bounds what any agent can reach; our
-  // TIA target box carries ~8% infeasible draws (see EXPERIMENTS.md), so
+  // TIA target box carries ~8% infeasible draws (see docs/EXPERIMENTS.md), so
   // the generalization bar is set at 80%.
   std::printf("\nshape checks: RL beats GA on simulations per target: %s; "
               "generalization > 80%%: %s\n",

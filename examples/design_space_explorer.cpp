@@ -1,7 +1,7 @@
 // Design-space explorer: randomly subsamples a sizing problem's parameter
 // grid and reports the achievable specification region (percentiles, failure
 // rate). This is the calibration tool used to align target sampling ranges
-// with the simulator surrogate (DESIGN.md section 3), and a template for
+// with the simulator surrogate (docs/DESIGN.md section 3), and a template for
 // probing your own problems.
 //
 // Usage: design_space_explorer [--problem=tia|two_stage|ngm|ngm_pex]

@@ -58,14 +58,31 @@ int main(int argc, char** argv) {
   std::printf("\ntraining a small agent (%d iterations)...\n",
               config.ppo.max_iterations);
   auto outcome = core::train_agent(problem, config);
-  std::printf("final mean episode reward: %.2f\n",
-              outcome.history.iterations.back().mean_episode_reward);
+  if (outcome.history.iterations.empty()) {
+    std::printf("no training iterations ran (agent stays at init)\n");
+  } else {
+    std::printf("final mean episode reward: %.2f\n",
+                outcome.history.iterations.back().mean_episode_reward);
+  }
 
   const auto targets = env::sample_targets(*problem, 10, rng);
   const auto stats =
       core::deploy_agent(outcome.agent, problem, targets, config.env_config);
   std::printf("deployment on 10 fresh targets: reached %d, avg steps %.1f\n",
               stats.reached_count(), stats.avg_steps_reached());
+
+  // --- 4. The evaluation backend keeps the books --------------------------
+  // Training + deployment share one backend stack (memo cache over the
+  // batch pool over the simulator), so repeat visits to grid points are
+  // free and every simulator invocation is accounted for.
+  std::printf("\ntraining eval stats:   %s\n",
+              outcome.history.eval_stats.summary().c_str());
+  std::printf("deployment eval stats: %s\n",
+              stats.eval_stats.summary().c_str());
+  const auto again =
+      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+  std::printf("same targets again:    %s\n",
+              again.eval_stats.summary().c_str());
   std::printf("\n(see train_two_stage_opamp / transfer_to_pex for the full "
               "paper flows)\n");
   return 0;

@@ -88,6 +88,7 @@ DeployStats deploy_agent(const rl::PpoAgent& agent,
   DeployStats stats;
   util::Rng rng(seed);
   env::SizingEnv sizing_env(problem, env_config);
+  const eval::EvalStats eval_baseline = problem->eval_stats();
 
   for (const SpecVector& target : targets) {
     DeployRecord record;
@@ -105,6 +106,7 @@ DeployStats deploy_agent(const rl::PpoAgent& agent,
     record.final_params = sizing_env.params();
     stats.records.push_back(std::move(record));
   }
+  stats.eval_stats = problem->eval_stats().since(eval_baseline);
   return stats;
 }
 

@@ -10,6 +10,7 @@
 
 #include "circuits/sizing_problem.hpp"
 #include "env/sizing_env.hpp"
+#include "eval/stats.hpp"
 #include "rl/ppo.hpp"
 
 namespace autockt::core {
@@ -44,11 +45,17 @@ struct DeployRecord {
 
 struct DeployStats {
   std::vector<DeployRecord> records;
+  /// Evaluation-backend activity during this deployment (delta over the
+  /// deploy call): real simulations vs cache hits, batch shapes, sim wall
+  /// time. A repeated deployment on the same targets is mostly cache hits.
+  eval::EvalStats eval_stats;
 
   int total() const { return static_cast<int>(records.size()); }
   int reached_count() const;
+  /// Fraction of targets reached; 0 when no targets were deployed.
   double reach_fraction() const;
   /// Mean steps over reached targets — the paper's sample efficiency.
+  /// 0 when no target was reached (there is no meaningful mean).
   double avg_steps_reached() const;
   long total_sim_steps() const;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baselines/batch_eval.hpp"
 #include "nn/mlp.hpp"
 
 namespace autockt::baselines {
@@ -10,14 +11,9 @@ namespace autockt::baselines {
 using circuits::ParamVector;
 using circuits::SizingProblem;
 using circuits::SpecVector;
+using detail::Individual;
 
 namespace {
-
-struct Individual {
-  ParamVector genes;
-  double fitness = -1e30;
-  SpecVector specs;
-};
 
 std::vector<double> features(const SizingProblem& problem,
                              const ParamVector& genes) {
@@ -80,24 +76,15 @@ GaResult run_ga_ml(const SizingProblem& problem, const SpecVector& target,
   std::vector<std::vector<double>> data_x;
   std::vector<double> data_fitness;
 
-  auto evaluate = [&](Individual& ind) -> bool {
-    auto specs = problem.evaluate(ind.genes);
-    ++result.total_evals;
-    ind.specs = specs.ok() ? specs.value() : problem.fail_specs();
-    ind.fitness = problem.reward_eq1(ind.specs, target);
-    data_x.push_back(features(problem, ind.genes));
-    data_fitness.push_back(ind.fitness);
-    if (ind.fitness > result.best_reward || result.best_params.empty()) {
-      result.best_reward = ind.fitness;
-      result.best_params = ind.genes;
-      result.best_specs = ind.specs;
-    }
-    if (!result.reached && problem.goal_met(ind.specs, target)) {
-      result.reached = true;
-      result.evals_to_reach = result.total_evals;
-    }
-    return result.reached;
-  };
+  // Candidate rankings simulate through evaluate_batch() but score under
+  // the serial protocol (see batch_eval.hpp); every scored individual also
+  // lands in the discriminator's dataset, in processing order.
+  detail::SerialProtocolEvaluator evaluator(
+      problem, target, config.ga.max_evals, result,
+      [&](const Individual& ind) {
+        data_x.push_back(features(problem, ind.genes));
+        data_fitness.push_back(ind.fitness);
+      });
 
   const GaConfig& ga = config.ga;
   std::vector<Individual> population(static_cast<std::size_t>(ga.population));
@@ -107,8 +94,11 @@ GaResult run_ga_ml(const SizingProblem& problem, const SpecVector& target,
       ind.genes.push_back(static_cast<int>(
           rng.bounded(static_cast<std::uint64_t>(def.grid_size()))));
     }
-    if (evaluate(ind) || result.total_evals >= ga.max_evals) return result;
   }
+  const std::size_t init_count =
+      std::min(population.size(),
+               static_cast<std::size_t>(evaluator.remaining_budget()));
+  if (evaluator.evaluate_group(population, init_count)) return result;
 
   auto tournament_pick = [&]() -> const Individual& {
     const Individual* best = nullptr;
@@ -172,14 +162,18 @@ GaResult run_ga_ml(const SizingProblem& problem, const SpecVector& target,
         1, static_cast<std::size_t>(config.sim_fraction *
                                     static_cast<double>(pool.size())));
 
+    // The discriminator's top picks get simulated as one batch — the
+    // BagNet economy, now also the backend's natural fan-out unit.
     std::vector<Individual> evaluated;
-    for (std::size_t k = 0; k < to_sim; ++k) {
+    const std::size_t sim_count = std::min(
+        to_sim, static_cast<std::size_t>(evaluator.remaining_budget()));
+    evaluated.reserve(sim_count);
+    for (std::size_t k = 0; k < sim_count; ++k) {
       Individual child;
       child.genes = pool[order[k]];
-      if (evaluate(child)) return result;
       evaluated.push_back(std::move(child));
-      if (result.total_evals >= ga.max_evals) return result;
     }
+    if (evaluator.evaluate_group(evaluated, evaluated.size())) return result;
 
     // Survivor selection over parents + newly simulated children.
     for (auto& ind : evaluated) population.push_back(std::move(ind));

@@ -23,7 +23,9 @@ struct GaMlConfig {
   std::uint64_t seed = 1;
 };
 
-/// Same result contract as the vanilla GA (evals == real simulations).
+/// Same result contract as the vanilla GA: evals count simulated candidates
+/// in processing order (batched through the problem's evaluation backend,
+/// whose EvalStats track the underlying simulator traffic).
 GaResult run_ga_ml(const circuits::SizingProblem& problem,
                    const circuits::SpecVector& target,
                    const GaMlConfig& config);

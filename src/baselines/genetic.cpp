@@ -2,19 +2,16 @@
 
 #include <algorithm>
 
+#include "baselines/batch_eval.hpp"
+
 namespace autockt::baselines {
 
 using circuits::ParamVector;
 using circuits::SizingProblem;
 using circuits::SpecVector;
+using detail::Individual;
 
 namespace {
-
-struct Individual {
-  ParamVector genes;
-  double fitness = -1e30;
-  SpecVector specs;
-};
 
 ParamVector random_individual(const SizingProblem& problem, util::Rng& rng) {
   ParamVector genes;
@@ -48,30 +45,17 @@ GaResult run_ga(const SizingProblem& problem, const SpecVector& target,
                 const GaConfig& config) {
   util::Rng rng(config.seed);
   GaResult result;
-
-  auto evaluate = [&](Individual& ind) -> bool {
-    auto specs = problem.evaluate(ind.genes);
-    ++result.total_evals;
-    ind.specs = specs.ok() ? specs.value() : problem.fail_specs();
-    ind.fitness = problem.reward_eq1(ind.specs, target);
-    if (ind.fitness > result.best_reward || result.best_params.empty()) {
-      result.best_reward = ind.fitness;
-      result.best_params = ind.genes;
-      result.best_specs = ind.specs;
-    }
-    if (!result.reached && problem.goal_met(ind.specs, target)) {
-      result.reached = true;
-      result.evals_to_reach = result.total_evals;
-    }
-    return result.reached;
-  };
+  detail::SerialProtocolEvaluator evaluator(problem, target, config.max_evals,
+                                            result);
 
   std::vector<Individual> population(
       static_cast<std::size_t>(config.population));
-  for (auto& ind : population) {
-    ind.genes = random_individual(problem, rng);
-    if (evaluate(ind) || result.total_evals >= config.max_evals) return result;
-  }
+  for (auto& ind : population) ind.genes = random_individual(problem, rng);
+  // Cap at the eval budget: the serial loop would stop there too.
+  const std::size_t init_count =
+      std::min(population.size(),
+               static_cast<std::size_t>(evaluator.remaining_budget()));
+  if (evaluator.evaluate_group(population, init_count)) return result;
 
   auto tournament_pick = [&]() -> const Individual& {
     const Individual* best = nullptr;
@@ -97,7 +81,15 @@ GaResult run_ga(const SizingProblem& problem, const SpecVector& target,
       next.push_back(population[order[static_cast<std::size_t>(e)]]);
     }
 
-    while (next.size() < population.size()) {
+    // Breed the whole generation first (the RNG draw order matches the
+    // one-at-a-time loop — evaluation consumes no randomness), then
+    // simulate it as one population-sized batch.
+    std::vector<Individual> children;
+    const std::size_t want =
+        std::min(population.size() - next.size(),
+                 static_cast<std::size_t>(evaluator.remaining_budget()));
+    children.reserve(want);
+    while (children.size() < want) {
       Individual child;
       const Individual& pa = tournament_pick();
       const Individual& pb = tournament_pick();
@@ -108,10 +100,13 @@ GaResult run_ga(const SizingProblem& problem, const SpecVector& target,
         }
       }
       mutate(problem, config, child.genes, rng);
-      if (evaluate(child)) return result;
-      if (result.total_evals >= config.max_evals) return result;
-      next.push_back(std::move(child));
+      children.push_back(std::move(child));
     }
+    // A goal hit or an exhausted budget ends the run inside the batch —
+    // mid-generation, exactly like the serial loop. Otherwise the
+    // generation is complete and next is full.
+    if (evaluator.evaluate_group(children, children.size())) return result;
+    for (auto& child : children) next.push_back(std::move(child));
     population.swap(next);
   }
   return result;

@@ -7,6 +7,13 @@
 // the run stops the moment any individual satisfies every hard constraint,
 // and reports how many circuit simulations were consumed — the paper's
 // sample-efficiency metric.
+//
+// Populations are simulated through SizingProblem::evaluate_batch, so a
+// parallel backend evaluates a whole generation concurrently. Results and
+// eval counts are bit-identical to the historical one-at-a-time loop for a
+// fixed seed; when the run ends mid-batch the backend may have simulated
+// (at most one generation of) extra points, which appears only in
+// EvalStats, never in GaResult.
 
 #include <cstdint>
 #include <vector>

@@ -1,8 +1,14 @@
 #include "circuits/problems.hpp"
 
+#include <utility>
+
 #include "circuits/ngm_ota.hpp"
 #include "circuits/tia.hpp"
 #include "circuits/two_stage_opamp.hpp"
+#include "eval/cached_backend.hpp"
+#include "eval/corner_backend.hpp"
+#include "eval/function_backend.hpp"
+#include "eval/threaded_backend.hpp"
 
 namespace autockt::circuits {
 
@@ -20,9 +26,31 @@ pex::ParasiticModel transfer_parasitics() {
   return pm;
 }
 
+/// Memo cache goes outermost so hits never touch the pool below.
+std::shared_ptr<eval::EvalBackend> wrap_cache(
+    std::shared_ptr<eval::EvalBackend> backend,
+    const ProblemOptions& options) {
+  if (!options.cache) return backend;
+  return std::make_shared<eval::CachedBackend>(std::move(backend),
+                                               options.cache_shards);
+}
+
+/// Standard stack for a schematic problem: batch fan-out over the simulator
+/// leaf, behind the memo cache.
+std::shared_ptr<eval::EvalBackend> make_schematic_backend(
+    eval::EvalFn fn, const std::string& name, const ProblemOptions& options) {
+  std::shared_ptr<eval::EvalBackend> backend =
+      std::make_shared<eval::FunctionBackend>(std::move(fn), name);
+  if (options.parallel_batch) {
+    backend =
+        std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
+  }
+  return wrap_cache(std::move(backend), options);
+}
+
 }  // namespace
 
-SizingProblem make_tia_problem() {
+SizingProblem make_tia_problem(const ProblemOptions& options) {
   SizingProblem prob;
   prob.name = "tia";
   prob.description =
@@ -47,17 +75,19 @@ SizingProblem make_tia_problem() {
 
   const spice::TechCard card = spice::TechCard::ptm45();
   const auto param_defs = prob.params;
-  prob.evaluate =
+  prob.backend = make_schematic_backend(
       [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
-    const TiaParams p = tia_params_from_grid(param_defs, idx);
-    auto res = simulate_tia(p, card);
-    if (!res.ok()) return res.error();
-    return SpecVector{res->settling_time, res->cutoff_freq, res->input_noise};
-  };
+        const TiaParams p = tia_params_from_grid(param_defs, idx);
+        auto res = simulate_tia(p, card);
+        if (!res.ok()) return res.error();
+        return SpecVector{res->settling_time, res->cutoff_freq,
+                          res->input_noise};
+      },
+      "tia_sim", options);
   return prob;
 }
 
-SizingProblem make_two_stage_problem() {
+SizingProblem make_two_stage_problem(const ProblemOptions& options) {
   SizingProblem prob;
   prob.name = "two_stage_opamp";
   prob.description =
@@ -67,7 +97,7 @@ SizingProblem make_two_stage_problem() {
   // we keep the grid sizes but pick per-device units (widths in um below)
   // so that the frontier designs of OUR technology surrogate sit mid-grid
   // — the same expert ranging the paper itself applies to the negative-gm
-  // circuit (Fig. 9). See EXPERIMENTS.md "calibration" notes.
+  // circuit (Fig. 9). See docs/EXPERIMENTS.md "calibration" notes.
   prob.params = {
       {"w12_um", 0.25, 25.0, 0.25},  // input pair
       {"w34_um", 0.05, 5.0, 0.05},   // mirror load
@@ -98,14 +128,15 @@ SizingProblem make_two_stage_problem() {
 
   const spice::TechCard card = spice::TechCard::ptm45();
   const auto param_defs = prob.params;
-  prob.evaluate =
+  prob.backend = make_schematic_backend(
       [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
-    const TwoStageParams p = two_stage_params_from_grid(param_defs, idx);
-    auto res = simulate_two_stage(p, card);
-    if (!res.ok()) return res.error();
-    return SpecVector{res->gain, res->ugbw, res->phase_margin,
-                      res->bias_current};
-  };
+        const TwoStageParams p = two_stage_params_from_grid(param_defs, idx);
+        auto res = simulate_two_stage(p, card);
+        if (!res.ok()) return res.error();
+        return SpecVector{res->gain, res->ugbw, res->phase_margin,
+                          res->bias_current};
+      },
+      "two_stage_sim", options);
   return prob;
 }
 
@@ -138,7 +169,7 @@ SizingProblem make_ngm_problem_base() {
   // Paper shape: gain in a wide low band, UGBW band, PM target sampled in
   // [60, 75] (the two-sided sampling that aids PEX transfer, Section
   // III-C/D). Numeric ranges recalibrated to the finfet16 surrogate's
-  // frontier (see EXPERIMENTS.md).
+  // frontier (see docs/EXPERIMENTS.md).
   prob.specs = {
       {"gain_vv", SpecSense::GreaterEq, 100.0, 350.0, 180.0, 0.0},
       {"ugbw_hz", SpecSense::GreaterEq, 3.0e8, 8.0e8, 4.5e8, 0.0},
@@ -149,25 +180,26 @@ SizingProblem make_ngm_problem_base() {
 
 }  // namespace
 
-SizingProblem make_ngm_problem() {
+SizingProblem make_ngm_problem(const ProblemOptions& options) {
   SizingProblem prob = make_ngm_problem_base();
   prob.paper_sim_seconds = 2.4;  // paper: Spectre schematic simulation
 
   const spice::TechCard card = spice::TechCard::finfet16();
   const auto param_defs = prob.params;
-  prob.evaluate =
+  prob.backend = make_schematic_backend(
       [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
-    const NgmParams p = ngm_params_from_grid(param_defs, idx);
-    auto res = simulate_ngm_ota(p, card);
-    if (!res.ok()) return res.error();
-    return SpecVector{res->gain, res->ugbw, res->phase_margin};
-  };
+        const NgmParams p = ngm_params_from_grid(param_defs, idx);
+        auto res = simulate_ngm_ota(p, card);
+        if (!res.ok()) return res.error();
+        return SpecVector{res->gain, res->ugbw, res->phase_margin};
+      },
+      "ngm_sim", options);
   return prob;
 }
 
 std::size_t ngm_pex_corner_count() { return pex::standard_corners().size(); }
 
-SizingProblem make_ngm_pex_problem() {
+SizingProblem make_ngm_pex_problem(const ProblemOptions& options) {
   SizingProblem prob = make_ngm_problem_base();
   prob.name = "ngm_ota_pex";
   prob.description =
@@ -182,24 +214,49 @@ SizingProblem make_ngm_pex_problem() {
   const auto param_defs = prob.params;
   const auto spec_defs = prob.specs;
   const pex::ParasiticModel parasitics = transfer_parasitics();
-  const std::vector<pex::PvtCorner> corners = pex::standard_corners();
 
-  prob.evaluate = [nominal, param_defs, spec_defs, parasitics,
-                   corners](const ParamVector& idx)
-      -> util::Expected<SpecVector> {
+  // Pre-derive one corner card per PVT corner; the per-corner evaluator is
+  // then a pure function of (corner index, grid point), which is what lets
+  // CornerBackend fan the corners out across threads while the fold stays
+  // bit-identical to a serial corner loop.
+  const std::vector<pex::PvtCorner> corners = pex::standard_corners();
+  std::vector<spice::TechCard> corner_cards;
+  corner_cards.reserve(corners.size());
+  for (const pex::PvtCorner& corner : corners) {
+    corner_cards.push_back(pex::apply_corner(nominal, corner));
+  }
+
+  auto corner_eval = [param_defs, parasitics, corner_cards](
+                         std::size_t corner_index,
+                         const ParamVector& idx) -> util::Expected<SpecVector> {
     const NgmParams p = ngm_params_from_grid(param_defs, idx);
-    NgmBuildOptions options;
-    options.parasitics = &parasitics;
-    std::vector<SpecVector> corner_results;
-    for (const pex::PvtCorner& corner : corners) {
-      const spice::TechCard card = pex::apply_corner(nominal, corner);
-      auto res = simulate_ngm_ota(p, card, options);
-      if (!res.ok()) return res.error();
-      corner_results.push_back(
-          SpecVector{res->gain, res->ugbw, res->phase_margin});
-    }
+    NgmBuildOptions build;
+    build.parasitics = &parasitics;
+    auto res = simulate_ngm_ota(p, corner_cards[corner_index], build);
+    if (!res.ok()) return res.error();
+    return SpecVector{res->gain, res->ugbw, res->phase_margin};
+  };
+  auto fold = [spec_defs](const std::vector<SpecVector>& corner_results) {
     return worst_case_fold(spec_defs, corner_results);
   };
+
+  // With parallel corners on, CornerBackend fans out both single points
+  // (over corners) and batches (over point×corner pairs), so no extra
+  // batching layer is needed. With corners forced serial, an optional
+  // ThreadPoolBackend still honours parallel_batch by spreading batch
+  // points across workers (each point's corners staying serial).
+  std::shared_ptr<eval::EvalBackend> backend =
+      std::make_shared<eval::CornerBackend>(
+          corners.size(), std::move(corner_eval), std::move(fold),
+          options.parallel_corners
+              ? (options.pool ? options.pool : eval::ThreadPool::shared())
+              : nullptr,
+          "pex_corners");
+  if (!options.parallel_corners && options.parallel_batch) {
+    backend =
+        std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
+  }
+  prob.backend = wrap_cache(std::move(backend), options);
   return prob;
 }
 

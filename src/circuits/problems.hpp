@@ -3,31 +3,54 @@
 // PEX/PVT variant used by the transfer-learning experiment). Target sampling
 // ranges follow the paper where our technology surrogate makes them
 // achievable; where recalibration was needed the constants below are
-// annotated (see DESIGN.md section 3 and EXPERIMENTS.md).
+// annotated (see docs/DESIGN.md section 3 and docs/EXPERIMENTS.md).
+//
+// Every factory wires an evaluation-backend stack behind the problem:
+// a FunctionBackend leaf (the simulator lambda), fanned out over the batch
+// thread pool, behind a sharded memo cache keyed on grid indices. The PEX
+// factory's leaf is a CornerBackend that simulates PVT corners in parallel
+// and folds the worst case. ProblemOptions strips layers for tests and
+// benchmarks that need the raw serial path.
+
+#include <cstddef>
+#include <memory>
 
 #include "circuits/sizing_problem.hpp"
+#include "eval/thread_pool.hpp"
 #include "pex/parasitics.hpp"
 #include "pex/pvt.hpp"
 #include "spice/mosfet.hpp"
 
 namespace autockt::circuits {
 
+/// Backend-stack configuration shared by all problem factories.
+struct ProblemOptions {
+  bool cache = true;            // sharded memo cache over the grid
+  std::size_t cache_shards = 16;
+  bool parallel_batch = true;   // evaluate_batch() over the worker pool
+  bool parallel_corners = true; // PEX only: PVT corners fanned out
+  /// Worker pool for batch/corner fan-out; null uses the process-wide
+  /// shared pool.
+  std::shared_ptr<eval::ThreadPool> pool;
+};
+
 /// Transimpedance amplifier (Table I / Fig. 5). ptm45 card.
-SizingProblem make_tia_problem();
+SizingProblem make_tia_problem(const ProblemOptions& options = {});
 
 /// Two-stage Miller op-amp (Table II / Figs. 7-8). ptm45 card.
-SizingProblem make_two_stage_problem();
+SizingProblem make_two_stage_problem(const ProblemOptions& options = {});
 
 /// Two-stage OTA with negative-gm load (Table III / Figs. 10-12),
 /// schematic-only evaluation. finfet16 card.
-SizingProblem make_ngm_problem();
+SizingProblem make_ngm_problem(const ProblemOptions& options = {});
 
 /// Same topology evaluated through the PEX substitute: geometry-driven
 /// parasitics plus worst-case over PVT corners (Table IV / Figs. 13-14).
 /// Spec definitions are identical to make_ngm_problem() except the phase
 /// margin target, which deployment fixes at a 60 degree minimum (paper
-/// Section III-D).
-SizingProblem make_ngm_pex_problem();
+/// Section III-D). Corners run through a CornerBackend — in parallel by
+/// default — and fold to spec vectors identical to a serial corner loop.
+SizingProblem make_ngm_pex_problem(const ProblemOptions& options = {});
 
 /// Number of circuit simulations one PEX evaluation costs (the corner
 /// count); used when accounting sample efficiency in paper-equivalent time.

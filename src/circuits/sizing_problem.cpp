@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "eval/function_backend.hpp"
 
 namespace autockt::circuits {
 
@@ -25,6 +28,39 @@ double SpecDef::rel(double observed, double target) const {
 double lookup_norm(double value, double g) {
   const double denom = std::fabs(value) + std::fabs(g) + kDenominatorGuard;
   return (value - g) / denom;
+}
+
+util::Expected<SpecVector> SizingProblem::evaluate(
+    const ParamVector& params) const {
+  if (!backend) {
+    return util::Error{"SizingProblem '" + name + "': no evaluation backend",
+                       -1};
+  }
+  return backend->evaluate(params);
+}
+
+std::vector<util::Expected<SpecVector>> SizingProblem::evaluate_batch(
+    const std::vector<ParamVector>& points) const {
+  if (!backend) {
+    return std::vector<util::Expected<SpecVector>>(
+        points.size(),
+        util::Expected<SpecVector>(util::Error{
+            "SizingProblem '" + name + "': no evaluation backend", -1}));
+  }
+  return backend->evaluate_batch(points);
+}
+
+void SizingProblem::set_evaluator(eval::EvalFn fn, std::string backend_name) {
+  backend = std::make_shared<eval::FunctionBackend>(std::move(fn),
+                                                    std::move(backend_name));
+}
+
+eval::EvalStats SizingProblem::eval_stats() const {
+  return backend ? backend->stats() : eval::EvalStats{};
+}
+
+void SizingProblem::reset_eval_stats() const {
+  if (backend) backend->reset_stats();
 }
 
 double SizingProblem::action_space_log10() const {

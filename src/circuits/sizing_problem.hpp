@@ -4,13 +4,20 @@
 //
 // A problem is: a discretized parameter grid (the paper's [start, end, step]
 // action-space notation), a list of design specifications with senses and
-// target sampling ranges, and an evaluation function mapping a grid point to
-// observed specification values (by running the circuit simulator).
+// target sampling ranges, and an evaluation *backend* mapping grid points to
+// observed specification values (by running the circuit simulator). The
+// backend is the pluggable seam of the system: factories stack caching,
+// batch fan-out and PVT-corner parallelism behind it (see eval/backend.hpp)
+// without any consumer changing how it asks for specs.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "eval/backend.hpp"
+#include "eval/stats.hpp"
+#include "eval/types.hpp"
 #include "util/expected.hpp"
 
 namespace autockt::circuits {
@@ -28,8 +35,11 @@ struct ParamDef {
   double end = 0.0;
   double step = 1.0;
 
-  /// Number of grid points (paper: {x : 0 <= x_i < K}).
+  /// Number of grid points (paper: {x : 0 <= x_i < K}). Degenerate
+  /// definitions (non-positive step, end < start) collapse to a single
+  /// point instead of dividing blindly.
   int grid_size() const {
+    if (step <= 0.0 || end < start) return 1;
     return static_cast<int>((end - start) / step + 1.5);
   }
   /// Physical value at grid index `idx`.
@@ -54,8 +64,8 @@ struct SpecDef {
   }
 };
 
-using SpecVector = std::vector<double>;   // aligned with SizingProblem::specs
-using ParamVector = std::vector<int>;     // grid indices
+using SpecVector = eval::SpecVector;   // aligned with SizingProblem::specs
+using ParamVector = eval::ParamVector; // grid indices
 
 /// Paper's fixed-reference normalization: (value - g) / (value + g), with a
 /// guard for degenerate denominators. Maps (0, inf) to (-1, 1).
@@ -67,10 +77,30 @@ struct SizingProblem {
   std::vector<ParamDef> params;
   std::vector<SpecDef> specs;
 
-  /// Simulate one grid point. Errors indicate the simulator could not
-  /// produce measurements (e.g. DC non-convergence); callers substitute
-  /// per-spec fail_value.
-  std::function<util::Expected<SpecVector>(const ParamVector&)> evaluate;
+  /// The evaluation service behind this problem. Shared so that copies of
+  /// the problem (and every env/worker holding one) see one cache and one
+  /// set of statistics.
+  std::shared_ptr<eval::EvalBackend> backend;
+
+  /// Simulate one grid point through the backend. Errors indicate the
+  /// simulator could not produce measurements (e.g. DC non-convergence);
+  /// callers substitute per-spec fail_value.
+  util::Expected<SpecVector> evaluate(const ParamVector& params) const;
+
+  /// Simulate many grid points; result i corresponds to params[i]. The
+  /// backend may fan out, deduplicate and cache, but values and order are
+  /// those of the serial loop.
+  std::vector<util::Expected<SpecVector>> evaluate_batch(
+      const std::vector<ParamVector>& points) const;
+
+  /// Compat shim: adopt a raw simulator callable as the backend (wrapped in
+  /// a FunctionBackend). Keeps factories and tests terse.
+  void set_evaluator(eval::EvalFn fn, std::string backend_name = "function");
+
+  /// Evaluation telemetry (simulations, cache hits, batch shapes, wall
+  /// time) accumulated by the backend stack since construction/reset.
+  eval::EvalStats eval_stats() const;
+  void reset_eval_stats() const;
 
   /// Per-simulation wall-clock cost reported by the paper for this setup;
   /// used to convert sample counts to paper-equivalent hours.

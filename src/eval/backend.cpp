@@ -1,0 +1,13 @@
+#include "eval/backend.hpp"
+
+namespace autockt::eval {
+
+std::vector<EvalResult> EvalBackend::do_evaluate_batch(
+    const std::vector<ParamVector>& points) {
+  std::vector<EvalResult> out;
+  out.reserve(points.size());
+  for (const ParamVector& p : points) out.push_back(do_evaluate(p));
+  return out;
+}
+
+}  // namespace autockt::eval

@@ -1,0 +1,80 @@
+#pragma once
+// EvalBackend: the pluggable circuit-evaluation service every consumer of a
+// SizingProblem talks to. AutoCkt's whole cost model is the number of
+// circuit simulations (the paper's sample-efficiency metric), so the seam
+// between "I need specs for this grid point" and "run the simulator" is a
+// first-class, composable interface:
+//
+//   FunctionBackend    — adapts a plain simulator callable (the leaf)
+//   CachedBackend      — sharded memo cache over the discrete grid
+//   ThreadPoolBackend  — fans evaluate_batch() out over persistent workers
+//   CornerBackend      — parallel PVT-corner fan-out + worst-case fold
+//
+// Decorators compose: Cached(ThreadPool(Function(...))) gives a batched,
+// cached schematic problem; Cached(Corner(...)) the PEX flow. All backends
+// must be thread-safe: PPO rollout workers evaluate concurrently.
+//
+// Batch semantics: evaluate_batch(points)[i] is exactly what evaluate
+// (points[i]) would return — backends may parallelize, deduplicate and
+// cache, but never change values or their order.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/stats.hpp"
+#include "eval/types.hpp"
+
+namespace autockt::eval {
+
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Evaluate one design point. Thread-safe.
+  EvalResult evaluate(const ParamVector& params) {
+    return do_evaluate(params);
+  }
+
+  /// Evaluate many design points; result i corresponds to points[i].
+  /// Batch-shape accounting happens here (once, at the outermost layer the
+  /// caller holds), so decorators forward internally via dispatch_batch().
+  std::vector<EvalResult> evaluate_batch(
+      const std::vector<ParamVector>& points) {
+    counters_.record_batch(static_cast<long>(points.size()));
+    return do_evaluate_batch(points);
+  }
+
+  /// Snapshot of this backend's activity merged with everything below it.
+  EvalStats stats() const { return counters_.snapshot() + inner_stats(); }
+
+  void reset_stats() {
+    counters_.reset();
+    reset_inner_stats();
+  }
+
+ protected:
+  virtual EvalResult do_evaluate(const ParamVector& params) = 0;
+
+  /// Default batch execution: a serial loop. Leaves inherit this;
+  /// ThreadPoolBackend and CornerBackend override it with real fan-out.
+  virtual std::vector<EvalResult> do_evaluate_batch(
+      const std::vector<ParamVector>& points);
+
+  /// Decorators override these to chain the backend below them.
+  virtual EvalStats inner_stats() const { return {}; }
+  virtual void reset_inner_stats() {}
+
+  /// Forward a batch to another backend without re-recording batch stats
+  /// (protected cross-instance access must go through the base class).
+  static std::vector<EvalResult> dispatch_batch(
+      EvalBackend& backend, const std::vector<ParamVector>& points) {
+    return backend.do_evaluate_batch(points);
+  }
+
+  mutable StatsCollector counters_;
+};
+
+}  // namespace autockt::eval

@@ -1,0 +1,122 @@
+#include "eval/cached_backend.hpp"
+
+#include <algorithm>
+
+namespace autockt::eval {
+
+std::size_t CachedBackend::VectorHash::operator()(const ParamVector& v) const {
+  // FNV-1a over the index words; grid indices are small so byte mixing is
+  // plenty to spread shards and buckets.
+  std::size_t h = 1469598103934665603ULL;
+  for (int x : v) {
+    h ^= static_cast<std::size_t>(static_cast<unsigned>(x));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+CachedBackend::CachedBackend(std::shared_ptr<EvalBackend> inner,
+                             std::size_t shards)
+    : inner_(std::move(inner)) {
+  shards_.reserve(std::max<std::size_t>(1, shards));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+CachedBackend::Shard& CachedBackend::shard_for(
+    const ParamVector& params) const {
+  return *shards_[VectorHash{}(params) % shards_.size()];
+}
+
+std::size_t CachedBackend::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+void CachedBackend::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+  }
+}
+
+EvalResult CachedBackend::do_evaluate(const ParamVector& params) {
+  Shard& shard = shard_for(params);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(params);
+    if (it != shard.map.end()) {
+      counters_.add_cache_hit();
+      return it->second;
+    }
+  }
+  // Simulate outside the stripe lock; concurrent misses on the same key may
+  // both simulate, but the evaluator is a pure function so either insert
+  // wins with the same value.
+  counters_.add_cache_miss();
+  EvalResult result = inner_->evaluate(params);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.emplace(params, result);
+  }
+  return result;
+}
+
+std::vector<EvalResult> CachedBackend::do_evaluate_batch(
+    const std::vector<ParamVector>& points) {
+  std::vector<EvalResult> out(points.size(), EvalResult(SpecVector{}));
+
+  // Pass 1: serve hits, collect unique misses.
+  std::vector<ParamVector> misses;
+  std::unordered_map<ParamVector, std::vector<std::size_t>, VectorHash>
+      miss_slots;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    Shard& shard = shard_for(points[i]);
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.map.find(points[i]);
+      if (it != shard.map.end()) {
+        out[i] = it->second;
+        hit = true;
+      }
+    }
+    if (hit) {
+      counters_.add_cache_hit();
+      continue;
+    }
+    auto [slot_it, inserted] = miss_slots.try_emplace(points[i]);
+    if (inserted) {
+      counters_.add_cache_miss();
+      misses.push_back(points[i]);
+    } else {
+      // A duplicate of an in-flight miss: costs no extra simulation.
+      counters_.add_cache_hit();
+    }
+    slot_it->second.push_back(i);
+  }
+
+  // Pass 2: one (smaller) batch below for the unique misses, preserving any
+  // fan-out machinery underneath.
+  if (!misses.empty()) {
+    std::vector<EvalResult> fresh = dispatch_batch(*inner_, misses);
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      Shard& shard = shard_for(misses[m]);
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map.emplace(misses[m], fresh[m]);
+      }
+      for (std::size_t slot : miss_slots[misses[m]]) {
+        out[slot] = fresh[m];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace autockt::eval

@@ -1,0 +1,60 @@
+#pragma once
+// CachedBackend: a sharded, mutex-striped memo cache keyed on grid indices.
+// The action space is discrete, every episode restarts from the grid
+// centre, and PPO revisits neighbourhoods constantly — so repeat visits are
+// the common case and become near-free. Failures are memoized too: a design
+// point the simulator could not converge on is not re-simulated.
+//
+// Batch calls deduplicate: within one evaluate_batch, identical points cost
+// one simulation (first occurrence counts as the miss, duplicates as hits)
+// and the misses are forwarded below as a single smaller batch so a
+// ThreadPoolBackend / CornerBackend underneath still fans out.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "eval/backend.hpp"
+
+namespace autockt::eval {
+
+class CachedBackend : public EvalBackend {
+ public:
+  explicit CachedBackend(std::shared_ptr<EvalBackend> inner,
+                         std::size_t shards = 16);
+
+  std::string name() const override { return "cached(" + inner_->name() + ")"; }
+
+  /// Entries currently memoized (sums shard sizes; takes every stripe lock).
+  std::size_t size() const;
+  void clear();
+
+  const std::shared_ptr<EvalBackend>& inner() const { return inner_; }
+
+ protected:
+  EvalResult do_evaluate(const ParamVector& params) override;
+  std::vector<EvalResult> do_evaluate_batch(
+      const std::vector<ParamVector>& points) override;
+  EvalStats inner_stats() const override { return inner_->stats(); }
+  void reset_inner_stats() override { inner_->reset_stats(); }
+
+ private:
+  struct VectorHash {
+    std::size_t operator()(const ParamVector& v) const;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<ParamVector, EvalResult, VectorHash> map;
+  };
+
+  Shard& shard_for(const ParamVector& params) const;
+
+  std::shared_ptr<EvalBackend> inner_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace autockt::eval

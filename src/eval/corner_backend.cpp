@@ -1,0 +1,102 @@
+#include "eval/corner_backend.hpp"
+
+#include <chrono>
+#include <exception>
+#include <optional>
+
+namespace autockt::eval {
+
+CornerBackend::CornerBackend(std::size_t num_corners, CornerFn corner_eval,
+                             FoldFn fold, std::shared_ptr<ThreadPool> pool,
+                             std::string name)
+    : num_corners_(num_corners),
+      corner_eval_(std::move(corner_eval)),
+      fold_(std::move(fold)),
+      pool_(std::move(pool)),
+      name_(std::move(name)) {}
+
+void CornerBackend::for_each(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (pool_) {
+    pool_->parallel_for(n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+EvalResult CornerBackend::run_one(const ParamVector& params,
+                                  std::size_t corner) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  EvalResult result = [&]() -> EvalResult {
+    try {
+      return corner_eval_(corner, params);
+    } catch (const std::exception& e) {
+      return util::Error{std::string("corner evaluator threw: ") + e.what(),
+                         -1};
+    } catch (...) {
+      return util::Error{"corner evaluator threw a non-std exception", -1};
+    }
+  }();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  counters_.add_simulations(1, dt.count());
+  return result;
+}
+
+EvalResult CornerBackend::fold_point(
+    std::vector<EvalResult>& corner_results) const {
+  // Serial-loop parity: surface the error of the first failing corner.
+  for (EvalResult& r : corner_results) {
+    if (!r.ok()) return r.error();
+  }
+  std::vector<SpecVector> specs;
+  specs.reserve(corner_results.size());
+  for (EvalResult& r : corner_results) specs.push_back(std::move(r.value()));
+  return fold_(specs);
+}
+
+EvalResult CornerBackend::do_evaluate(const ParamVector& params) {
+  if (num_corners_ == 0) {
+    return util::Error{"CornerBackend: no corners configured", -1};
+  }
+  std::vector<std::optional<EvalResult>> scratch(num_corners_);
+  for_each(num_corners_, [&](std::size_t c) {
+    scratch[c].emplace(run_one(params, c));
+  });
+  std::vector<EvalResult> ordered;
+  ordered.reserve(num_corners_);
+  for (auto& slot : scratch) ordered.push_back(std::move(*slot));
+  return fold_point(ordered);
+}
+
+std::vector<EvalResult> CornerBackend::do_evaluate_batch(
+    const std::vector<ParamVector>& points) {
+  if (num_corners_ == 0 || points.empty()) {
+    return std::vector<EvalResult>(
+        points.size(),
+        EvalResult(util::Error{"CornerBackend: no corners configured", -1}));
+  }
+  // Flatten (point, corner) pairs so small populations on many-corner
+  // problems still fill the pool.
+  std::vector<std::optional<EvalResult>> scratch(points.size() *
+                                                 num_corners_);
+  for_each(scratch.size(), [&](std::size_t flat) {
+    const std::size_t point = flat / num_corners_;
+    const std::size_t corner = flat % num_corners_;
+    scratch[flat].emplace(run_one(points[point], corner));
+  });
+
+  std::vector<EvalResult> out;
+  out.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<EvalResult> ordered;
+    ordered.reserve(num_corners_);
+    for (std::size_t c = 0; c < num_corners_; ++c) {
+      ordered.push_back(std::move(*scratch[p * num_corners_ + c]));
+    }
+    out.push_back(fold_point(ordered));
+  }
+  return out;
+}
+
+}  // namespace autockt::eval

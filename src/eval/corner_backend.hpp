@@ -1,0 +1,66 @@
+#pragma once
+// CornerBackend: parallel PVT-corner fan-out for the PEX flow. One logical
+// evaluation of a design point runs `num_corners` independent simulations
+// (the paper's BAG flow simulates every candidate across process / voltage /
+// temperature corners) and folds them into the per-spec worst case.
+//
+// Parity with the serial reference loop is part of the contract:
+//  * fold input is ordered by corner index regardless of completion order,
+//  * on failure the error returned is the one of the LOWEST-indexed failing
+//    corner — exactly what a serial for-loop over corners would surface.
+// The only observable difference to the serial loop is that all corners are
+// simulated even when an early corner fails (the price of fan-out), which
+// shows up in EvalStats::simulations, never in results.
+//
+// The fold is injected as a callable so this layer does not depend on the
+// circuits layer (which owns SpecDef senses and worst_case_fold).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "eval/backend.hpp"
+#include "eval/thread_pool.hpp"
+
+namespace autockt::eval {
+
+class CornerBackend : public EvalBackend {
+ public:
+  /// Simulate `params` under corner `corner_index` in [0, num_corners).
+  using CornerFn =
+      std::function<EvalResult(std::size_t corner_index, const ParamVector&)>;
+  /// Fold per-corner spec vectors (ordered by corner index) into one.
+  using FoldFn = std::function<SpecVector(const std::vector<SpecVector>&)>;
+
+  /// A null pool runs corners serially inline (the reference path the
+  /// parity tests compare against).
+  CornerBackend(std::size_t num_corners, CornerFn corner_eval, FoldFn fold,
+                std::shared_ptr<ThreadPool> pool = ThreadPool::shared(),
+                std::string name = "corners");
+
+  std::string name() const override { return name_; }
+  std::size_t num_corners() const { return num_corners_; }
+
+ protected:
+  EvalResult do_evaluate(const ParamVector& params) override;
+  /// Batch fan-out flattens (point, corner) pairs across the pool so a GA
+  /// population over the PEX problem saturates the workers.
+  std::vector<EvalResult> do_evaluate_batch(
+      const std::vector<ParamVector>& points) override;
+
+ private:
+  EvalResult run_one(const ParamVector& params, std::size_t corner) const;
+  EvalResult fold_point(std::vector<EvalResult>& corner_results) const;
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& body) const;
+
+  std::size_t num_corners_;
+  CornerFn corner_eval_;
+  FoldFn fold_;
+  std::shared_ptr<ThreadPool> pool_;
+  std::string name_;
+};
+
+}  // namespace autockt::eval

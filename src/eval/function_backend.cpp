@@ -1,0 +1,25 @@
+#include "eval/function_backend.hpp"
+
+#include <chrono>
+#include <exception>
+
+namespace autockt::eval {
+
+EvalResult FunctionBackend::do_evaluate(const ParamVector& params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EvalResult result = [&]() -> EvalResult {
+    try {
+      return fn_(params);
+    } catch (const std::exception& e) {
+      return util::Error{std::string("evaluator threw: ") + e.what(), -1};
+    } catch (...) {
+      return util::Error{"evaluator threw a non-std exception", -1};
+    }
+  }();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  counters_.add_simulations(1, dt.count());
+  return result;
+}
+
+}  // namespace autockt::eval

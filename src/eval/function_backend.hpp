@@ -1,0 +1,31 @@
+#pragma once
+// FunctionBackend: the leaf of every backend stack — adapts a plain
+// simulator callable (the lambdas the problem factories build) into the
+// EvalBackend interface, charging each call to the simulation counter and
+// the simulator wall-time clock. Exceptions escaping the callable are
+// converted to Error results so one bad design point cannot take down a
+// batch worker.
+
+#include <string>
+#include <utility>
+
+#include "eval/backend.hpp"
+
+namespace autockt::eval {
+
+class FunctionBackend : public EvalBackend {
+ public:
+  explicit FunctionBackend(EvalFn fn, std::string name = "function")
+      : fn_(std::move(fn)), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+ protected:
+  EvalResult do_evaluate(const ParamVector& params) override;
+
+ private:
+  EvalFn fn_;
+  std::string name_;
+};
+
+}  // namespace autockt::eval

@@ -1,0 +1,84 @@
+#include "eval/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace autockt::eval {
+
+EvalStats& EvalStats::operator+=(const EvalStats& other) {
+  simulations += other.simulations;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  batch_calls += other.batch_calls;
+  batch_points += other.batch_points;
+  max_batch = std::max(max_batch, other.max_batch);
+  sim_seconds += other.sim_seconds;
+  return *this;
+}
+
+EvalStats EvalStats::operator+(const EvalStats& other) const {
+  EvalStats out = *this;
+  out += other;
+  return out;
+}
+
+EvalStats EvalStats::since(const EvalStats& before) const {
+  EvalStats out;
+  out.simulations = simulations - before.simulations;
+  out.cache_hits = cache_hits - before.cache_hits;
+  out.cache_misses = cache_misses - before.cache_misses;
+  out.batch_calls = batch_calls - before.batch_calls;
+  out.batch_points = batch_points - before.batch_points;
+  out.max_batch = max_batch;  // a high-water mark does not subtract
+  out.sim_seconds = sim_seconds - before.sim_seconds;
+  return out;
+}
+
+double EvalStats::cache_hit_rate() const {
+  const long total = cache_lookups();
+  return total == 0 ? 0.0
+                    : static_cast<double>(cache_hits) /
+                          static_cast<double>(total);
+}
+
+double EvalStats::mean_batch_size() const {
+  return batch_calls == 0 ? 0.0
+                          : static_cast<double>(batch_points) /
+                                static_cast<double>(batch_calls);
+}
+
+std::string EvalStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "sims=%ld cache_hits=%ld cache_misses=%ld hit_rate=%.1f%% "
+                "batches=%ld mean_batch=%.1f max_batch=%ld sim_time=%.3fs",
+                simulations, cache_hits, cache_misses,
+                100.0 * cache_hit_rate(), batch_calls, mean_batch_size(),
+                max_batch, sim_seconds);
+  return std::string(buf);
+}
+
+EvalStats StatsCollector::snapshot() const {
+  EvalStats s;
+  s.simulations = simulations_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+  s.batch_points = batch_points_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.sim_seconds =
+      static_cast<double>(sim_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+void StatsCollector::reset() {
+  simulations_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  batch_calls_.store(0, std::memory_order_relaxed);
+  batch_points_.store(0, std::memory_order_relaxed);
+  max_batch_.store(0, std::memory_order_relaxed);
+  sim_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace autockt::eval

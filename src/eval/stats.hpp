@@ -1,0 +1,85 @@
+#pragma once
+// Instrumentation for the evaluation layer. Every backend keeps a
+// StatsCollector (lock-free atomic counters, safe under the PPO rollout
+// workers and the batch thread pool) and exposes an EvalStats snapshot;
+// decorator stacks merge snapshots so the top of the stack reports the
+// whole pipeline: real simulations run, cache hits/misses, batch shapes and
+// simulator wall time.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace autockt::eval {
+
+/// Plain-value snapshot of evaluation activity. Field ownership is
+/// per-layer so that merging never double counts:
+///  * simulations / sim_seconds — leaf backends (Function, Corner)
+///  * cache_hits / cache_misses — CachedBackend
+///  * batch_* — the outermost backend that received an evaluate_batch call
+struct EvalStats {
+  long simulations = 0;   // real simulator invocations (PEX: one per corner)
+  long cache_hits = 0;    // evaluations answered from the memo cache
+  long cache_misses = 0;  // evaluations that had to reach the simulator
+  long batch_calls = 0;   // evaluate_batch() invocations
+  long batch_points = 0;  // points submitted through evaluate_batch()
+  long max_batch = 0;     // largest single batch seen
+  double sim_seconds = 0.0;  // wall time spent inside simulator calls
+
+  EvalStats& operator+=(const EvalStats& other);
+  EvalStats operator+(const EvalStats& other) const;
+  /// Activity since `before` was snapshotted (counter-wise difference).
+  EvalStats since(const EvalStats& before) const;
+
+  /// Evaluations that passed through a cache layer (hits + misses). Zero
+  /// for cache-less stacks even when simulations ran — use `simulations`
+  /// for raw simulator traffic.
+  long cache_lookups() const { return cache_hits + cache_misses; }
+  /// Hits over lookups; 0 when no cache layer saw any traffic.
+  double cache_hit_rate() const;
+  double mean_batch_size() const;
+
+  /// One-line human-readable summary for logs and example binaries.
+  std::string summary() const;
+};
+
+/// Thread-safe accumulator backing EvalStats. Backends mutate it from
+/// const-qualified evaluation paths, hence the mutable use sites.
+class StatsCollector {
+ public:
+  void add_simulations(long n, double seconds) {
+    simulations_.fetch_add(n, std::memory_order_relaxed);
+    sim_nanos_.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+  }
+  void add_cache_hit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_cache_hits(long n) {
+    cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_cache_miss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_batch(long points) {
+    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    batch_points_.fetch_add(points, std::memory_order_relaxed);
+    long prev = max_batch_.load(std::memory_order_relaxed);
+    while (prev < points &&
+           !max_batch_.compare_exchange_weak(prev, points,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  EvalStats snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<long> simulations_{0};
+  std::atomic<long> cache_hits_{0};
+  std::atomic<long> cache_misses_{0};
+  std::atomic<long> batch_calls_{0};
+  std::atomic<long> batch_points_{0};
+  std::atomic<long> max_batch_{0};
+  std::atomic<std::int64_t> sim_nanos_{0};
+};
+
+}  // namespace autockt::eval

@@ -1,0 +1,126 @@
+#include "eval/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace autockt::eval {
+
+namespace {
+thread_local bool t_inside_pool_worker = false;
+}
+
+struct ThreadPool::Job {
+  Job(std::size_t n, const std::function<void(std::size_t)>& body)
+      : n(n), body(body) {}
+
+  const std::size_t n;
+  const std::function<void(std::size_t)>& body;  // outlives the job: the
+                                                 // submitting thread waits
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex m;
+  std::condition_variable done_cv;
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= n;
+  }
+
+  /// Claim and run indices until none remain. Returns true if this call
+  /// completed the final index.
+  bool run_until_empty() {
+    bool finished_last = false;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      body(i);
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        finished_last = true;
+      }
+    }
+    if (finished_last) {
+      std::lock_guard<std::mutex> lock(m);
+      done_cv.notify_all();
+    }
+    return finished_last;
+  }
+
+  void wait_done() {
+    std::unique_lock<std::mutex> lock(m);
+    done_cv.wait(lock, [&] {
+      return completed.load(std::memory_order_acquire) >= n;
+    });
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+      if (stopping_) return;
+      job = jobs_.front();
+      if (job->exhausted()) {
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    job->run_until_empty();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Inline when parallelism cannot help or when called from a worker
+  // (nested fan-out): grabbing the queue from inside a job risks deadlock.
+  if (n == 1 || workers_.empty() || t_inside_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto job = std::make_shared<Job>(n, body);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  job->run_until_empty();  // the caller helps instead of blocking
+  job->wait_done();
+  {
+    // Drop the job from the queue if a worker has not already done so.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::shared() {
+  static std::shared_ptr<ThreadPool> pool = std::make_shared<ThreadPool>();
+  return pool;
+}
+
+}  // namespace autockt::eval

@@ -1,0 +1,57 @@
+#pragma once
+// A small persistent worker pool for the evaluation layer. Two properties
+// matter here and drove the design:
+//
+//  * The calling thread participates: parallel_for never parks the caller
+//    while work remains, so a pool of size 1 (or an exhausted pool) still
+//    makes progress.
+//  * Nesting is safe: a body that itself calls parallel_for (a batched PEX
+//    evaluation fanning out corners per point) runs the inner loop inline
+//    on the worker instead of deadlocking on the queue.
+//
+// Bodies must not throw — backend adapters convert simulator exceptions to
+// Error results before they reach the pool.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autockt::eval {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run body(0) .. body(n-1), potentially concurrently; returns when all
+  /// have completed. Safe to call from inside a pool worker (runs inline).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Lazily-created process-wide pool shared by backends that are not
+  /// handed a dedicated one.
+  static std::shared_ptr<ThreadPool> shared();
+
+ private:
+  struct Job;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace autockt::eval

@@ -1,0 +1,25 @@
+#include "eval/threaded_backend.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace autockt::eval {
+
+ThreadPoolBackend::ThreadPoolBackend(std::shared_ptr<EvalBackend> inner,
+                                     std::shared_ptr<ThreadPool> pool)
+    : inner_(std::move(inner)),
+      pool_(pool ? std::move(pool) : ThreadPool::shared()) {}
+
+std::vector<EvalResult> ThreadPoolBackend::do_evaluate_batch(
+    const std::vector<ParamVector>& points) {
+  std::vector<std::optional<EvalResult>> scratch(points.size());
+  pool_->parallel_for(points.size(), [&](std::size_t i) {
+    scratch[i].emplace(inner_->evaluate(points[i]));
+  });
+  std::vector<EvalResult> out;
+  out.reserve(points.size());
+  for (auto& slot : scratch) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace autockt::eval

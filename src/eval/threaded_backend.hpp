@@ -1,0 +1,42 @@
+#pragma once
+// ThreadPoolBackend: fans evaluate_batch() out over a persistent worker
+// pool. Single-point evaluate() forwards untouched — there is nothing to
+// parallelize — so stacking this decorator never changes values, only
+// wall-clock. GA populations and GA+ML candidate rankings are the natural
+// customers.
+
+#include <memory>
+#include <string>
+
+#include "eval/backend.hpp"
+#include "eval/thread_pool.hpp"
+
+namespace autockt::eval {
+
+class ThreadPoolBackend : public EvalBackend {
+ public:
+  /// A null pool falls back to the process-wide shared pool.
+  explicit ThreadPoolBackend(std::shared_ptr<EvalBackend> inner,
+                             std::shared_ptr<ThreadPool> pool = nullptr);
+
+  std::string name() const override {
+    return "threaded(" + inner_->name() + ")";
+  }
+
+  const std::shared_ptr<EvalBackend>& inner() const { return inner_; }
+
+ protected:
+  EvalResult do_evaluate(const ParamVector& params) override {
+    return inner_->evaluate(params);
+  }
+  std::vector<EvalResult> do_evaluate_batch(
+      const std::vector<ParamVector>& points) override;
+  EvalStats inner_stats() const override { return inner_->stats(); }
+  void reset_inner_stats() override { inner_->reset_stats(); }
+
+ private:
+  std::shared_ptr<EvalBackend> inner_;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+}  // namespace autockt::eval

@@ -1,0 +1,28 @@
+#pragma once
+// Foundational types of the evaluation-backend layer. The eval subsystem is
+// the lowest layer that knows about "a point on the sizing grid" and "a
+// vector of measured specifications"; the circuits layer aliases these so
+// that both speak the same vocabulary without a circular dependency.
+
+#include <functional>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace autockt::eval {
+
+/// A design point expressed as discrete grid indices (the paper's
+/// {x : 0 <= x_i < K} action space).
+using ParamVector = std::vector<int>;
+
+/// Observed specification values, aligned with the owning problem's specs.
+using SpecVector = std::vector<double>;
+
+/// One evaluation outcome: measured specs, or the simulator's error (e.g.
+/// DC non-convergence) which callers map to per-spec fail values.
+using EvalResult = util::Expected<SpecVector>;
+
+/// The raw simulator callable adapted by FunctionBackend.
+using EvalFn = std::function<EvalResult(const ParamVector&)>;
+
+}  // namespace autockt::eval

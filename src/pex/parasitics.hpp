@@ -1,6 +1,6 @@
 #pragma once
 // Geometry-driven parasitic model: the stand-in for the Berkeley Analog
-// Generator's layout + extraction flow (see DESIGN.md substitution table).
+// Generator's layout + extraction flow (see docs/DESIGN.md substitution table).
 //
 // A layout generator produces, for a given parameter vector, a deterministic
 // layout — and therefore deterministic parasitics that grow with device

@@ -108,6 +108,11 @@ TrainHistory PpoAgent::train(
   nn::Adam opt_policy(policy_.param_count(), config_.lr_policy);
   nn::Adam opt_value(value_.param_count(), config_.lr_value);
 
+  // All envs from the factory share one problem (and thus one evaluation
+  // backend), so any instance can observe the global backend telemetry.
+  env::SizingEnv stats_probe = env_factory();
+  const eval::EvalStats eval_baseline = stats_probe.problem().eval_stats();
+
   const int workers = std::max(1, config_.num_workers);
   long cumulative_steps = 0;
   int patience_hits = 0;
@@ -313,6 +318,10 @@ TrainHistory PpoAgent::train(
         value_loss_acc / static_cast<double>(std::max(loss_terms, 1L));
     stats.entropy = entropy_acc /
                     static_cast<double>(std::max(loss_terms, 1L) * num_params_);
+    const eval::EvalStats eval_now =
+        stats_probe.problem().eval_stats().since(eval_baseline);
+    stats.cumulative_simulations = eval_now.simulations;
+    stats.cumulative_cache_hits = eval_now.cache_hits;
     history.iterations.push_back(stats);
     if (on_iteration) on_iteration(stats);
 
@@ -327,6 +336,7 @@ TrainHistory PpoAgent::train(
     }
   }
   history.total_env_steps = cumulative_steps;
+  history.eval_stats = stats_probe.problem().eval_stats().since(eval_baseline);
   return history;
 }
 

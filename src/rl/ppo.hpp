@@ -17,6 +17,7 @@
 
 #include "circuits/sizing_problem.hpp"
 #include "env/sizing_env.hpp"
+#include "eval/stats.hpp"
 #include "nn/mlp.hpp"
 #include "util/rng.hpp"
 
@@ -62,12 +63,18 @@ struct IterationStats {
   double policy_loss = 0.0;
   double value_loss = 0.0;
   double entropy = 0.0;
+  /// Evaluation-backend activity since training started (cumulative):
+  /// real simulations vs cache hits — the paper's true cost axis.
+  long cumulative_simulations = 0;
+  long cumulative_cache_hits = 0;
 };
 
 struct TrainHistory {
   std::vector<IterationStats> iterations;
   bool converged = false;
   long total_env_steps = 0;
+  /// Backend activity over the whole training run (delta from train start).
+  eval::EvalStats eval_stats;
 };
 
 class PpoAgent {

@@ -4,7 +4,7 @@
 // capacitances.
 //
 // This is the stand-in for the paper's BSIM 45 nm predictive models and the
-// TSMC 16 nm FinFET PDK (see DESIGN.md, substitution table). The model is
+// TSMC 16 nm FinFET PDK (see docs/DESIGN.md, substitution table). The model is
 // C-infinity smooth in all terminal voltages, which keeps Newton iterations
 // well-behaved across the whole sizing grid:
 //
@@ -119,7 +119,7 @@ class Mosfet : public Device {
   MosType type_;
   MosGeom geom_;
   // Card-derived constants captured at construction (cards are per-corner
-  // value types; see DESIGN.md).
+  // value types; see docs/DESIGN.md).
   double u_cox_, vth_, lambda_eff_, nvt_, gamma_noise_, kf_, cox_area_;
   double temp_k_;
   double cgs_, cgd_, cdb_, csb_;

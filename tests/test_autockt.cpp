@@ -96,15 +96,17 @@ TEST(AutoCkt, TransferAcrossEnvironments) {
   auto outcome = core::train_agent(base, small_config());
 
   auto shifted = test_support::make_synthetic_problem(3, 21);
-  const auto base_eval = shifted.evaluate;
-  shifted.evaluate = [base_eval](const circuits::ParamVector& p)
-      -> util::Expected<circuits::SpecVector> {
-    auto specs = base_eval(p);
-    if (!specs.ok()) return specs;
-    (*specs)[0] *= 0.97;  // GreaterEq spec degraded
-    (*specs)[1] *= 1.02;  // LessEq spec degraded
-    return specs;
-  };
+  const auto base_backend = shifted.backend;
+  shifted.set_evaluator(
+      [base_backend](const circuits::ParamVector& p)
+          -> util::Expected<circuits::SpecVector> {
+        auto specs = base_backend->evaluate(p);
+        if (!specs.ok()) return specs;
+        (*specs)[0] *= 0.97;  // GreaterEq spec degraded
+        (*specs)[1] *= 1.02;  // LessEq spec degraded
+        return specs;
+      },
+      "pexish");
   auto pexish = std::make_shared<const circuits::SizingProblem>(
       std::move(shifted));
 
@@ -176,4 +178,66 @@ TEST(Experiments, RandomOverTargetsAggregates) {
   EXPECT_EQ(agg.targets, 10);
   EXPECT_GE(agg.reached, 0);
   EXPECT_LE(agg.reached, 10);
+}
+
+// ---- evaluation-backend telemetry ------------------------------------------
+
+#include "eval/cached_backend.hpp"
+
+namespace {
+
+/// Synthetic problem behind a memo cache, as the real factories build it.
+std::shared_ptr<const circuits::SizingProblem> synth_cached() {
+  auto prob = test_support::make_synthetic_problem(3, 21);
+  prob.backend = std::make_shared<eval::CachedBackend>(prob.backend, 8);
+  return std::make_shared<const circuits::SizingProblem>(std::move(prob));
+}
+
+}  // namespace
+
+TEST(AutoCkt, RepeatedDeploymentHitsCacheWithUnchangedOutcomes) {
+  auto prob = synth_cached();
+  // An untrained agent is fine: deployment behavior is deterministic for a
+  // fixed seed, which is exactly what makes the second pass cacheable.
+  rl::PpoConfig ppo;
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+  env::SizingEnv probe(prob, env_config);
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), ppo);
+
+  util::Rng rng(21);
+  const auto targets = env::sample_targets(*prob, 8, rng);
+  const auto first =
+      core::deploy_agent(agent, prob, targets, env_config, false, 77);
+  const auto second =
+      core::deploy_agent(agent, prob, targets, env_config, false, 77);
+
+  // Outcomes are unchanged...
+  ASSERT_EQ(first.total(), second.total());
+  for (int i = 0; i < first.total(); ++i) {
+    EXPECT_EQ(first.records[i].reached, second.records[i].reached);
+    EXPECT_EQ(first.records[i].steps, second.records[i].steps);
+    EXPECT_EQ(first.records[i].final_params, second.records[i].final_params);
+    EXPECT_EQ(first.records[i].final_specs, second.records[i].final_specs);
+  }
+  // ...but the second pass is answered from the cache.
+  EXPECT_GT(second.eval_stats.cache_hits, 0);
+  EXPECT_EQ(second.eval_stats.simulations, 0);
+  EXPECT_GT(first.eval_stats.cache_misses, 0);
+}
+
+TEST(AutoCkt, TrainingSurfacesEvalStats) {
+  auto prob = synth_cached();
+  auto config = small_config();
+  config.ppo.max_iterations = 2;
+  auto outcome = core::train_agent(prob, config);
+  const auto& history = outcome.history;
+  EXPECT_GT(history.eval_stats.cache_lookups(), 0);
+  // Every episode restarts from the grid centre, so training revisits at
+  // least that point constantly.
+  EXPECT_GT(history.eval_stats.cache_hits, 0);
+  ASSERT_FALSE(history.iterations.empty());
+  const auto& last = history.iterations.back();
+  EXPECT_GT(last.cumulative_simulations + last.cumulative_cache_hits, 0);
+  EXPECT_EQ(last.cumulative_cache_hits, history.eval_stats.cache_hits);
 }

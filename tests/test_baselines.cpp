@@ -173,3 +173,72 @@ TEST(GaMl, DiscriminatorEconomyUsesFewerSimsPerCandidate) {
   const auto r = baselines::run_ga_ml(prob, {1e9, -1e9, 0.0}, config);
   EXPECT_LE(r.total_evals, config.ga.max_evals + 30);
 }
+
+// ---- evaluation-backend equivalence ----------------------------------------
+// The GA simulates whole generations through evaluate_batch(); a cached +
+// thread-pooled backend must reproduce the plain serial backend's GaResult
+// bit for bit at a fixed seed — the backend is allowed to change wall-clock
+// and sim counts, never values or the search trajectory.
+
+#include "eval/cached_backend.hpp"
+#include "eval/thread_pool.hpp"
+#include "eval/threaded_backend.hpp"
+
+namespace {
+
+circuits::SizingProblem synth_with_decorated_backend() {
+  auto prob = test_support::make_synthetic_problem(3, 21);
+  prob.backend = std::make_shared<eval::CachedBackend>(
+      std::make_shared<eval::ThreadPoolBackend>(
+          prob.backend, std::make_shared<eval::ThreadPool>(4)),
+      8);
+  return prob;
+}
+
+void expect_same_ga_result(const baselines::GaResult& a,
+                           const baselines::GaResult& b) {
+  EXPECT_EQ(a.reached, b.reached);
+  EXPECT_EQ(a.evals_to_reach, b.evals_to_reach);
+  EXPECT_EQ(a.total_evals, b.total_evals);
+  EXPECT_DOUBLE_EQ(a.best_reward, b.best_reward);
+  EXPECT_EQ(a.best_params, b.best_params);
+  EXPECT_EQ(a.best_specs, b.best_specs);
+}
+
+}  // namespace
+
+TEST(GeneticAlgorithm, BatchedBackendMatchesSerialBackend) {
+  const auto serial_prob = synth();
+  const auto batched_prob = synth_with_decorated_backend();
+  const SpecVector target = {10.4, 4.8, 1.4};
+  for (std::uint64_t seed : {2ULL, 5ULL, 9ULL}) {
+    baselines::GaConfig config;
+    config.max_evals = 2500;
+    config.seed = seed;
+    expect_same_ga_result(baselines::run_ga(serial_prob, target, config),
+                          baselines::run_ga(batched_prob, target, config));
+  }
+}
+
+TEST(GaMl, BatchedBackendMatchesSerialBackend) {
+  const auto serial_prob = synth();
+  const auto batched_prob = synth_with_decorated_backend();
+  const SpecVector target = {10.4, 4.8, 1.4};
+  baselines::GaMlConfig config;
+  config.ga.max_evals = 1200;
+  config.ga.seed = 4;
+  config.seed = 4;
+  expect_same_ga_result(baselines::run_ga_ml(serial_prob, target, config),
+                        baselines::run_ga_ml(batched_prob, target, config));
+}
+
+TEST(GeneticAlgorithm, BudgetCapRespectedWithBatching) {
+  const auto prob = synth_with_decorated_backend();
+  baselines::GaConfig config;
+  config.max_evals = 97;  // deliberately not a multiple of the population
+  config.seed = 8;
+  // An unreachable target forces the run to the eval cap.
+  const auto r = baselines::run_ga(prob, {14.0, 4.0, 1.0}, config);
+  EXPECT_FALSE(r.reached);
+  EXPECT_EQ(r.total_evals, 97);
+}

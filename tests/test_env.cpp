@@ -137,10 +137,10 @@ TEST(SizingEnv, SimulationCounting) {
 
 TEST(SizingEnv, FailedEvaluationsFallBackToFailSpecs) {
   auto prob = test_support::make_synthetic_problem();
-  prob.evaluate = [](const circuits::ParamVector&)
-      -> util::Expected<circuits::SpecVector> {
+  prob.set_evaluator([](const circuits::ParamVector&)
+                         -> util::Expected<circuits::SpecVector> {
     return util::Error{"synthetic failure"};
-  };
+  });
   SizingEnv env(std::make_shared<const circuits::SizingProblem>(std::move(prob)),
                 EnvConfig{});
   env.reset();

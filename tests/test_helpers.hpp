@@ -35,19 +35,22 @@ inline circuits::SizingProblem make_synthetic_problem(int n_params = 3,
       {"power", circuits::SpecSense::Minimize, 1.25, 1.5, 1.35, 100.0},
   };
   const auto params = prob.params;
-  prob.evaluate = [params](const circuits::ParamVector& idx)
-      -> util::Expected<circuits::SpecVector> {
-    double sum = 0.0, mean_abs = 0.0;
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const double hi = params[i].end;
-      const double x = 2.0 * static_cast<double>(idx[i]) / hi - 1.0;  // [-1,1]
-      sum += x;
-      mean_abs += std::fabs(x);
-    }
-    const double n = static_cast<double>(idx.size());
-    return circuits::SpecVector{10.0 + sum, 5.0 - sum / n,
-                                1.0 + 0.5 * mean_abs / n};
-  };
+  prob.set_evaluator(
+      [params](const circuits::ParamVector& idx)
+          -> util::Expected<circuits::SpecVector> {
+        double sum = 0.0, mean_abs = 0.0;
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          const double hi = params[i].end;
+          const double x =
+              2.0 * static_cast<double>(idx[i]) / hi - 1.0;  // [-1,1]
+          sum += x;
+          mean_abs += std::fabs(x);
+        }
+        const double n = static_cast<double>(idx.size());
+        return circuits::SpecVector{10.0 + sum, 5.0 - sum / n,
+                                    1.0 + 0.5 * mean_abs / n};
+      },
+      "synthetic");
   prob.paper_sim_seconds = 0.001;
   return prob;
 }

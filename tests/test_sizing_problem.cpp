@@ -183,3 +183,30 @@ TEST(PaperProblems, PexVariantFixesPmLowerBound) {
   EXPECT_DOUBLE_EQ(pex.specs[2].sample_lo, 60.0);
   EXPECT_GT(pex.paper_sim_seconds, make_ngm_problem().paper_sim_seconds);
 }
+
+// ---- degenerate parameter definitions --------------------------------------
+
+TEST(ParamDef, DegenerateStepCollapsesToSinglePoint) {
+  ParamDef zero_step{"bad", 1.0, 10.0, 0.0};
+  EXPECT_EQ(zero_step.grid_size(), 1);
+  ParamDef negative_step{"bad", 1.0, 10.0, -2.0};
+  EXPECT_EQ(negative_step.grid_size(), 1);
+  // value(0) is still the start of the range.
+  EXPECT_DOUBLE_EQ(zero_step.value(0), 1.0);
+}
+
+TEST(ParamDef, ReversedRangeCollapsesToSinglePoint) {
+  ParamDef reversed{"bad", 10.0, 2.0, 1.0};
+  EXPECT_EQ(reversed.grid_size(), 1);
+  EXPECT_DOUBLE_EQ(reversed.value(0), 10.0);
+}
+
+TEST(ParamDef, DegenerateDefsKeepProblemHelpersSafe) {
+  SizingProblem prob;
+  prob.params = {{"ok", 0.0, 4.0, 1.0}, {"bad", 3.0, 3.0, 0.0}};
+  // A 1-point axis contributes log10(1) = 0 and centres at index 0.
+  EXPECT_NEAR(prob.action_space_log10(), std::log10(5.0), 1e-12);
+  EXPECT_EQ(prob.center_params(), (ParamVector{2, 0}));
+  EXPECT_TRUE(prob.valid_params({0, 0}));
+  EXPECT_FALSE(prob.valid_params({0, 1}));
+}
