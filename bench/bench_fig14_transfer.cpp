@@ -110,7 +110,8 @@ int main(int argc, char** argv) {
     auto lb = circuits::make_ngm_problem();
     lb.specs[2].sample_lo = 60.0;
     lb.specs[2].sample_hi = 60.0;
-    auto lb_problem = std::make_shared<const circuits::SizingProblem>(std::move(lb));
+    auto lb_problem =
+        std::make_shared<const circuits::SizingProblem>(std::move(lb));
     core::AutoCktConfig lb_config = config;
     lb_config.ppo.max_iterations = scale.quick ? 10 : 30;
     auto lb_outcome = core::train_agent(lb_problem, lb_config);

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       "Robustness", "Training robustness to random seeds (paper Section III)",
       *problem);
 
-  const int n_seeds = static_cast<int>(args.get_int("seeds", scale.quick ? 2 : 3));
+  const int n_seeds =
+      static_cast<int>(args.get_int("seeds", scale.quick ? 2 : 3));
   const auto n_deploy = static_cast<std::size_t>(
       args.get_int("deploy", scale.quick ? 50 : 150));
 

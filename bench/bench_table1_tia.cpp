@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
 
   // GA baseline with the paper's population-size sweep protocol.
   const auto n_ga =
-      static_cast<std::size_t>(args.get_int("ga_targets", scale.quick ? 4 : 12));
+      static_cast<std::size_t>(
+          args.get_int("ga_targets", scale.quick ? 4 : 12));
   baselines::GaConfig ga;
   ga.max_evals = 8000;
   ga.seed = scale.seed;

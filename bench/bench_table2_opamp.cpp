@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
 
   // GA row.
   const auto n_ga =
-      static_cast<std::size_t>(args.get_int("ga_targets", scale.quick ? 3 : 10));
+      static_cast<std::size_t>(
+          args.get_int("ga_targets", scale.quick ? 3 : 10));
   baselines::GaConfig ga;
   ga.max_evals = 10000;
   ga.seed = scale.seed;

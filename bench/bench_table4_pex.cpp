@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
 
   // GA+ML (BagNet-like) row on the PEX problem.
   const auto n_gaml =
-      static_cast<std::size_t>(args.get_int("gaml_targets", scale.quick ? 2 : 6));
+      static_cast<std::size_t>(
+          args.get_int("gaml_targets", scale.quick ? 2 : 6));
   baselines::GaMlConfig gaml;
   gaml.ga.max_evals = 4000;
   gaml.ga.population = 30;

@@ -92,7 +92,8 @@ int main(int argc, char** argv) {
     const char* sense = def.sense == circuits::SpecSense::GreaterEq ? ">="
                         : def.sense == circuits::SpecSense::LessEq  ? "<="
                                                                     : "min";
-    table.add_row({def.name, sense, util::Table::num(util::percentile(per_spec[i], 1)),
+    table.add_row({def.name, sense,
+                   util::Table::num(util::percentile(per_spec[i], 1)),
                    util::Table::num(util::percentile(per_spec[i], 10)),
                    util::Table::num(util::percentile(per_spec[i], 50)),
                    util::Table::num(util::percentile(per_spec[i], 90)),

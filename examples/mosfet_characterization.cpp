@@ -44,9 +44,12 @@ int main(int argc, char** argv) {
   util::CsvWriter idvds({"vds", "id_low", "id_mid", "id_high"});
   SweepSpec vd_sweep{0.0, card.vdd, 61};
   const double vth = card.vth_n;
-  const auto low = id_vds_curve(card, MosType::Nmos, geom, vth + 0.05, vd_sweep);
-  const auto mid = id_vds_curve(card, MosType::Nmos, geom, vth + 0.15, vd_sweep);
-  const auto high = id_vds_curve(card, MosType::Nmos, geom, vth + 0.3, vd_sweep);
+  const auto low =
+      id_vds_curve(card, MosType::Nmos, geom, vth + 0.05, vd_sweep);
+  const auto mid =
+      id_vds_curve(card, MosType::Nmos, geom, vth + 0.15, vd_sweep);
+  const auto high =
+      id_vds_curve(card, MosType::Nmos, geom, vth + 0.3, vd_sweep);
   for (std::size_t i = 0; i < low.size(); ++i) {
     idvds.add_row({low[i].x, low[i].id, mid[i].id, high[i].id});
   }

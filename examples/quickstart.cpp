@@ -65,10 +65,13 @@ int main(int argc, char** argv) {
                 outcome.history.iterations.back().mean_episode_reward);
   }
 
-  const auto targets = env::sample_targets(*problem, 10, rng);
+  // The paper's generalization sweep: 100 unseen targets, rolled out
+  // through a VectorSizingEnv — every tick is one batched policy forward
+  // plus one evaluate_batch() fanned out by the backend stack.
+  const auto targets = env::sample_targets(*problem, 100, rng);
   const auto stats =
       core::deploy_agent(outcome.agent, problem, targets, config.env_config);
-  std::printf("deployment on 10 fresh targets: reached %d, avg steps %.1f\n",
+  std::printf("deployment on 100 fresh targets: reached %d, avg steps %.1f\n",
               stats.reached_count(), stats.avg_steps_reached());
 
   // --- 4. The evaluation backend keeps the books --------------------------

@@ -33,14 +33,15 @@ int main(int argc, char** argv) {
   config.ppo.entropy_coef = args.get_double("entropy", config.ppo.entropy_coef);
 
   std::printf("training AutoCkt on %s ...\n", problem->name.c_str());
-  auto outcome = core::train_agent(problem, config, [](const rl::IterationStats& s) {
-    std::printf(
-        "iter %3d  steps %7ld  mean_ep_reward %8.3f  goal_rate %.2f  "
-        "ep_len %5.1f  entropy %.3f\n",
-        s.iteration, s.cumulative_env_steps, s.mean_episode_reward,
-        s.goal_rate, s.mean_episode_len, s.entropy);
-    std::fflush(stdout);
-  });
+  auto outcome =
+      core::train_agent(problem, config, [](const rl::IterationStats& s) {
+        std::printf(
+            "iter %3d  steps %7ld  mean_ep_reward %8.3f  goal_rate %.2f  "
+            "ep_len %5.1f  entropy %.3f\n",
+            s.iteration, s.cumulative_env_steps, s.mean_episode_reward,
+            s.goal_rate, s.mean_episode_len, s.entropy);
+        std::fflush(stdout);
+      });
   std::printf("converged=%d after %ld env steps\n",
               outcome.history.converged ? 1 : 0,
               outcome.history.total_env_steps);

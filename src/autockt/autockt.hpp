@@ -10,6 +10,7 @@
 
 #include "circuits/sizing_problem.hpp"
 #include "env/sizing_env.hpp"
+#include "env/vector_env.hpp"
 #include "eval/stats.hpp"
 #include "rl/ppo.hpp"
 
@@ -68,12 +69,18 @@ struct DeployStats {
 /// follow — the paper's RLlib rollouts sample by default. ALL simulation
 /// steps across attempts are charged to the target's step count, so sample
 /// efficiency stays honestly accounted.
+///
+/// Targets roll out through a VectorSizingEnv of up to `lanes` lockstep
+/// lanes: one batched policy forward and one evaluate_batch() per tick,
+/// with finished lanes refilled from the target queue. Per-target RNG
+/// streams are derived from (seed, target index) only, so records are
+/// identical for any lane count — lanes change wall-clock, never results.
 DeployStats deploy_agent(const rl::PpoAgent& agent,
                          std::shared_ptr<const circuits::SizingProblem> problem,
                          const std::vector<circuits::SpecVector>& targets,
                          const env::EnvConfig& env_config,
                          bool stochastic = false, std::uint64_t seed = 99,
-                         int stochastic_retries = 1);
+                         int stochastic_retries = 1, int lanes = 16);
 
 /// Single-trajectory trace for Fig. 14-style plots.
 struct TrajectoryTrace {
@@ -82,9 +89,9 @@ struct TrajectoryTrace {
   circuits::SpecVector target;
   bool reached = false;
 };
-TrajectoryTrace trace_trajectory(const rl::PpoAgent& agent,
-                                 std::shared_ptr<const circuits::SizingProblem> problem,
-                                 const circuits::SpecVector& target,
-                                 const env::EnvConfig& env_config);
+TrajectoryTrace trace_trajectory(
+    const rl::PpoAgent& agent,
+    std::shared_ptr<const circuits::SizingProblem> problem,
+    const circuits::SpecVector& target, const env::EnvConfig& env_config);
 
 }  // namespace autockt::core

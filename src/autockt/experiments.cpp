@@ -68,12 +68,14 @@ double paper_equivalent_hours(double simulations, double seconds_per_sim) {
 
 void print_experiment_header(const std::string& id, const std::string& title,
                              const circuits::SizingProblem& problem) {
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("problem: %s (%zu params, 10^%.1f combinations, %zu specs)\n",
               problem.name.c_str(), problem.params.size(),
               problem.action_space_log10(), problem.specs.size());
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
 }
 
 std::string speedup_string(double baseline, double ours) {

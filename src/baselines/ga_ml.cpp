@@ -126,9 +126,9 @@ GaResult run_ga_ml(const SizingProblem& problem, const SpecVector& target,
     const std::size_t pool_size =
         population.size() * static_cast<std::size_t>(config.candidate_factor);
     std::vector<ParamVector> pool;
-    std::vector<double> scores;
     pool.reserve(pool_size);
-    scores.reserve(pool_size);
+    std::vector<double> feature_rows;
+    feature_rows.reserve(pool_size * problem.params.size());
     for (std::size_t c = 0; c < pool_size; ++c) {
       ParamVector genes = tournament_pick().genes;
       const Individual& pb = tournament_pick();
@@ -149,9 +149,16 @@ GaResult run_ga_ml(const SizingProblem& problem, const SpecVector& target,
               rng.bounded(static_cast<std::uint64_t>(hi + 1)));
         }
       }
-      scores.push_back(disc.forward(features(problem, genes))[0]);
+      const auto x = features(problem, genes);
+      feature_rows.insert(feature_rows.end(), x.begin(), x.end());
       pool.push_back(std::move(genes));
     }
+    // Rank the whole pool with one batched discriminator pass (the
+    // DNN-Opt lesson: batching network queries is what makes NN-in-the-
+    // loop sizing fast); row i equals disc.forward(features(pool[i]))
+    // bitwise, so rankings are unchanged.
+    const std::vector<double> scores =
+        disc.forward_batch(feature_rows, static_cast<int>(pool.size()));
 
     std::vector<std::size_t> order(pool.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -92,9 +92,11 @@ spice::Circuit build_ngm_ota(const NgmParams& params,
     ckt.add<Capacitor>("cpex_x2", x2, kGround,
                        pm.net_cap(w_x + w(params.nf_cs), key("x2")));
     ckt.add<Capacitor>("cpex_out", out, kGround,
-                       pm.net_cap(w(params.nf_cs) + w(params.nf_sink), key("out")));
+                       pm.net_cap(w(params.nf_cs) + w(params.nf_sink),
+                                  key("out")));
     ckt.add<Capacitor>("cpex_tail", tail, kGround,
-                       pm.net_cap(2.0 * w(params.nf_in) + w(params.nf_tail), key("tail")));
+                       pm.net_cap(2.0 * w(params.nf_in) + w(params.nf_tail),
+                                  key("tail")));
   }
   return ckt;
 }

@@ -43,7 +43,9 @@ struct ParamDef {
     return static_cast<int>((end - start) / step + 1.5);
   }
   /// Physical value at grid index `idx`.
-  double value(int idx) const { return start + step * static_cast<double>(idx); }
+  double value(int idx) const {
+    return start + step * static_cast<double>(idx);
+  }
 };
 
 struct SpecDef {

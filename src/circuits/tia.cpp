@@ -51,9 +51,11 @@ spice::Circuit build_tia(const TiaParams& params, const spice::TechCard& card,
     const pex::ParasiticModel& pm = *options.parasitics;
     const double w_in = params.wn * params.mn + params.wp * params.mp;
     ckt.add<Capacitor>("cpex_in", in, kGround,
-                       pm.net_cap(w_in, pex::ParasiticModel::net_key("tia", "in")));
+                       pm.net_cap(w_in, pex::ParasiticModel::net_key(
+                                              "tia", "in")));
     ckt.add<Capacitor>("cpex_out", out, kGround,
-                       pm.net_cap(w_in, pex::ParasiticModel::net_key("tia", "out")));
+                       pm.net_cap(w_in, pex::ParasiticModel::net_key(
+                                              "tia", "out")));
   }
   return ckt;
 }

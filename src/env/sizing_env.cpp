@@ -36,17 +36,24 @@ void SizingEnv::set_target(SpecVector target) {
 }
 
 std::vector<double> SizingEnv::reset() {
+  return finish_reset(problem_->evaluate(begin_reset()));
+}
+
+const ParamVector& SizingEnv::begin_reset() {
   params_ = problem_->center_params();
   steps_ = 0;
-  evaluate_current();
+  return params_;
+}
+
+std::vector<double> SizingEnv::finish_reset(eval::EvalResult result) {
+  apply_eval(std::move(result));
   return observe();
 }
 
-void SizingEnv::evaluate_current() {
-  auto result = problem_->evaluate(params_);
+void SizingEnv::apply_eval(eval::EvalResult result) {
   ++sims_;
   if (result.ok()) {
-    cur_specs_ = std::move(result.value());
+    cur_specs_ = std::move(result).value();
     last_eval_failed_ = false;
   } else {
     cur_specs_ = problem_->fail_specs();
@@ -61,7 +68,9 @@ double SizingEnv::current_reward() const {
     // incentive to linger in an episode. The terminal bonus is the paper's
     // "10 + r" with the full Eq. 1 value, whose unclamped minimize term
     // rewards finishing *below* the power budget.
-    if (goal) return config_.goal_bonus + problem_->reward_eq1(cur_specs_, target_);
+    if (goal) {
+      return config_.goal_bonus + problem_->reward_eq1(cur_specs_, target_);
+    }
     return problem_->hard_violation(cur_specs_, target_);
   }
   // Sparse ablation: +bonus on goal, small per-step penalty otherwise.
@@ -73,6 +82,10 @@ bool SizingEnv::current_goal_met() const {
 }
 
 SizingEnv::StepResult SizingEnv::step(const std::vector<int>& action) {
+  return finish_step(problem_->evaluate(begin_step(action)));
+}
+
+const ParamVector& SizingEnv::begin_step(const std::vector<int>& action) {
   if (action.size() != problem_->params.size()) {
     throw std::invalid_argument("SizingEnv: action size mismatch");
   }
@@ -82,8 +95,11 @@ SizingEnv::StepResult SizingEnv::step(const std::vector<int>& action) {
     params_[i] = std::clamp(params_[i] + delta, 0, hi);
   }
   ++steps_;
-  evaluate_current();
+  return params_;
+}
 
+SizingEnv::StepResult SizingEnv::finish_step(eval::EvalResult result) {
+  apply_eval(std::move(result));
   StepResult out;
   out.goal_met = current_goal_met();
   out.reward = current_reward();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "circuits/sizing_problem.hpp"
+#include "eval/types.hpp"
 #include "util/rng.hpp"
 
 namespace autockt::env {
@@ -52,6 +53,24 @@ class SizingEnv {
   /// action[i] in {0, 1, 2} mapping to parameter deltas {-1, 0, +1}.
   StepResult step(const std::vector<int>& action);
 
+  // ---- split-phase stepping ----------------------------------------------
+  // The vectorization seam: VectorSizingEnv drives many lanes by calling
+  // begin_*() on each, gathering the pending grid points into ONE
+  // evaluate_batch() on the shared backend, and feeding results back through
+  // finish_*(). Because evaluate_batch(points)[i] is exactly what
+  // evaluate(points[i]) would return, finish(begin(...)) with a batched
+  // result is bitwise-identical to the plain reset()/step() path.
+
+  /// Position at the grid centre; returns the point awaiting evaluation.
+  const circuits::ParamVector& begin_reset();
+  /// Complete a reset with the evaluation of the pending point.
+  std::vector<double> finish_reset(eval::EvalResult result);
+  /// Apply the action (clipped at grid bounds) and advance the step
+  /// counter; returns the point awaiting evaluation.
+  const circuits::ParamVector& begin_step(const std::vector<int>& action);
+  /// Complete a step with the evaluation of the pending point.
+  StepResult finish_step(eval::EvalResult result);
+
   // ---- inspection --------------------------------------------------------
   const circuits::ParamVector& params() const { return params_; }
   const circuits::SpecVector& cur_specs() const { return cur_specs_; }
@@ -59,6 +78,10 @@ class SizingEnv {
   long simulations() const { return sims_; }
   bool last_eval_failed() const { return last_eval_failed_; }
   const circuits::SizingProblem& problem() const { return *problem_; }
+  const std::shared_ptr<const circuits::SizingProblem>& problem_ptr() const {
+    return problem_;
+  }
+  const EnvConfig& config() const { return config_; }
 
   /// Reward for the current state (Eq. 1 / sparse, per config).
   double current_reward() const;
@@ -66,7 +89,7 @@ class SizingEnv {
 
  private:
   std::vector<double> observe() const;
-  void evaluate_current();
+  void apply_eval(eval::EvalResult result);
 
   std::shared_ptr<const circuits::SizingProblem> problem_;
   EnvConfig config_;

@@ -41,9 +41,17 @@ class EvalBackend {
   /// Evaluate many design points; result i corresponds to points[i].
   /// Batch-shape accounting happens here (once, at the outermost layer the
   /// caller holds), so decorators forward internally via dispatch_batch().
+  /// The pending_batches gauge covers the call's whole lifetime, so a
+  /// concurrent stats() observer sees how many lockstep ticks are in
+  /// flight right now.
   std::vector<EvalResult> evaluate_batch(
       const std::vector<ParamVector>& points) {
     counters_.record_batch(static_cast<long>(points.size()));
+    counters_.begin_pending_batch();
+    struct PendingGuard {
+      StatsCollector& counters;
+      ~PendingGuard() { counters.end_pending_batch(); }
+    } guard{counters_};
     return do_evaluate_batch(points);
   }
 

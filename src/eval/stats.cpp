@@ -12,6 +12,7 @@ EvalStats& EvalStats::operator+=(const EvalStats& other) {
   batch_calls += other.batch_calls;
   batch_points += other.batch_points;
   max_batch = std::max(max_batch, other.max_batch);
+  pending_batches += other.pending_batches;
   sim_seconds += other.sim_seconds;
   return *this;
 }
@@ -29,7 +30,8 @@ EvalStats EvalStats::since(const EvalStats& before) const {
   out.cache_misses = cache_misses - before.cache_misses;
   out.batch_calls = batch_calls - before.batch_calls;
   out.batch_points = batch_points - before.batch_points;
-  out.max_batch = max_batch;  // a high-water mark does not subtract
+  out.max_batch = max_batch;            // a high-water mark does not subtract
+  out.pending_batches = pending_batches;  // a gauge does not subtract either
   out.sim_seconds = sim_seconds - before.sim_seconds;
   return out;
 }
@@ -66,6 +68,7 @@ EvalStats StatsCollector::snapshot() const {
   s.batch_calls = batch_calls_.load(std::memory_order_relaxed);
   s.batch_points = batch_points_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.pending_batches = pending_batches_.load(std::memory_order_relaxed);
   s.sim_seconds =
       static_cast<double>(sim_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   return s;
@@ -78,6 +81,8 @@ void StatsCollector::reset() {
   batch_calls_.store(0, std::memory_order_relaxed);
   batch_points_.store(0, std::memory_order_relaxed);
   max_batch_.store(0, std::memory_order_relaxed);
+  // pending_batches_ is a live gauge, not an accumulator: resetting it
+  // while a batch is in flight would underflow on end_pending_batch().
   sim_nanos_.store(0, std::memory_order_relaxed);
 }
 

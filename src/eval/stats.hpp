@@ -24,6 +24,11 @@ struct EvalStats {
   long batch_calls = 0;   // evaluate_batch() invocations
   long batch_points = 0;  // points submitted through evaluate_batch()
   long max_batch = 0;     // largest single batch seen
+  /// Gauge: evaluate_batch() calls in flight when the snapshot was taken.
+  /// Nonzero only when sampled concurrently with rollout workers (e.g. a
+  /// monitoring thread watching lockstep collection); quiescent stacks
+  /// report 0.
+  long pending_batches = 0;
   double sim_seconds = 0.0;  // wall time spent inside simulator calls
 
   EvalStats& operator+=(const EvalStats& other);
@@ -68,6 +73,12 @@ class StatsCollector {
                                              std::memory_order_relaxed)) {
     }
   }
+  void begin_pending_batch() {
+    pending_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void end_pending_batch() {
+    pending_batches_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   EvalStats snapshot() const;
   void reset();
@@ -79,6 +90,7 @@ class StatsCollector {
   std::atomic<long> batch_calls_{0};
   std::atomic<long> batch_points_{0};
   std::atomic<long> max_batch_{0};
+  std::atomic<long> pending_batches_{0};
   std::atomic<std::int64_t> sim_nanos_{0};
 };
 

@@ -42,9 +42,64 @@ inline int sample_categorical(const std::vector<double>& probs,
 inline int argmax(const std::vector<double>& probs) {
   int best = 0;
   for (std::size_t i = 1; i < probs.size(); ++i) {
-    if (probs[i] > probs[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+    if (probs[i] > probs[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
   }
   return best;
+}
+
+// ---- batched factored heads -------------------------------------------------
+// Helpers over a batch of logit rows (as produced by Mlp::forward_batch):
+// each row holds `heads` contiguous k-way slices. Row r draws from its own
+// RNG stream, so batched sampling is bitwise-identical to per-row
+// sample_categorical() loops on the same streams.
+
+/// Sample one action per head for each row. `logits` is rows x (heads * k)
+/// row-major; rngs[r] drives row r. Returns rows x heads actions row-major;
+/// when `logps` is non-null it receives the per-row summed log-probability.
+inline std::vector<int> sample_heads_batch(const std::vector<double>& logits,
+                                           int rows, int heads, int k,
+                                           const std::vector<util::Rng*>& rngs,
+                                           std::vector<double>* logps) {
+  std::vector<int> actions(static_cast<std::size_t>(rows) *
+                           static_cast<std::size_t>(heads));
+  if (logps) logps->assign(static_cast<std::size_t>(rows), 0.0);
+  const std::size_t stride =
+      static_cast<std::size_t>(heads) * static_cast<std::size_t>(k);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+    double logp = 0.0;
+    for (int h = 0; h < heads; ++h) {
+      const auto probs = softmax_slice(
+          logits, r * stride + static_cast<std::size_t>(h * k),
+          static_cast<std::size_t>(k));
+      const int a = sample_categorical(probs, *rngs[r]);
+      actions[r * static_cast<std::size_t>(heads) +
+              static_cast<std::size_t>(h)] = a;
+      logp += std::log(std::max(probs[static_cast<std::size_t>(a)], 1e-12));
+    }
+    if (logps) (*logps)[r] = logp;
+  }
+  return actions;
+}
+
+/// Per-head argmax for each row; shapes as in sample_heads_batch().
+inline std::vector<int> argmax_heads_batch(const std::vector<double>& logits,
+                                           int rows, int heads, int k) {
+  std::vector<int> actions(static_cast<std::size_t>(rows) *
+                           static_cast<std::size_t>(heads));
+  const std::size_t stride =
+      static_cast<std::size_t>(heads) * static_cast<std::size_t>(k);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+    for (int h = 0; h < heads; ++h) {
+      const auto probs = softmax_slice(
+          logits, r * stride + static_cast<std::size_t>(h * k),
+          static_cast<std::size_t>(k));
+      actions[r * static_cast<std::size_t>(heads) +
+              static_cast<std::size_t>(h)] = argmax(probs);
+    }
+  }
+  return actions;
 }
 
 inline double entropy(const std::vector<double>& probs) {

@@ -66,8 +66,44 @@ std::vector<double> Mlp::forward(const std::vector<double>& x) const {
       const double* w =
           params_.data() + layer.w_off + static_cast<std::size_t>(o) * layer.in;
       double acc = params_[layer.b_off + static_cast<std::size_t>(o)];
-      for (int i = 0; i < layer.in; ++i) acc += w[i] * cur[static_cast<std::size_t>(i)];
+      for (int i = 0; i < layer.in; ++i) {
+        acc += w[i] * cur[static_cast<std::size_t>(i)];
+      }
       next[static_cast<std::size_t>(o)] = last ? acc : activate(acc);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
+std::vector<double> Mlp::forward_batch(const std::vector<double>& x,
+                                       int rows) const {
+  if (rows < 0 ||
+      x.size() != static_cast<std::size_t>(rows) *
+                      static_cast<std::size_t>(sizes_.front())) {
+    throw std::invalid_argument("Mlp::forward_batch: bad batch shape");
+  }
+  const std::size_t n = static_cast<std::size_t>(rows);
+  std::vector<double> cur = x;
+  std::vector<double> next;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const std::size_t in = static_cast<std::size_t>(layer.in);
+    const std::size_t out = static_cast<std::size_t>(layer.out);
+    next.resize(n * out);  // every element is written below
+    const bool last = li + 1 == layers_.size();
+    // GEMM loop order (o, r, i): the o-th weight row streams once from
+    // params_ and is reused across all batch rows; the inner i-loop keeps
+    // the exact accumulation order of the single-row forward().
+    for (std::size_t o = 0; o < out; ++o) {
+      const double* w = params_.data() + layer.w_off + o * in;
+      const double b = params_[layer.b_off + o];
+      for (std::size_t r = 0; r < n; ++r) {
+        const double* xr = cur.data() + r * in;
+        double acc = b;
+        for (std::size_t i = 0; i < in; ++i) acc += w[i] * xr[i];
+        next[r * out + o] = last ? acc : activate(acc);
+      }
     }
     cur.swap(next);
   }
@@ -87,7 +123,9 @@ Mlp::Trace Mlp::forward_trace(const std::vector<double>& x) const {
       const double* w =
           params_.data() + layer.w_off + static_cast<std::size_t>(o) * layer.in;
       double acc = params_[layer.b_off + static_cast<std::size_t>(o)];
-      for (int i = 0; i < layer.in; ++i) acc += w[i] * cur[static_cast<std::size_t>(i)];
+      for (int i = 0; i < layer.in; ++i) {
+        acc += w[i] * cur[static_cast<std::size_t>(i)];
+      }
       next[static_cast<std::size_t>(o)] = last ? acc : activate(acc);
     }
     cur.swap(next);
@@ -123,7 +161,9 @@ std::vector<double> Mlp::backward(const Trace& trace,
       const double g = d_pre[static_cast<std::size_t>(o)];
       double* gw =
           grads_.data() + layer.w_off + static_cast<std::size_t>(o) * layer.in;
-      for (int i = 0; i < layer.in; ++i) gw[i] += g * input[static_cast<std::size_t>(i)];
+      for (int i = 0; i < layer.in; ++i) {
+        gw[i] += g * input[static_cast<std::size_t>(i)];
+      }
       grads_[layer.b_off + static_cast<std::size_t>(o)] += g;
     }
 
@@ -133,7 +173,9 @@ std::vector<double> Mlp::backward(const Trace& trace,
       const double g = d_pre[static_cast<std::size_t>(o)];
       const double* w =
           params_.data() + layer.w_off + static_cast<std::size_t>(o) * layer.in;
-      for (int i = 0; i < layer.in; ++i) d_in[static_cast<std::size_t>(i)] += g * w[i];
+      for (int i = 0; i < layer.in; ++i) {
+        d_in[static_cast<std::size_t>(i)] += g * w[i];
+      }
     }
     d_cur.swap(d_in);
   }
@@ -169,7 +211,12 @@ Mlp Mlp::load(std::istream& in) {
 }
 
 Adam::Adam(std::size_t n, double lr, double beta1, double beta2, double eps)
-    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), m_(n, 0.0), v_(n, 0.0) {}
+    : lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      m_(n, 0.0),
+      v_(n, 0.0) {}
 
 void Adam::step(std::vector<double>& params, const std::vector<double>& grads) {
   ++t_;

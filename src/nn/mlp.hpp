@@ -31,6 +31,14 @@ class Mlp {
   /// Thread-safe inference.
   std::vector<double> forward(const std::vector<double>& x) const;
 
+  /// Batched thread-safe inference: `x` holds `rows` input vectors stacked
+  /// row-major (rows * input_size values); returns rows * output_size,
+  /// row-major. One matrix–matrix pass per layer, reusing each weight row
+  /// across the whole batch; per-row accumulation order is identical to
+  /// forward(), so row i equals forward(row i) bitwise.
+  std::vector<double> forward_batch(const std::vector<double>& x,
+                                    int rows) const;
+
   /// Cached activations for one forward pass, consumed by backward().
   struct Trace {
     std::vector<std::vector<double>> inputs;  // input to each layer

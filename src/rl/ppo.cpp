@@ -6,6 +6,7 @@
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "nn/categorical.hpp"
@@ -43,6 +44,32 @@ void clip_grad_norm(std::vector<double>& grads, double max_norm) {
 }
 
 }  // namespace
+
+void PpoConfig::validate() const {
+  if (num_workers <= 0) {
+    throw std::invalid_argument(
+        "PpoConfig: num_workers must be >= 1 (got " +
+        std::to_string(num_workers) + ")");
+  }
+  if (envs_per_worker <= 0) {
+    throw std::invalid_argument(
+        "PpoConfig: envs_per_worker must be >= 1 (got " +
+        std::to_string(envs_per_worker) + ")");
+  }
+  if (steps_per_iteration <= 0) {
+    throw std::invalid_argument(
+        "PpoConfig: steps_per_iteration must be >= 1 (got " +
+        std::to_string(steps_per_iteration) + ")");
+  }
+  if (minibatch <= 0) {
+    throw std::invalid_argument("PpoConfig: minibatch must be >= 1 (got " +
+                                std::to_string(minibatch) + ")");
+  }
+  if (epochs <= 0) {
+    throw std::invalid_argument("PpoConfig: epochs must be >= 1 (got " +
+                                std::to_string(epochs) + ")");
+  }
+}
 
 PpoAgent::PpoAgent(int obs_size, int num_params, PpoConfig config)
     : config_(config),
@@ -96,6 +123,28 @@ double PpoAgent::value(const std::vector<double>& obs) const {
   return value_.forward(obs)[0];
 }
 
+std::vector<int> PpoAgent::act_sample_batch(
+    const std::vector<double>& obs_rows, int rows,
+    const std::vector<util::Rng*>& rngs, std::vector<double>* logps) const {
+  if (rngs.size() != static_cast<std::size_t>(rows)) {
+    throw std::invalid_argument("act_sample_batch: one RNG stream per row");
+  }
+  const std::vector<double> logits = policy_.forward_batch(obs_rows, rows);
+  return nn::sample_heads_batch(logits, rows, num_params_, kActions, rngs,
+                                logps);
+}
+
+std::vector<int> PpoAgent::act_greedy_batch(const std::vector<double>& obs_rows,
+                                            int rows) const {
+  const std::vector<double> logits = policy_.forward_batch(obs_rows, rows);
+  return nn::argmax_heads_batch(logits, rows, num_params_, kActions);
+}
+
+std::vector<double> PpoAgent::value_batch(const std::vector<double>& obs_rows,
+                                          int rows) const {
+  return value_.forward_batch(obs_rows, rows);
+}
+
 TrainHistory PpoAgent::train(
     const std::function<env::SizingEnv()>& env_factory,
     const std::vector<circuits::SpecVector>& train_targets,
@@ -103,6 +152,7 @@ TrainHistory PpoAgent::train(
   if (train_targets.empty()) {
     throw std::invalid_argument("PpoAgent::train: no training targets");
   }
+  config_.validate();
   TrainHistory history;
   util::Rng master_rng(config_.seed);
   nn::Adam opt_policy(policy_.param_count(), config_.lr_policy);
@@ -113,48 +163,107 @@ TrainHistory PpoAgent::train(
   env::SizingEnv stats_probe = env_factory();
   const eval::EvalStats eval_baseline = stats_probe.problem().eval_stats();
 
-  const int workers = std::max(1, config_.num_workers);
+  const int workers = config_.num_workers;
+  const int lanes_per_worker = config_.envs_per_worker;
+  const int total_lanes = workers * lanes_per_worker;
+  const std::size_t obs_width = static_cast<std::size_t>(obs_size_);
   long cumulative_steps = 0;
   int patience_hits = 0;
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
-    // ---- 1. Parallel rollout collection --------------------------------
-    const int quota =
-        (config_.steps_per_iteration + workers - 1) / workers;
-    std::vector<std::vector<Episode>> worker_episodes(
-        static_cast<std::size_t>(workers));
-    std::vector<std::uint64_t> worker_seeds;
-    worker_seeds.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) worker_seeds.push_back(master_rng.next());
+    // ---- 1. Vectorized rollout collection -------------------------------
+    // Each worker thread drives one VectorSizingEnv of lanes_per_worker
+    // lockstep lanes: every tick is one batched policy forward plus one
+    // evaluate_batch() on the shared backend. Lane seeds are drawn in
+    // global lane order, and each lane collects a fixed per-lane step
+    // quota, so the episode set depends only on (seed, total_lanes) — not
+    // on the worker split or thread scheduling.
+    const int lane_quota =
+        (config_.steps_per_iteration + total_lanes - 1) / total_lanes;
+    std::vector<std::vector<Episode>> lane_episodes(
+        static_cast<std::size_t>(total_lanes));
+    std::vector<std::uint64_t> lane_seeds;
+    lane_seeds.reserve(static_cast<std::size_t>(total_lanes));
+    for (int l = 0; l < total_lanes; ++l)
+      lane_seeds.push_back(master_rng.next());
 
     auto collect = [&](int w) {
-      util::Rng rng(worker_seeds[static_cast<std::size_t>(w)]);
-      env::SizingEnv sizing_env = env_factory();
-      auto& episodes = worker_episodes[static_cast<std::size_t>(w)];
-      int steps = 0;
-      while (steps < quota) {
-        sizing_env.set_target(
-            train_targets[rng.bounded(train_targets.size())]);
-        std::vector<double> obs = sizing_env.reset();
-        Episode ep;
-        for (;;) {
-          Transition tr;
-          tr.obs = obs;
-          tr.action = act_sample(obs, rng, &tr.logp);
-          tr.value = value(obs);
-          auto sr = sizing_env.step(tr.action);
-          tr.reward = sr.reward;
-          ep.total_reward += sr.reward;
-          obs = sr.obs;
-          ep.steps.push_back(std::move(tr));
-          ++steps;
-          if (sr.done) {
-            ep.terminal_goal = sr.goal_met;
-            if (!sr.goal_met) ep.bootstrap_value = value(obs);
-            break;
-          }
+      const int L = lanes_per_worker;
+      const int base = w * L;
+      env::SizingEnv probe = env_factory();
+      env::VectorSizingEnv venv(probe.problem_ptr(), probe.config(), L);
+      for (int i = 0; i < L; ++i) {
+        venv.seed_lane(i, lane_seeds[static_cast<std::size_t>(base + i)]);
+      }
+      venv.set_target_sampler(
+          [&train_targets](int /*lane*/, util::Rng& rng) {
+            return train_targets[rng.bounded(train_targets.size())];
+          });
+
+      std::vector<int> lane_steps(static_cast<std::size_t>(L), 0);
+      std::vector<Episode> current(static_cast<std::size_t>(L));
+      std::vector<std::vector<double>> obs = venv.reset_all();
+
+      // Scratch for the per-tick batches over the still-running lanes.
+      std::vector<int> act_lanes;
+      std::vector<double> rows;
+      std::vector<util::Rng*> rngs;
+      std::vector<double> logps;
+      std::vector<std::vector<int>> actions(static_cast<std::size_t>(L));
+
+      while (venv.running_count() > 0) {
+        act_lanes.clear();
+        rows.clear();
+        rngs.clear();
+        for (int i = 0; i < L; ++i) {
+          if (!venv.lane_running(i)) continue;
+          act_lanes.push_back(i);
+          const auto& o = obs[static_cast<std::size_t>(i)];
+          rows.insert(rows.end(), o.begin(), o.end());
+          rngs.push_back(&venv.lane_rng(i));
         }
-        episodes.push_back(std::move(ep));
+        const int n = static_cast<int>(act_lanes.size());
+        const std::vector<int> acts =
+            act_sample_batch(rows, n, rngs, &logps);
+        const std::vector<double> values = value_batch(rows, n);
+
+        for (int k = 0; k < n; ++k) {
+          const std::size_t li = static_cast<std::size_t>(act_lanes[k]);
+          actions[li].assign(
+              acts.begin() + static_cast<std::size_t>(k) * num_params_,
+              acts.begin() + static_cast<std::size_t>(k + 1) * num_params_);
+          // Every running lane steps exactly once this tick; count it now
+          // so the continue_lane predicate sees post-tick totals.
+          ++lane_steps[li];
+        }
+
+        const auto results = venv.step_all(actions, [&](int i) {
+          return lane_steps[static_cast<std::size_t>(i)] < lane_quota;
+        });
+
+        for (int k = 0; k < n; ++k) {
+          const std::size_t li = static_cast<std::size_t>(act_lanes[k]);
+          const auto& ls = results[li];
+          Transition tr;
+          tr.obs.assign(rows.begin() + static_cast<std::size_t>(k) * obs_width,
+                        rows.begin() +
+                            static_cast<std::size_t>(k + 1) * obs_width);
+          tr.action = actions[li];
+          tr.logp = logps[static_cast<std::size_t>(k)];
+          tr.value = values[static_cast<std::size_t>(k)];
+          tr.reward = ls.reward;
+          Episode& ep = current[li];
+          ep.total_reward += ls.reward;
+          ep.steps.push_back(std::move(tr));
+          if (ls.done) {
+            ep.terminal_goal = ls.goal_met;
+            if (!ls.goal_met) ep.bootstrap_value = value(ls.final_obs);
+            lane_episodes[static_cast<std::size_t>(base) + li].push_back(
+                std::move(ep));
+            ep = Episode{};
+          }
+          obs[li] = ls.obs;
+        }
       }
     };
 
@@ -176,7 +285,7 @@ TrainHistory PpoAgent::train(
     double len_sum = 0.0;
     std::size_t episode_count = 0;
 
-    for (const auto& episodes : worker_episodes) {
+    for (const auto& episodes : lane_episodes) {
       for (const Episode& ep : episodes) {
         ++episode_count;
         reward_sum += ep.total_reward;
@@ -280,7 +389,8 @@ TrainHistory PpoAgent::train(
               const double onehot =
                   tr.action[static_cast<std::size_t>(h)] == j ? 1.0 : 0.0;
               double g = dlogp * (onehot - p);
-              // Entropy bonus: Loss -= c_H * H  =>  dLoss/dz += c_H * p (log p + H).
+              // Entropy bonus:
+              //   Loss -= c_H * H  =>  dLoss/dz += c_H * p (log p + H).
               g += config_.entropy_coef * inv_b * p *
                    (std::log(std::max(p, 1e-12)) + ent);
               d_logits[off + static_cast<std::size_t>(j)] += g;

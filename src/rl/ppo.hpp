@@ -5,9 +5,14 @@
 // factored 3-way categorical head per circuit parameter, a separate value
 // network, GAE(lambda) advantages, the clipped surrogate objective, and
 // parallel trajectory collection (the paper uses Ray/RLlib; we use worker
-// threads with independently seeded RNG streams, so results are
-// reproducible regardless of thread scheduling). Training stops when the
-// mean episode reward reaches the paper's criterion (>= 0, i.e. targets are
+// threads, each driving a VectorSizingEnv of `envs_per_worker` lockstep
+// lanes, so every policy forward is batched and every simulation tick is
+// one evaluate_batch() on the shared backend). Each lane's RNG stream is
+// derived from the master seed and its global lane index only, so for a
+// fixed seed the collected trajectories are identical for any worker/lane
+// split with the same total lane count (num_workers * envs_per_worker),
+// regardless of thread scheduling. Training stops when the mean episode
+// reward reaches the paper's criterion (>= 0, i.e. targets are
 // consistently satisfied).
 
 #include <cstdint>
@@ -17,6 +22,7 @@
 
 #include "circuits/sizing_problem.hpp"
 #include "env/sizing_env.hpp"
+#include "env/vector_env.hpp"
 #include "eval/stats.hpp"
 #include "nn/mlp.hpp"
 #include "util/rng.hpp"
@@ -50,8 +56,19 @@ struct PpoConfig {
   double target_goal_rate = 0.98;
   int stop_patience = 2;
 
+  // Rollout engine shape: num_workers collection threads, each stepping a
+  // VectorSizingEnv of envs_per_worker lockstep lanes. Trajectories depend
+  // only on seed and the product num_workers * envs_per_worker. Both must
+  // be >= 1 (validated by PpoConfig::validate()).
   int num_workers = 2;
+  int envs_per_worker = 4;
   std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on nonpositive worker/lane counts or
+  /// other settings that would hang or divide by zero instead of training.
+  void validate() const;
+
+  int total_lanes() const { return num_workers * envs_per_worker; }
 };
 
 struct IterationStats {
@@ -90,6 +107,26 @@ class PpoAgent {
   std::vector<int> act_greedy(const std::vector<double>& obs) const;
 
   double value(const std::vector<double>& obs) const;
+
+  // ---- batched inference (one GEMM per layer over all rows) --------------
+  // `obs_rows` holds `rows` observations stacked row-major. Row r of the
+  // result equals the corresponding single-row call bitwise; sampling draws
+  // from rngs[r], preserving per-lane stream discipline. Thread-safe.
+
+  /// Returns rows x num_params actions row-major; optional per-row summed
+  /// log-probabilities in `logps`.
+  std::vector<int> act_sample_batch(const std::vector<double>& obs_rows,
+                                    int rows,
+                                    const std::vector<util::Rng*>& rngs,
+                                    std::vector<double>* logps = nullptr) const;
+
+  /// Returns rows x num_params greedy actions row-major.
+  std::vector<int> act_greedy_batch(const std::vector<double>& obs_rows,
+                                    int rows) const;
+
+  /// Returns one value estimate per row.
+  std::vector<double> value_batch(const std::vector<double>& obs_rows,
+                                  int rows) const;
 
   /// Train against environments produced by `env_factory`; each episode
   /// uses a target drawn uniformly from `train_targets` (the paper's 50

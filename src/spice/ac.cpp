@@ -34,7 +34,9 @@ util::Expected<std::vector<AcPoint>> ac_sweep(const Circuit& circuit,
                                               const AcOptions& options) {
   const double decades = std::log10(options.f_stop / options.f_start);
   const int total =
-      std::max(2, static_cast<int>(std::ceil(decades * options.points_per_decade)) + 1);
+      std::max(2, static_cast<int>(
+                      std::ceil(decades * options.points_per_decade)) +
+                      1);
 
   std::vector<AcPoint> sweep;
   sweep.reserve(static_cast<std::size_t>(total));

@@ -84,7 +84,8 @@ util::Expected<SourceSpec> parse_source_tail(
       }
       double vals[4];
       for (int k = 0; k < 4; ++k) {
-        auto v = parse_spice_number(tokens[i + 1 + static_cast<std::size_t>(k)]);
+        auto v =
+            parse_spice_number(tokens[i + 1 + static_cast<std::size_t>(k)]);
         if (!v.ok()) return v.error();
         vals[k] = *v;
       }
@@ -93,7 +94,9 @@ util::Expected<SourceSpec> parse_source_tail(
     } else {
       // Bare number == dc value (SPICE shorthand "V1 a 0 1.2").
       auto v = parse_spice_number(tokens[i]);
-      if (!v.ok()) return at_line(line_no, "unexpected token '" + tokens[i] + "'");
+      if (!v.ok()) {
+        return at_line(line_no, "unexpected token '" + tokens[i] + "'");
+      }
       spec.wave = Waveform::constant(*v);
       ++i;
     }
@@ -249,7 +252,9 @@ util::Expected<ParsedNetlist> parse_netlist(const std::string& text) {
     const std::string name = lower(tokens[0]);
     switch (kind) {
       case 'r': {
-        if (tokens.size() < 4) return at_line(line_no, "R needs 2 nodes + value");
+        if (tokens.size() < 4) {
+          return at_line(line_no, "R needs 2 nodes + value");
+        }
         auto v = parse_spice_number(tokens[3]);
         if (!v.ok()) return at_line(line_no, v.error().message);
         if (*v <= 0.0) return at_line(line_no, "resistance must be positive");
@@ -258,7 +263,9 @@ util::Expected<ParsedNetlist> parse_netlist(const std::string& text) {
         break;
       }
       case 'c': {
-        if (tokens.size() < 4) return at_line(line_no, "C needs 2 nodes + value");
+        if (tokens.size() < 4) {
+          return at_line(line_no, "C needs 2 nodes + value");
+        }
         auto v = parse_spice_number(tokens[3]);
         if (!v.ok()) return at_line(line_no, v.error().message);
         if (*v < 0.0) return at_line(line_no, "capacitance must be >= 0");

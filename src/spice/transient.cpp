@@ -100,7 +100,8 @@ util::Expected<TranResult> transient(const Circuit& circuit,
       double worst = 0.0;
       for (std::size_t i = 0; i + 1 < n_nodes; ++i) {
         const double dv = std::fabs(x_new[i] - x[i]);
-        const double tol = options.v_abstol + options.v_reltol * std::fabs(x_new[i]);
+        const double tol =
+            options.v_abstol + options.v_reltol * std::fabs(x_new[i]);
         worst = std::max(worst, dv - tol);
       }
       if (worst <= 0.0) {
@@ -110,12 +111,15 @@ util::Expected<TranResult> transient(const Circuit& circuit,
       }
       for (std::size_t i = 0; i < n_unknowns; ++i) {
         double step = x_new[i] - x[i];
-        if (i + 1 < n_nodes) step = std::clamp(step, -options.max_step, options.max_step);
+        if (i + 1 < n_nodes) {
+          step = std::clamp(step, -options.max_step, options.max_step);
+        }
         x[i] += step;
       }
     }
     if (!converged) {
-      return util::Error{"transient Newton failed at t=" + std::to_string(t), 3};
+      return util::Error{"transient Newton failed at t=" + std::to_string(t),
+                         3};
     }
 
     // Accept the step: roll companion state forward.

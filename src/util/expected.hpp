@@ -19,8 +19,10 @@ struct Error {
 template <typename T>
 class Expected {
  public:
-  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
-  Expected(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Expected(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}
 
   bool ok() const { return std::holds_alternative<T>(data_); }
   explicit operator bool() const { return ok(); }

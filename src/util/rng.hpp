@@ -23,6 +23,16 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Seed for the `index`-th independent stream derived from `base`: a pure
+/// function of (base, index), so stream i is the same no matter how many
+/// sibling streams exist. Shared by the vector env's per-lane streams and
+/// deployment's per-target streams — the reproducibility contracts of both
+/// depend on this exact derivation.
+inline std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t sm = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return splitmix64(sm);
+}
+
 /// xoshiro256++ pseudo-random generator with convenience distributions.
 class Rng {
  public:

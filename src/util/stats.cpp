@@ -30,7 +30,9 @@ double max_of(const std::vector<double>& xs) {
   return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
 }
 
-double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+double median(std::vector<double> xs) {
+  return percentile(std::move(xs), 50.0);
+}
 
 double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
@@ -44,7 +46,8 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
-double correlation(const std::vector<double>& xs, const std::vector<double>& ys) {
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
   if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
   const double mx = mean(xs);
   const double my = mean(ys);
@@ -83,7 +86,9 @@ Histogram make_histogram(const std::vector<double>& xs, double lo, double hi,
   for (double x : xs) {
     auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
     idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                     static_cast<std::ptrdiff_t>(h.counts.size()) - 1);
+                                     static_cast<std::ptrdiff_t>(
+                                         h.counts.size()) -
+                                         1);
     ++h.counts[static_cast<std::size_t>(idx)];
   }
   return h;

@@ -19,7 +19,8 @@ double median(std::vector<double> xs);
 double percentile(std::vector<double> xs, double p);
 
 /// Pearson correlation coefficient; returns 0 for degenerate inputs.
-double correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
 
 /// Fixed-width histogram over [lo, hi] with `bins` buckets. Out-of-range
 /// samples are clamped to the first/last bucket.

@@ -91,7 +91,9 @@ TEST(Concurrency, ParallelEvaluationsAreDeterministic) {
     threads.emplace_back([&, t] {
       for (int rep = 0; rep < kRepsPerThread; ++rep) {
         auto specs = prob.evaluate(center);
-        if (!specs.ok() || *specs != *reference) ++mismatches[static_cast<std::size_t>(t)];
+        if (!specs.ok() || *specs != *reference) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
       }
     });
   }

@@ -141,8 +141,9 @@ TEST(SizingEnv, FailedEvaluationsFallBackToFailSpecs) {
                          -> util::Expected<circuits::SpecVector> {
     return util::Error{"synthetic failure"};
   });
-  SizingEnv env(std::make_shared<const circuits::SizingProblem>(std::move(prob)),
-                EnvConfig{});
+  SizingEnv env(
+      std::make_shared<const circuits::SizingProblem>(std::move(prob)),
+      EnvConfig{});
   env.reset();
   EXPECT_TRUE(env.last_eval_failed());
   EXPECT_EQ(env.cur_specs(), env.problem().fail_specs());

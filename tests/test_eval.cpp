@@ -72,6 +72,25 @@ TEST(EvalStats, MergeAndRates) {
   EXPECT_EQ(delta.simulations, 10);
 }
 
+TEST(EvalStats, PendingBatchGaugeTracksInFlightCalls) {
+  // The leaf callable observes its own backend mid-batch: exactly one
+  // evaluate_batch() must be pending from inside, zero once it returns.
+  std::shared_ptr<eval::EvalBackend> backend;
+  long seen_inside = -1;
+  backend = std::make_shared<eval::FunctionBackend>(
+      [&](const ParamVector&) -> EvalResult {
+        seen_inside = backend->stats().pending_batches;
+        return SpecVector{1.0};
+      });
+  EXPECT_EQ(backend->stats().pending_batches, 0);
+  backend->evaluate_batch({{0}, {1}, {2}});
+  EXPECT_EQ(seen_inside, 1);
+  EXPECT_EQ(backend->stats().pending_batches, 0);
+  // Single-point evaluate() is not a batch and does not touch the gauge.
+  backend->evaluate({3});
+  EXPECT_EQ(backend->stats().pending_batches, 0);
+}
+
 TEST(FunctionBackend, CountsSimulationsAndConvertsExceptions) {
   auto calls = std::make_shared<std::atomic<long>>(0);
   auto backend = counting_backend(calls);

@@ -62,7 +62,8 @@ TEST(Mlp, RejectsDegenerateArchitecture) {
 // gradients must match central finite differences for several shapes and
 // both activations.
 class MlpGradCheck
-    : public ::testing::TestWithParam<std::tuple<std::vector<int>, Activation>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<int>, Activation>> {};
 
 TEST_P(MlpGradCheck, ParameterGradientsMatchFiniteDifferences) {
   const auto& [sizes, act] = GetParam();
@@ -208,7 +209,9 @@ TEST(Categorical, SamplingMatchesProbabilities) {
   const std::vector<double> probs{0.6, 0.3, 0.1};
   std::vector<int> counts(3, 0);
   const int n = 100000;
-  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(sample_categorical(probs, rng))];
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(sample_categorical(probs, rng))];
+  }
   EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.6, 0.01);
   EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
   EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.01);

@@ -76,7 +76,8 @@ TEST(Pvt, SlowCornerDegradesDevices) {
   const auto card = TechCard::finfet16();
   const auto ss = apply_corner(card, standard_corners()[1]);
   EXPECT_LT(ss.vdd, card.vdd);
-  EXPECT_GT(ss.vth_n, card.vth_n - 1e-9);  // vth up (shift) minus small temp drift
+  // vth up (shift) minus small temp drift
+  EXPECT_GT(ss.vth_n, card.vth_n - 1e-9);
   EXPECT_LT(ss.u_cox_n, card.u_cox_n);     // mobility down (process + hot)
   EXPECT_GT(ss.temp_k, card.temp_k);
 }
