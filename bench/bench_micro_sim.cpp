@@ -1,7 +1,14 @@
 // Micro-benchmarks for the simulator substrate: LU solves, DC operating
-// points, AC sweeps, and full problem evaluations. Not a paper experiment —
-// these bound the wall-clock of everything else (one RL environment step is
-// one full evaluation).
+// points, AC sweeps, and full problem evaluations — plus the simulation
+// kernel comparisons the CI bench-smoke step archives as JSON: the legacy
+// dense kernel vs the pattern-cached sparse kernel (cold) vs the sparse
+// kernel with env-style warm-started Newton, over repeated characterization
+// of a fixed topology (exactly the RL trajectory workload). Not a paper
+// experiment — these bound the wall-clock of everything else (one RL
+// environment step is one full evaluation).
+//
+// JSON: pass --benchmark_out=<file> --benchmark_out_format=json (what CI's
+// bench-smoke step does).
 
 #include <benchmark/benchmark.h>
 
@@ -9,9 +16,11 @@
 #include "circuits/problems.hpp"
 #include "circuits/tia.hpp"
 #include "circuits/two_stage_opamp.hpp"
+#include "eval/types.hpp"
 #include "linalg/lu.hpp"
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
+#include "spice/workspace.hpp"
 #include "util/rng.hpp"
 
 using namespace autockt;
@@ -52,6 +61,79 @@ static void BM_TwoStageDcOp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TwoStageDcOp);
+
+// ---- dense vs sparse vs warm-started sparse kernel --------------------------
+// Repeated characterization of a FIXED topology with a slowly walking width
+// — the RL rollout workload. Dense rebuilds and re-pivots everything per
+// evaluation; the sparse kernel reuses one symbolic factorization per
+// topology; the warm variant additionally seeds Newton with the previous
+// design's operating point, like a SizingEnv step does. The acceptance bar
+// for the kernel refactor is sparse-warm >= 2x dense on the two-stage.
+
+namespace {
+
+enum class KernelMode { Dense, SparseCold, SparseWarm };
+
+template <typename Params, typename Build, typename Sim>
+void repeated_characterization(benchmark::State& state, KernelMode mode,
+                               Params params, Build&& perturb, Sim&& sim) {
+  eval::OpHint hint;
+  int i = 0;
+  for (auto _ : state) {
+    Params p = params;
+    perturb(p, i++);
+    typename std::remove_reference_t<Sim>::Options opt;
+    opt.kernel = mode == KernelMode::Dense ? spice::SimKernel::Dense
+                                           : spice::SimKernel::Sparse;
+    opt.hint = mode == KernelMode::SparseWarm ? &hint : nullptr;
+    benchmark::DoNotOptimize(sim.run(p, opt));
+  }
+}
+
+struct TwoStageSim {
+  using Options = circuits::OpampBuildOptions;
+  spice::TechCard card = spice::TechCard::ptm45();
+  bool run(const circuits::TwoStageParams& p, const Options& opt) const {
+    return circuits::simulate_two_stage(p, card, opt).ok();
+  }
+};
+
+struct TiaSim {
+  using Options = circuits::TiaBuildOptions;
+  spice::TechCard card = spice::TechCard::ptm45();
+  bool run(const circuits::TiaParams& p, const Options& opt) const {
+    return circuits::simulate_tia(p, card, opt).ok();
+  }
+};
+
+KernelMode mode_of(const benchmark::State& state) {
+  switch (state.range(0)) {
+    case 0: return KernelMode::Dense;
+    case 1: return KernelMode::SparseCold;
+    default: return KernelMode::SparseWarm;
+  }
+}
+
+}  // namespace
+
+/// Arg 0: 0 = dense kernel, 1 = sparse cold-start, 2 = sparse warm-start.
+static void BM_TwoStageCharacterize_Kernel(benchmark::State& state) {
+  repeated_characterization(
+      state, mode_of(state), circuits::TwoStageParams{},
+      [](circuits::TwoStageParams& p, int i) {
+        p.w12 = (10.0 + 0.25 * (i % 8)) * 1e-6;  // +-1-grid-step walk
+      },
+      TwoStageSim{});
+}
+BENCHMARK(BM_TwoStageCharacterize_Kernel)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_TiaCharacterize_Kernel(benchmark::State& state) {
+  repeated_characterization(
+      state, mode_of(state), circuits::TiaParams{},
+      [](circuits::TiaParams& p, int i) { p.mn = 8 + (i % 4); },
+      TiaSim{});
+}
+BENCHMARK(BM_TiaCharacterize_Kernel)->Arg(0)->Arg(1)->Arg(2);
 
 static void BM_FullEval_Tia(benchmark::State& state) {
   const auto prob = circuits::make_tia_problem(raw_options());

@@ -38,7 +38,8 @@ std::shared_ptr<eval::EvalBackend> wrap_cache(
 /// Standard stack for a schematic problem: batch fan-out over the simulator
 /// leaf, behind the memo cache.
 std::shared_ptr<eval::EvalBackend> make_schematic_backend(
-    eval::EvalFn fn, const std::string& name, const ProblemOptions& options) {
+    eval::HintedEvalFn fn, const std::string& name,
+    const ProblemOptions& options) {
   std::shared_ptr<eval::EvalBackend> backend =
       std::make_shared<eval::FunctionBackend>(std::move(fn), name);
   if (options.parallel_batch) {
@@ -76,9 +77,12 @@ SizingProblem make_tia_problem(const ProblemOptions& options) {
   const spice::TechCard card = spice::TechCard::ptm45();
   const auto param_defs = prob.params;
   prob.backend = make_schematic_backend(
-      [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
+      [card, param_defs](const ParamVector& idx,
+                         eval::OpHint* hint) -> util::Expected<SpecVector> {
         const TiaParams p = tia_params_from_grid(param_defs, idx);
-        auto res = simulate_tia(p, card);
+        TiaBuildOptions build;
+        build.hint = hint;
+        auto res = simulate_tia(p, card, build);
         if (!res.ok()) return res.error();
         return SpecVector{res->settling_time, res->cutoff_freq,
                           res->input_noise};
@@ -129,9 +133,12 @@ SizingProblem make_two_stage_problem(const ProblemOptions& options) {
   const spice::TechCard card = spice::TechCard::ptm45();
   const auto param_defs = prob.params;
   prob.backend = make_schematic_backend(
-      [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
+      [card, param_defs](const ParamVector& idx,
+                         eval::OpHint* hint) -> util::Expected<SpecVector> {
         const TwoStageParams p = two_stage_params_from_grid(param_defs, idx);
-        auto res = simulate_two_stage(p, card);
+        OpampBuildOptions build;
+        build.hint = hint;
+        auto res = simulate_two_stage(p, card, build);
         if (!res.ok()) return res.error();
         return SpecVector{res->gain, res->ugbw, res->phase_margin,
                           res->bias_current};
@@ -187,9 +194,12 @@ SizingProblem make_ngm_problem(const ProblemOptions& options) {
   const spice::TechCard card = spice::TechCard::finfet16();
   const auto param_defs = prob.params;
   prob.backend = make_schematic_backend(
-      [card, param_defs](const ParamVector& idx) -> util::Expected<SpecVector> {
+      [card, param_defs](const ParamVector& idx,
+                         eval::OpHint* hint) -> util::Expected<SpecVector> {
         const NgmParams p = ngm_params_from_grid(param_defs, idx);
-        auto res = simulate_ngm_ota(p, card);
+        NgmBuildOptions build;
+        build.hint = hint;
+        auto res = simulate_ngm_ota(p, card, build);
         if (!res.ok()) return res.error();
         return SpecVector{res->gain, res->ugbw, res->phase_margin};
       },
@@ -227,11 +237,12 @@ SizingProblem make_ngm_pex_problem(const ProblemOptions& options) {
   }
 
   auto corner_eval = [param_defs, parasitics, corner_cards](
-                         std::size_t corner_index,
-                         const ParamVector& idx) -> util::Expected<SpecVector> {
+                         std::size_t corner_index, const ParamVector& idx,
+                         eval::OpHint* hint) -> util::Expected<SpecVector> {
     const NgmParams p = ngm_params_from_grid(param_defs, idx);
     NgmBuildOptions build;
     build.parasitics = &parasitics;
+    build.hint = hint;  // one warm-start slot per corner (see CornerBackend)
     auto res = simulate_ngm_ota(p, corner_cards[corner_index], build);
     if (!res.ok()) return res.error();
     return SpecVector{res->gain, res->ugbw, res->phase_margin};

@@ -1,0 +1,33 @@
+#pragma once
+// Warm-start glue shared by the circuit simulators: one place owning the
+// OpHint <-> OpPoint contract (read a valid hint as the DC Newton stage-0
+// guess; refresh it with the converged solution on success, leave it
+// untouched on failure so the next evaluation warm-starts from the last
+// GOOD operating point).
+
+#include "eval/types.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dc.hpp"
+
+namespace autockt::circuits {
+
+/// Copy a valid hint into `warm` (caller-owned storage that must outlive
+/// the solve) and point the DC options at it.
+inline void apply_warm_start(const eval::OpHint* hint, spice::OpPoint& warm,
+                             spice::DcOptions& dc_opt) {
+  if (hint != nullptr && hint->valid) {
+    warm.node_v = hint->node_v;
+    warm.branch_i = hint->branch_i;
+    dc_opt.warm_start = &warm;
+  }
+}
+
+/// Refresh the hint with a freshly converged operating point.
+inline void refresh_hint(eval::OpHint* hint, const spice::OpPoint& op) {
+  if (hint == nullptr) return;
+  hint->node_v = op.node_v;
+  hint->branch_i = op.branch_i;
+  hint->valid = true;
+}
+
+}  // namespace autockt::circuits

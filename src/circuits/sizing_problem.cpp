@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "eval/function_backend.hpp"
+#include "spice/workspace.hpp"
 
 namespace autockt::circuits {
 
@@ -31,23 +32,24 @@ double lookup_norm(double value, double g) {
 }
 
 util::Expected<SpecVector> SizingProblem::evaluate(
-    const ParamVector& params) const {
+    const ParamVector& params, eval::SimHint* hint) const {
   if (!backend) {
     return util::Error{"SizingProblem '" + name + "': no evaluation backend",
                        -1};
   }
-  return backend->evaluate(params);
+  return backend->evaluate(params, hint);
 }
 
 std::vector<util::Expected<SpecVector>> SizingProblem::evaluate_batch(
-    const std::vector<ParamVector>& points) const {
+    const std::vector<ParamVector>& points,
+    const std::vector<eval::SimHint*>& hints) const {
   if (!backend) {
     return std::vector<util::Expected<SpecVector>>(
         points.size(),
         util::Expected<SpecVector>(util::Error{
             "SizingProblem '" + name + "': no evaluation backend", -1}));
   }
-  return backend->evaluate_batch(points);
+  return backend->evaluate_batch(points, hints);
 }
 
 void SizingProblem::set_evaluator(eval::EvalFn fn, std::string backend_name) {
@@ -56,11 +58,24 @@ void SizingProblem::set_evaluator(eval::EvalFn fn, std::string backend_name) {
 }
 
 eval::EvalStats SizingProblem::eval_stats() const {
-  return backend ? backend->stats() : eval::EvalStats{};
+  eval::EvalStats stats = backend ? backend->stats() : eval::EvalStats{};
+  // Merge the simulation-kernel counters. These are process-wide (the
+  // workspace registry is shared by every problem), so with several live
+  // problems the kernel columns report whole-process activity; reset via
+  // reset_eval_stats() or difference with since() per experiment.
+  const spice::KernelStats kernel = spice::kernel_stats_snapshot();
+  stats.newton_iterations = kernel.newton_iterations;
+  stats.symbolic_factorizations = kernel.symbolic_factorizations;
+  stats.numeric_factorizations = kernel.numeric_factorizations;
+  stats.dense_fallbacks = kernel.dense_fallbacks;
+  stats.warm_start_attempts = kernel.warm_start_attempts;
+  stats.warm_start_hits = kernel.warm_start_hits;
+  return stats;
 }
 
 void SizingProblem::reset_eval_stats() const {
   if (backend) backend->reset_stats();
+  spice::reset_kernel_stats();
 }
 
 double SizingProblem::action_space_log10() const {

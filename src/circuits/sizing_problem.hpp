@@ -86,21 +86,28 @@ struct SizingProblem {
 
   /// Simulate one grid point through the backend. Errors indicate the
   /// simulator could not produce measurements (e.g. DC non-convergence);
-  /// callers substitute per-spec fail_value.
-  util::Expected<SpecVector> evaluate(const ParamVector& params) const;
+  /// callers substitute per-spec fail_value. The optional hint threads the
+  /// caller's warm-start state (last converged operating point) down to the
+  /// simulator and is refreshed with the new one on success.
+  util::Expected<SpecVector> evaluate(const ParamVector& params,
+                                      eval::SimHint* hint = nullptr) const;
 
   /// Simulate many grid points; result i corresponds to params[i]. The
   /// backend may fan out, deduplicate and cache, but values and order are
-  /// those of the serial loop.
+  /// those of the serial loop. `hints` is empty or aligned with `points`;
+  /// distinct points must carry distinct SimHint objects.
   std::vector<util::Expected<SpecVector>> evaluate_batch(
-      const std::vector<ParamVector>& points) const;
+      const std::vector<ParamVector>& points,
+      const std::vector<eval::SimHint*>& hints = {}) const;
 
   /// Compat shim: adopt a raw simulator callable as the backend (wrapped in
   /// a FunctionBackend). Keeps factories and tests terse.
   void set_evaluator(eval::EvalFn fn, std::string backend_name = "function");
 
   /// Evaluation telemetry (simulations, cache hits, batch shapes, wall
-  /// time) accumulated by the backend stack since construction/reset.
+  /// time) accumulated by the backend stack since construction/reset,
+  /// merged with the process-wide simulation-kernel counters (Newton
+  /// iterations, symbolic/numeric factorizations, warm-start hit rate).
   eval::EvalStats eval_stats() const;
   void reset_eval_stats() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuits/sim_hint.hpp"
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
 #include "spice/measure.hpp"
@@ -31,11 +32,14 @@ spice::Circuit build_tia(const TiaParams& params, const spice::TechCard& card,
                          Waveform::constant(card.vdd));
 
   // Photodiode: signal current injected into `in` plus junction capacitance.
-  // The step fires late enough for the transient window to capture the
-  // pre-edge baseline (the window is sized by the caller from the AC
-  // bandwidth; t0 is overridden there).
+  // The default stimulus is DC 0 with unit AC magnitude; the transient
+  // settling run passes a step waveform whose edge fires late enough for
+  // the window to capture the pre-edge baseline.
   ckt.add<CurrentSource>("iin", kGround, in,
-                         Waveform::constant(0.0), /*ac_mag=*/1.0);
+                         options.input_stimulus != nullptr
+                             ? *options.input_stimulus
+                             : Waveform::constant(0.0),
+                         /*ac_mag=*/1.0);
   ckt.add<Capacitor>("cpd", in, kGround, kPhotodiodeCap);
 
   const double l = kChannelLengthFactor * card.l_min;
@@ -69,16 +73,32 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
   const NodeId out = ckt.node("out");
   (void)in;
 
+  // One workspace per (thread, topology), shared by the DC solve, the AC
+  // and noise sweeps, and the transient run (whose step-stimulus rebuild
+  // has the identical structure).
+  SimWorkspace* ws = nullptr;
+  if (options.kernel == SimKernel::Sparse) {
+    ws = &workspace_for(ckt,
+                        options.parasitics != nullptr ? "tia_pex" : "tia");
+  }
+
   DcOptions dc_opt;
+  dc_opt.kernel = options.kernel;
+  dc_opt.workspace = ws;
+  OpPoint warm;
+  apply_warm_start(options.hint, warm, dc_opt);
   dc_opt.initial_node_v.assign(ckt.num_nodes(), 0.0);
   dc_opt.initial_node_v[ckt.node("vdd")] = card.vdd;
   dc_opt.initial_node_v[ckt.node("in")] = card.vdd / 2.0;
   dc_opt.initial_node_v[ckt.node("out")] = card.vdd / 2.0;
   auto op = solve_op(ckt, dc_opt);
   if (!op.ok()) return op.error();
+  refresh_hint(options.hint, *op);
 
   // ---- AC: transimpedance magnitude and cutoff --------------------------
   AcOptions ac_opt;
+  ac_opt.kernel = options.kernel;
+  ac_opt.workspace = ws;
   ac_opt.f_start = 1e5;
   ac_opt.f_stop = 1e11;
   ac_opt.points_per_decade = 10;
@@ -92,6 +112,8 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
 
   // ---- Noise: output-referred, then referred to the input ----------------
   NoiseOptions n_opt;
+  n_opt.kernel = options.kernel;
+  n_opt.workspace = ws;
   n_opt.f_start = 1e3;
   n_opt.f_stop = 1e10;
   n_opt.points_per_decade = 4;
@@ -109,41 +131,19 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
   const double t_window = std::clamp(10.0 / f_bw, 2e-10, 3e-8);
   const double t_edge = 0.1 * t_window;
 
-  // Same netlist with a stepped input source (devices are immutable, so the
-  // transient stimulus needs its own build). Node ordering matches `ckt`,
-  // which lets the converged OP seed the transient directly.
-  Circuit step_ckt;
-  {
-    using namespace spice;
-    const NodeId vdd2 = step_ckt.add_node("vdd");
-    const NodeId in2 = step_ckt.add_node("in");
-    const NodeId out2 = step_ckt.add_node("out");
-    step_ckt.add<VoltageSource>("vsupply", vdd2, kGround,
-                                Waveform::constant(card.vdd));
-    step_ckt.add<CurrentSource>(
-        "iin", kGround, in2,
-        Waveform::step(0.0, kStepCurrent, t_edge, t_window / 2000.0));
-    step_ckt.add<Capacitor>("cpd", in2, kGround, kPhotodiodeCap);
-    const double l = kChannelLengthFactor * card.l_min;
-    step_ckt.add<Mosfet>("mn", out2, in2, kGround, kGround, MosType::Nmos,
-                         MosGeom{params.wn, l, params.mn}, card);
-    step_ckt.add<Mosfet>("mp", out2, in2, vdd2, vdd2, MosType::Pmos,
-                         MosGeom{params.wp, l, params.mp}, card);
-    step_ckt.add<Resistor>("rf", in2, out2, params.feedback_resistance());
-    step_ckt.add<Capacitor>("cl", out2, kGround, kLoadCap);
-    if (options.parasitics != nullptr) {
-      const pex::ParasiticModel& pm = *options.parasitics;
-      const double w_in = params.wn * params.mn + params.wp * params.mp;
-      step_ckt.add<Capacitor>(
-          "cpex_in", in2, kGround,
-          pm.net_cap(w_in, pex::ParasiticModel::net_key("tia", "in")));
-      step_ckt.add<Capacitor>(
-          "cpex_out", out2, kGround,
-          pm.net_cap(w_in, pex::ParasiticModel::net_key("tia", "out")));
-    }
-  }
+  // Same netlist rebuilt with the stepped input source (devices are
+  // immutable, so the transient stimulus needs its own build). Because it
+  // is the same build function, the structure — and hence the workspace's
+  // frozen pattern — matches by construction.
+  const Waveform step_wave =
+      Waveform::step(0.0, kStepCurrent, t_edge, t_window / 2000.0);
+  TiaBuildOptions step_options = options;
+  step_options.input_stimulus = &step_wave;
+  Circuit step_ckt = build_tia(params, card, step_options);
 
   TranOptions tr_opt;
+  tr_opt.kernel = options.kernel;
+  tr_opt.workspace = ws;  // step_ckt shares the topology (and pattern)
   tr_opt.t_stop = t_window;
   tr_opt.dt = t_window / 400.0;
   auto tran = transient(step_ckt, *op, {step_ckt.node("out")}, tr_opt);

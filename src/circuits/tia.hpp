@@ -12,6 +12,7 @@
 #include "circuits/sizing_problem.hpp"
 #include "pex/parasitics.hpp"
 #include "spice/circuit.hpp"
+#include "spice/workspace.hpp"
 #include "util/expected.hpp"
 
 namespace autockt::circuits {
@@ -41,6 +42,19 @@ struct TiaResult {
 
 struct TiaBuildOptions {
   const pex::ParasiticModel* parasitics = nullptr;
+  /// Photodiode current stimulus; null means DC 0 A with unit AC magnitude
+  /// (the small-signal measurement build). The transient settling run
+  /// rebuilds the SAME netlist with a step waveform here, which is what
+  /// lets the two builds share one workspace pattern by construction.
+  const spice::Waveform* input_stimulus = nullptr;
+  /// Sparse reuses the per-thread topology workspace (pattern + symbolic
+  /// factorization cached across evaluations); Dense is the legacy
+  /// reference kernel for parity tests and benchmarks.
+  spice::SimKernel kernel = spice::SimKernel::Sparse;
+  /// Warm-start slot threaded from the eval layer: read as the Newton
+  /// stage-0 guess when valid, refreshed with the converged operating
+  /// point on success.
+  eval::OpHint* hint = nullptr;
 };
 
 /// Build the netlist (exposed for tests and examples).

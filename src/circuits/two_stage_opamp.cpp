@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "circuits/sim_hint.hpp"
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
 #include "spice/measure.hpp"
@@ -91,8 +92,20 @@ util::Expected<OpampResult> simulate_two_stage(
   using namespace spice;
   Circuit ckt = build_two_stage(params, card, options);
 
+  // One workspace per (thread, topology): the stamp pattern and symbolic
+  // factorization are computed once and reused by every grid point.
+  SimWorkspace* ws = nullptr;
+  if (options.kernel == SimKernel::Sparse) {
+    ws = &workspace_for(ckt, options.parasitics != nullptr ? "two_stage_pex"
+                                                           : "two_stage");
+  }
+
   const double vcm = kVcmFraction * card.vdd;
   DcOptions dc_opt;
+  dc_opt.kernel = options.kernel;
+  dc_opt.workspace = ws;
+  OpPoint warm;
+  apply_warm_start(options.hint, warm, dc_opt);
   dc_opt.initial_node_v.assign(ckt.num_nodes(), 0.0);
   dc_opt.initial_node_v[ckt.node("vdd")] = card.vdd;
   dc_opt.initial_node_v[ckt.node("inp")] = vcm;
@@ -104,8 +117,11 @@ util::Expected<OpampResult> simulate_two_stage(
   dc_opt.initial_node_v[ckt.node("bias")] = 0.4 * card.vdd;
   auto op = solve_op(ckt, dc_opt);
   if (!op.ok()) return op.error();
+  refresh_hint(options.hint, *op);
 
   AcOptions ac_opt;
+  ac_opt.kernel = options.kernel;
+  ac_opt.workspace = ws;
   ac_opt.f_start = 1e2;
   ac_opt.f_stop = 1e11;
   ac_opt.points_per_decade = 10;

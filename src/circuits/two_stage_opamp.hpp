@@ -20,6 +20,7 @@
 #include "circuits/sizing_problem.hpp"
 #include "pex/parasitics.hpp"
 #include "spice/circuit.hpp"
+#include "spice/workspace.hpp"
 #include "util/expected.hpp"
 
 namespace autockt::circuits {
@@ -44,6 +45,14 @@ struct OpampResult {
 
 struct OpampBuildOptions {
   const pex::ParasiticModel* parasitics = nullptr;
+  /// Sparse reuses the per-thread topology workspace (pattern + symbolic
+  /// factorization cached across evaluations); Dense is the legacy
+  /// reference kernel for parity tests and benchmarks.
+  spice::SimKernel kernel = spice::SimKernel::Sparse;
+  /// Warm-start slot threaded from the eval layer: read as the Newton
+  /// stage-0 guess when valid, refreshed with the converged operating
+  /// point on success.
+  eval::OpHint* hint = nullptr;
 };
 
 spice::Circuit build_two_stage(const TwoStageParams& params,

@@ -36,12 +36,15 @@ void SizingEnv::set_target(SpecVector target) {
 }
 
 std::vector<double> SizingEnv::reset() {
-  return finish_reset(problem_->evaluate(begin_reset()));
+  return finish_reset(problem_->evaluate(begin_reset(), pending_hint()));
 }
 
 const ParamVector& SizingEnv::begin_reset() {
   params_ = problem_->center_params();
   steps_ = 0;
+  // Episodes cold-start: warm hints never leak across episode boundaries,
+  // so a trajectory's simulations depend only on its own history.
+  hint_.invalidate();
   return params_;
 }
 
@@ -82,7 +85,7 @@ bool SizingEnv::current_goal_met() const {
 }
 
 SizingEnv::StepResult SizingEnv::step(const std::vector<int>& action) {
-  return finish_step(problem_->evaluate(begin_step(action)));
+  return finish_step(problem_->evaluate(begin_step(action), pending_hint()));
 }
 
 const ParamVector& SizingEnv::begin_step(const std::vector<int>& action) {

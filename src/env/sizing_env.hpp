@@ -25,6 +25,12 @@ struct EnvConfig {
   int horizon = 30;          // paper: 30 simulation steps for the op-amps
   double goal_bonus = 10.0;  // paper Eq. "R = 10 + r"
   bool eq1_shaping = true;   // false: sparse goal-only reward (ablation)
+  /// Thread the lane's last converged operating point into each evaluation
+  /// so the simulator warm-starts Newton on the next +-1-grid-step design.
+  /// Hints are invalidated on reset (episodes always cold-start), and the
+  /// simulator falls back to its cold-start homotopy chain when a warm
+  /// attempt fails, so trajectories stay deterministic for a fixed seed.
+  bool warm_start = true;
 };
 
 class SizingEnv {
@@ -70,6 +76,11 @@ class SizingEnv {
   const circuits::ParamVector& begin_step(const std::vector<int>& action);
   /// Complete a step with the evaluation of the pending point.
   StepResult finish_step(eval::EvalResult result);
+  /// Warm-start state to pass alongside the pending point (null when
+  /// warm starting is disabled). The vector env forwards one per lane.
+  eval::SimHint* pending_hint() {
+    return config_.warm_start ? &hint_ : nullptr;
+  }
 
   // ---- inspection --------------------------------------------------------
   const circuits::ParamVector& params() const { return params_; }
@@ -96,6 +107,7 @@ class SizingEnv {
   circuits::SpecVector target_;
   circuits::ParamVector params_;
   circuits::SpecVector cur_specs_;
+  eval::SimHint hint_;  // last converged op point(s), refreshed per eval
   int steps_ = 0;
   long sims_ = 0;
   bool last_eval_failed_ = false;

@@ -68,15 +68,18 @@ std::vector<std::vector<double>> VectorSizingEnv::reset_lanes(
 std::vector<std::vector<double>> VectorSizingEnv::do_reset(
     const std::vector<int>& lanes) {
   std::vector<ParamVector> points;
+  std::vector<eval::SimHint*> hints;
   points.reserve(lanes.size());
+  hints.reserve(lanes.size());
   for (int i : lanes) {
     const std::size_t li = check_lane(i);
     if (target_sampler_) {
       lanes_[li].set_target(target_sampler_(i, rngs_[li]));
     }
     points.push_back(lanes_[li].begin_reset());
+    hints.push_back(lanes_[li].pending_hint());
   }
-  auto results = problem_->evaluate_batch(points);
+  auto results = problem_->evaluate_batch(points, hints);
   std::vector<std::vector<double>> obs;
   obs.reserve(lanes.size());
   for (std::size_t k = 0; k < lanes.size(); ++k) {
@@ -93,20 +96,25 @@ std::vector<VectorSizingEnv::LaneStep> VectorSizingEnv::step_all(
   if (actions.size() != static_cast<std::size_t>(num_lanes())) {
     throw std::invalid_argument("VectorSizingEnv: actions size mismatch");
   }
-  // Phase 1: apply actions on running lanes and gather pending points.
+  // Phase 1: apply actions on running lanes and gather pending points
+  // (and each lane's warm-start slot — distinct objects, so a fan-out
+  // backend may write them concurrently).
   std::vector<int> stepped;
   std::vector<ParamVector> points;
+  std::vector<eval::SimHint*> hints;
   stepped.reserve(lanes_.size());
   points.reserve(lanes_.size());
+  hints.reserve(lanes_.size());
   for (int i = 0; i < num_lanes(); ++i) {
     const std::size_t li = static_cast<std::size_t>(i);
     if (!running_[li]) continue;
     points.push_back(lanes_[li].begin_step(actions[li]));
+    hints.push_back(lanes_[li].pending_hint());
     stepped.push_back(i);
   }
 
   // Phase 2: one batched evaluation for every stepped lane.
-  auto results = problem_->evaluate_batch(points);
+  auto results = problem_->evaluate_batch(points, hints);
 
   std::vector<LaneStep> out(lanes_.size());
   std::vector<int> to_reset;

@@ -3,10 +3,13 @@
 namespace autockt::eval {
 
 std::vector<EvalResult> EvalBackend::do_evaluate_batch(
-    const std::vector<ParamVector>& points) {
+    const std::vector<ParamVector>& points,
+    const std::vector<SimHint*>& hints) {
   std::vector<EvalResult> out;
   out.reserve(points.size());
-  for (const ParamVector& p : points) out.push_back(do_evaluate(p));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.push_back(do_evaluate(points[i], hint_at(hints, i)));
+  }
   return out;
 }
 

@@ -33,26 +33,32 @@ class EvalBackend {
 
   virtual std::string name() const = 0;
 
-  /// Evaluate one design point. Thread-safe.
-  EvalResult evaluate(const ParamVector& params) {
-    return do_evaluate(params);
+  /// Evaluate one design point. Thread-safe. The optional hint carries the
+  /// caller's warm-start state (see eval/types.hpp); backends thread it
+  /// down to the simulator leaf and may ignore it (cache hits do).
+  EvalResult evaluate(const ParamVector& params, SimHint* hint = nullptr) {
+    return do_evaluate(params, hint);
   }
 
   /// Evaluate many design points; result i corresponds to points[i].
+  /// `hints` is either empty or aligned with `points` (entries may be
+  /// null); distinct points must reference distinct SimHint objects so
+  /// fan-out backends can write them concurrently.
   /// Batch-shape accounting happens here (once, at the outermost layer the
   /// caller holds), so decorators forward internally via dispatch_batch().
   /// The pending_batches gauge covers the call's whole lifetime, so a
   /// concurrent stats() observer sees how many lockstep ticks are in
   /// flight right now.
   std::vector<EvalResult> evaluate_batch(
-      const std::vector<ParamVector>& points) {
+      const std::vector<ParamVector>& points,
+      const std::vector<SimHint*>& hints = {}) {
     counters_.record_batch(static_cast<long>(points.size()));
     counters_.begin_pending_batch();
     struct PendingGuard {
       StatsCollector& counters;
       ~PendingGuard() { counters.end_pending_batch(); }
     } guard{counters_};
-    return do_evaluate_batch(points);
+    return do_evaluate_batch(points, hints);
   }
 
   /// Snapshot of this backend's activity merged with everything below it.
@@ -64,12 +70,18 @@ class EvalBackend {
   }
 
  protected:
-  virtual EvalResult do_evaluate(const ParamVector& params) = 0;
+  virtual EvalResult do_evaluate(const ParamVector& params, SimHint* hint) = 0;
 
   /// Default batch execution: a serial loop. Leaves inherit this;
   /// ThreadPoolBackend and CornerBackend override it with real fan-out.
   virtual std::vector<EvalResult> do_evaluate_batch(
-      const std::vector<ParamVector>& points);
+      const std::vector<ParamVector>& points,
+      const std::vector<SimHint*>& hints);
+
+  /// hints[i] when provided, else null.
+  static SimHint* hint_at(const std::vector<SimHint*>& hints, std::size_t i) {
+    return i < hints.size() ? hints[i] : nullptr;
+  }
 
   /// Decorators override these to chain the backend below them.
   virtual EvalStats inner_stats() const { return {}; }
@@ -78,8 +90,9 @@ class EvalBackend {
   /// Forward a batch to another backend without re-recording batch stats
   /// (protected cross-instance access must go through the base class).
   static std::vector<EvalResult> dispatch_batch(
-      EvalBackend& backend, const std::vector<ParamVector>& points) {
-    return backend.do_evaluate_batch(points);
+      EvalBackend& backend, const std::vector<ParamVector>& points,
+      const std::vector<SimHint*>& hints = {}) {
+    return backend.do_evaluate_batch(points, hints);
   }
 
   mutable StatsCollector counters_;

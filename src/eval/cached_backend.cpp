@@ -45,7 +45,8 @@ void CachedBackend::clear() {
   }
 }
 
-EvalResult CachedBackend::do_evaluate(const ParamVector& params) {
+EvalResult CachedBackend::do_evaluate(const ParamVector& params,
+                                      SimHint* hint) {
   Shard& shard = shard_for(params);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -59,7 +60,7 @@ EvalResult CachedBackend::do_evaluate(const ParamVector& params) {
   // both simulate, but the evaluator is a pure function so either insert
   // wins with the same value.
   counters_.add_cache_miss();
-  EvalResult result = inner_->evaluate(params);
+  EvalResult result = inner_->evaluate(params, hint);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.map.emplace(params, result);
@@ -68,11 +69,14 @@ EvalResult CachedBackend::do_evaluate(const ParamVector& params) {
 }
 
 std::vector<EvalResult> CachedBackend::do_evaluate_batch(
-    const std::vector<ParamVector>& points) {
+    const std::vector<ParamVector>& points,
+    const std::vector<SimHint*>& hints) {
   std::vector<EvalResult> out(points.size(), EvalResult(SpecVector{}));
 
-  // Pass 1: serve hits, collect unique misses.
+  // Pass 1: serve hits, collect unique misses (a miss keeps the warm-start
+  // hint of its FIRST occurrence — exactly what the serial loop would use).
   std::vector<ParamVector> misses;
+  std::vector<SimHint*> miss_hints;
   std::unordered_map<ParamVector, std::vector<std::size_t>, VectorHash>
       miss_slots;
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -94,6 +98,7 @@ std::vector<EvalResult> CachedBackend::do_evaluate_batch(
     if (inserted) {
       counters_.add_cache_miss();
       misses.push_back(points[i]);
+      miss_hints.push_back(hint_at(hints, i));
     } else {
       // A duplicate of an in-flight miss: costs no extra simulation.
       counters_.add_cache_hit();
@@ -104,7 +109,7 @@ std::vector<EvalResult> CachedBackend::do_evaluate_batch(
   // Pass 2: one (smaller) batch below for the unique misses, preserving any
   // fan-out machinery underneath.
   if (!misses.empty()) {
-    std::vector<EvalResult> fresh = dispatch_batch(*inner_, misses);
+    std::vector<EvalResult> fresh = dispatch_batch(*inner_, misses, miss_hints);
     for (std::size_t m = 0; m < misses.size(); ++m) {
       Shard& shard = shard_for(misses[m]);
       {

@@ -36,9 +36,10 @@ class CachedBackend : public EvalBackend {
   const std::shared_ptr<EvalBackend>& inner() const { return inner_; }
 
  protected:
-  EvalResult do_evaluate(const ParamVector& params) override;
+  EvalResult do_evaluate(const ParamVector& params, SimHint* hint) override;
   std::vector<EvalResult> do_evaluate_batch(
-      const std::vector<ParamVector>& points) override;
+      const std::vector<ParamVector>& points,
+      const std::vector<SimHint*>& hints) override;
   EvalStats inner_stats() const override { return inner_->stats(); }
   void reset_inner_stats() override { inner_->reset_stats(); }
 

@@ -25,11 +25,11 @@ void CornerBackend::for_each(
 }
 
 EvalResult CornerBackend::run_one(const ParamVector& params,
-                                  std::size_t corner) const {
+                                  std::size_t corner, OpHint* hint) const {
   const auto t0 = std::chrono::steady_clock::now();
   EvalResult result = [&]() -> EvalResult {
     try {
-      return corner_eval_(corner, params);
+      return corner_eval_(corner, params, hint);
     } catch (const std::exception& e) {
       return util::Error{std::string("corner evaluator threw: ") + e.what(),
                          -1};
@@ -55,13 +55,18 @@ EvalResult CornerBackend::fold_point(
   return fold_(specs);
 }
 
-EvalResult CornerBackend::do_evaluate(const ParamVector& params) {
+EvalResult CornerBackend::do_evaluate(const ParamVector& params,
+                                      SimHint* hint) {
   if (num_corners_ == 0) {
     return util::Error{"CornerBackend: no corners configured", -1};
   }
+  // Pre-size the hint's per-corner slots before fanning out, so concurrent
+  // corner evaluations write disjoint, stable OpHint objects.
+  if (hint != nullptr) hint->slot(num_corners_ - 1);
   std::vector<std::optional<EvalResult>> scratch(num_corners_);
   for_each(num_corners_, [&](std::size_t c) {
-    scratch[c].emplace(run_one(params, c));
+    scratch[c].emplace(
+        run_one(params, c, hint != nullptr ? &hint->ops[c] : nullptr));
   });
   std::vector<EvalResult> ordered;
   ordered.reserve(num_corners_);
@@ -70,11 +75,16 @@ EvalResult CornerBackend::do_evaluate(const ParamVector& params) {
 }
 
 std::vector<EvalResult> CornerBackend::do_evaluate_batch(
-    const std::vector<ParamVector>& points) {
+    const std::vector<ParamVector>& points,
+    const std::vector<SimHint*>& hints) {
   if (num_corners_ == 0 || points.empty()) {
     return std::vector<EvalResult>(
         points.size(),
         EvalResult(util::Error{"CornerBackend: no corners configured", -1}));
+  }
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    SimHint* h = hint_at(hints, p);
+    if (h != nullptr) h->slot(num_corners_ - 1);  // pre-size before fan-out
   }
   // Flatten (point, corner) pairs so small populations on many-corner
   // problems still fill the pool.
@@ -83,7 +93,9 @@ std::vector<EvalResult> CornerBackend::do_evaluate_batch(
   for_each(scratch.size(), [&](std::size_t flat) {
     const std::size_t point = flat / num_corners_;
     const std::size_t corner = flat % num_corners_;
-    scratch[flat].emplace(run_one(points[point], corner));
+    SimHint* h = hint_at(hints, point);
+    scratch[flat].emplace(run_one(
+        points[point], corner, h != nullptr ? &h->ops[corner] : nullptr));
   });
 
   std::vector<EvalResult> out;

@@ -29,8 +29,10 @@ namespace autockt::eval {
 class CornerBackend : public EvalBackend {
  public:
   /// Simulate `params` under corner `corner_index` in [0, num_corners).
-  using CornerFn =
-      std::function<EvalResult(std::size_t corner_index, const ParamVector&)>;
+  /// The hint (null on cold starts) is the caller's per-corner warm-start
+  /// slot; distinct corners always receive distinct slots.
+  using CornerFn = std::function<EvalResult(
+      std::size_t corner_index, const ParamVector&, OpHint*)>;
   /// Fold per-corner spec vectors (ordered by corner index) into one.
   using FoldFn = std::function<SpecVector(const std::vector<SpecVector>&)>;
 
@@ -44,14 +46,16 @@ class CornerBackend : public EvalBackend {
   std::size_t num_corners() const { return num_corners_; }
 
  protected:
-  EvalResult do_evaluate(const ParamVector& params) override;
+  EvalResult do_evaluate(const ParamVector& params, SimHint* hint) override;
   /// Batch fan-out flattens (point, corner) pairs across the pool so a GA
   /// population over the PEX problem saturates the workers.
   std::vector<EvalResult> do_evaluate_batch(
-      const std::vector<ParamVector>& points) override;
+      const std::vector<ParamVector>& points,
+      const std::vector<SimHint*>& hints) override;
 
  private:
-  EvalResult run_one(const ParamVector& params, std::size_t corner) const;
+  EvalResult run_one(const ParamVector& params, std::size_t corner,
+                     OpHint* hint) const;
   EvalResult fold_point(std::vector<EvalResult>& corner_results) const;
   void for_each(std::size_t n,
                 const std::function<void(std::size_t)>& body) const;

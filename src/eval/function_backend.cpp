@@ -5,11 +5,12 @@
 
 namespace autockt::eval {
 
-EvalResult FunctionBackend::do_evaluate(const ParamVector& params) {
+EvalResult FunctionBackend::do_evaluate(const ParamVector& params,
+                                        SimHint* hint) {
   const auto t0 = std::chrono::steady_clock::now();
   EvalResult result = [&]() -> EvalResult {
     try {
-      return fn_(params);
+      return fn_(params, hint != nullptr ? &hint->slot(0) : nullptr);
     } catch (const std::exception& e) {
       return util::Error{std::string("evaluator threw: ") + e.what(), -1};
     } catch (...) {

@@ -16,15 +16,23 @@ namespace autockt::eval {
 class FunctionBackend : public EvalBackend {
  public:
   explicit FunctionBackend(EvalFn fn, std::string name = "function")
+      : fn_([f = std::move(fn)](const ParamVector& p, OpHint*) {
+          return f(p);
+        }),
+        name_(std::move(name)) {}
+
+  /// Hint-aware callable: receives the caller's warm-start slot (slot 0 of
+  /// the threaded SimHint; null on cold starts).
+  explicit FunctionBackend(HintedEvalFn fn, std::string name = "function")
       : fn_(std::move(fn)), name_(std::move(name)) {}
 
   std::string name() const override { return name_; }
 
  protected:
-  EvalResult do_evaluate(const ParamVector& params) override;
+  EvalResult do_evaluate(const ParamVector& params, SimHint* hint) override;
 
  private:
-  EvalFn fn_;
+  HintedEvalFn fn_;
   std::string name_;
 };
 

@@ -14,6 +14,12 @@ EvalStats& EvalStats::operator+=(const EvalStats& other) {
   max_batch = std::max(max_batch, other.max_batch);
   pending_batches += other.pending_batches;
   sim_seconds += other.sim_seconds;
+  newton_iterations += other.newton_iterations;
+  symbolic_factorizations += other.symbolic_factorizations;
+  numeric_factorizations += other.numeric_factorizations;
+  dense_fallbacks += other.dense_fallbacks;
+  warm_start_attempts += other.warm_start_attempts;
+  warm_start_hits += other.warm_start_hits;
   return *this;
 }
 
@@ -33,6 +39,14 @@ EvalStats EvalStats::since(const EvalStats& before) const {
   out.max_batch = max_batch;            // a high-water mark does not subtract
   out.pending_batches = pending_batches;  // a gauge does not subtract either
   out.sim_seconds = sim_seconds - before.sim_seconds;
+  out.newton_iterations = newton_iterations - before.newton_iterations;
+  out.symbolic_factorizations =
+      symbolic_factorizations - before.symbolic_factorizations;
+  out.numeric_factorizations =
+      numeric_factorizations - before.numeric_factorizations;
+  out.dense_fallbacks = dense_fallbacks - before.dense_fallbacks;
+  out.warm_start_attempts = warm_start_attempts - before.warm_start_attempts;
+  out.warm_start_hits = warm_start_hits - before.warm_start_hits;
   return out;
 }
 
@@ -49,14 +63,26 @@ double EvalStats::mean_batch_size() const {
                                 static_cast<double>(batch_calls);
 }
 
+double EvalStats::warm_start_hit_rate() const {
+  return warm_start_attempts == 0
+             ? 0.0
+             : static_cast<double>(warm_start_hits) /
+                   static_cast<double>(warm_start_attempts);
+}
+
 std::string EvalStats::summary() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "sims=%ld cache_hits=%ld cache_misses=%ld hit_rate=%.1f%% "
-                "batches=%ld mean_batch=%.1f max_batch=%ld sim_time=%.3fs",
+                "batches=%ld mean_batch=%.1f max_batch=%ld sim_time=%.3fs "
+                "newton=%ld factor_sym=%ld factor_num=%ld dense_fb=%ld "
+                "warm=%ld/%ld (%.1f%%)",
                 simulations, cache_hits, cache_misses,
                 100.0 * cache_hit_rate(), batch_calls, mean_batch_size(),
-                max_batch, sim_seconds);
+                max_batch, sim_seconds, newton_iterations,
+                symbolic_factorizations, numeric_factorizations,
+                dense_fallbacks, warm_start_hits, warm_start_attempts,
+                100.0 * warm_start_hit_rate());
   return std::string(buf);
 }
 

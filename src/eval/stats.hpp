@@ -31,6 +31,18 @@ struct EvalStats {
   long pending_batches = 0;
   double sim_seconds = 0.0;  // wall time spent inside simulator calls
 
+  // ---- simulation-kernel counters ---------------------------------------
+  // Filled by SizingProblem::eval_stats() from the spice workspace's
+  // process-wide counters (the eval layer itself never touches the
+  // simulator): Newton work, the symbolic/numeric factorization split of
+  // the sparse kernel, and warm-start effectiveness.
+  long newton_iterations = 0;
+  long symbolic_factorizations = 0;
+  long numeric_factorizations = 0;
+  long dense_fallbacks = 0;       // scale-aware pivot check bailouts
+  long warm_start_attempts = 0;
+  long warm_start_hits = 0;
+
   EvalStats& operator+=(const EvalStats& other);
   EvalStats operator+(const EvalStats& other) const;
   /// Activity since `before` was snapshotted (counter-wise difference).
@@ -43,6 +55,8 @@ struct EvalStats {
   /// Hits over lookups; 0 when no cache layer saw any traffic.
   double cache_hit_rate() const;
   double mean_batch_size() const;
+  /// Warm-start hits over attempts; 0 when warm starting never ran.
+  double warm_start_hit_rate() const;
 
   /// One-line human-readable summary for logs and example binaries.
   std::string summary() const;

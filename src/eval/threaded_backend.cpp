@@ -11,10 +11,11 @@ ThreadPoolBackend::ThreadPoolBackend(std::shared_ptr<EvalBackend> inner,
       pool_(pool ? std::move(pool) : ThreadPool::shared()) {}
 
 std::vector<EvalResult> ThreadPoolBackend::do_evaluate_batch(
-    const std::vector<ParamVector>& points) {
+    const std::vector<ParamVector>& points,
+    const std::vector<SimHint*>& hints) {
   std::vector<std::optional<EvalResult>> scratch(points.size());
   pool_->parallel_for(points.size(), [&](std::size_t i) {
-    scratch[i].emplace(inner_->evaluate(points[i]));
+    scratch[i].emplace(inner_->evaluate(points[i], hint_at(hints, i)));
   });
   std::vector<EvalResult> out;
   out.reserve(points.size());

@@ -22,7 +22,39 @@ using SpecVector = std::vector<double>;
 /// DC non-convergence) which callers map to per-spec fail values.
 using EvalResult = util::Expected<SpecVector>;
 
-/// The raw simulator callable adapted by FunctionBackend.
+/// Warm-start state for ONE sub-simulation (one DC operating point): plain
+/// vectors so the eval layer stays independent of the spice layer. The
+/// simulator reads it as the Newton stage-0 guess and overwrites it with
+/// the converged solution; `valid` gates the read.
+struct OpHint {
+  bool valid = false;
+  std::vector<double> node_v;    // indexed by node id, [0] is ground
+  std::vector<double> branch_i;  // indexed by branch number
+};
+
+/// Per-caller (RL env lane) warm-start state threaded through a backend
+/// stack: one OpHint per sub-simulation of a logical evaluation (schematic
+/// problems use slot 0; the PEX flow uses one slot per PVT corner). Hints
+/// are an optimization channel, never a correctness one — a cache hit
+/// leaves them untouched, and a null hint simply cold-starts.
+struct SimHint {
+  std::vector<OpHint> ops;
+
+  /// Grow-on-demand slot access. NOT safe during concurrent slot writes;
+  /// fan-out backends size the vector up front (see CornerBackend).
+  OpHint& slot(std::size_t i) {
+    if (ops.size() <= i) ops.resize(i + 1);
+    return ops[i];
+  }
+
+  void invalidate() {
+    for (OpHint& o : ops) o.valid = false;
+  }
+};
+
+/// The raw simulator callable adapted by FunctionBackend. The hint may be
+/// null (cold start); the callable may ignore it entirely.
 using EvalFn = std::function<EvalResult(const ParamVector&)>;
+using HintedEvalFn = std::function<EvalResult(const ParamVector&, OpHint*)>;
 
 }  // namespace autockt::eval

@@ -3,6 +3,7 @@
 // This is the single linear-algebra kernel behind DC Newton iterations,
 // AC sweeps, transient companion solves and adjoint noise analysis.
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstddef>
@@ -31,6 +32,18 @@ class LuFactorization {
     perm_.resize(n);
     for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
+    // Scale-aware singularity reference: the largest entry magnitude of each
+    // ORIGINAL column. An absolute epsilon misclassifies both uniformly tiny
+    // (nonsingular) and uniformly huge (singular, cancelled-to-roundoff)
+    // systems; relative to the column scale, elimination cancelling a column
+    // down to roundoff is flagged regardless of the matrix's units.
+    std::vector<double> col_scale(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        col_scale[c] = std::max(col_scale[c], detail::abs_of(lu_(r, c)));
+      }
+    }
+
     for (std::size_t col = 0; col < n; ++col) {
       // Pivot selection.
       std::size_t pivot = col;
@@ -42,7 +55,7 @@ class LuFactorization {
           pivot = r;
         }
       }
-      if (best < kSingularTol) {
+      if (!(best > kSingularRelTol * col_scale[col])) {
         singular_ = true;
         return;
       }
@@ -121,7 +134,9 @@ class LuFactorization {
   }
 
  private:
-  static constexpr double kSingularTol = 1e-300;
+  /// Pivot acceptance relative to the original column scale (see above).
+  /// A zero-scale (empty) column fails the strict > comparison outright.
+  static constexpr double kSingularRelTol = 1e-13;
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
   int parity_ = 1;

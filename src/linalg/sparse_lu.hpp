@@ -1,0 +1,375 @@
+#pragma once
+// Sparse LU for MNA systems, split into a structural (symbolic) phase done
+// once per circuit topology and a numeric refactorization done every Newton
+// iteration / frequency point / env step.
+//
+//  * SparseLuSymbolic — Markowitz-ordered elimination on the frozen pattern:
+//    picks pivots minimizing (row_count-1)*(col_count-1), computes the fill
+//    pattern, and compiles the whole elimination into flat slot programs
+//    (scatter map, per-pivot L/U slot lists, update target lists). Ordering
+//    is purely structural, so it is a deterministic function of the circuit
+//    topology — two threads, or two runs, always produce the same factors
+//    for the same matrix values regardless of which design point they saw
+//    first. Positions the discovery pass marks "weak" (gmin homotopy
+//    diagonals, transient companion slots — structurally present but often
+//    numerically zero) are avoided as pivots while any strong candidate
+//    remains.
+//  * SparseLuNumeric<T> — replays the compiled program over a value array:
+//    zero heap allocation, sparse flop count, shared between real (Newton,
+//    transient) and complex (AC, noise) assemblies of the same pattern.
+//    refactor() applies a scale-aware pivot check (relative to the largest
+//    entry of the pivot's original column, never an absolute epsilon);
+//    callers fall back to dense partial-pivot LU when it fails, which keeps
+//    results deterministic: the fallback depends only on the matrix values.
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace autockt::linalg {
+
+namespace detail {
+inline double mag_of(double v) { return std::fabs(v); }
+inline double mag_of(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace detail
+
+class SparseLuSymbolic {
+ public:
+  SparseLuSymbolic() = default;
+
+  /// Structural analysis of `pattern`; `weak` flags (size nnz, may be empty
+  /// meaning all-strong) demote slots as pivot candidates.
+  explicit SparseLuSymbolic(const SparsePattern& pattern,
+                            const std::vector<char>& weak = {}) {
+    build(pattern, weak);
+  }
+
+  /// Structurally factorizable (a complete pivot sequence exists).
+  bool ok() const { return ok_; }
+  std::size_t size() const { return n_; }
+  std::size_t lu_nnz() const { return lu_nnz_; }
+  /// Multiply-add count of one numeric refactorization (diagnostic).
+  std::size_t flops() const { return upd_slot_.size(); }
+
+ private:
+  template <typename T>
+  friend class SparseLuNumeric;
+
+  void build(const SparsePattern& pattern, const std::vector<char>& weak) {
+    n_ = pattern.size();
+    ok_ = true;
+    const std::size_t n = n_;
+    if (n == 0) return;
+
+    // Dense structural working set: occupancy + strength, original coords.
+    std::vector<char> occ(n * n, 0), strong(n * n, 0);
+    for (std::size_t col = 0; col < n; ++col) {
+      for (int p = pattern.col_ptr()[col]; p < pattern.col_ptr()[col + 1];
+           ++p) {
+        const auto row = static_cast<std::size_t>(pattern.row_idx()[p]);
+        occ[row * n + col] = 1;
+        strong[row * n + col] =
+            weak.empty() ? 1 : static_cast<char>(!weak[p]);
+      }
+    }
+
+    // Markowitz pivot selection with deterministic tie-breaks.
+    std::vector<char> row_active(n, 1), col_active(n, 1);
+    std::vector<int> row_cnt(n, 0), col_cnt(n, 0);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        if (occ[r * n + c]) {
+          ++row_cnt[r];
+          ++col_cnt[c];
+        }
+
+    prow_.assign(n, 0);
+    pcol_.assign(n, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+      long best_cost = -1;
+      std::size_t bi = 0, bj = 0;
+      bool best_strong = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!col_active[j]) continue;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!row_active[i] || !occ[i * n + j]) continue;
+          const bool s = strong[i * n + j] != 0;
+          const long cost = static_cast<long>(row_cnt[i] - 1) *
+                            static_cast<long>(col_cnt[j] - 1);
+          // Strong beats weak; then lower Markowitz cost; then (j, i) order.
+          const bool better =
+              best_cost < 0 || (s && !best_strong) ||
+              (s == best_strong &&
+               (cost < best_cost ||
+                (cost == best_cost && (j < bj || (j == bj && i < bi)))));
+          if (better) {
+            best_cost = cost;
+            bi = i;
+            bj = j;
+            best_strong = s;
+          }
+        }
+      }
+      if (best_cost < 0) {
+        ok_ = false;  // structurally singular
+        return;
+      }
+      prow_[k] = static_cast<int>(bi);
+      pcol_[k] = static_cast<int>(bj);
+      row_active[bi] = 0;
+      col_active[bj] = 0;
+      for (std::size_t c = 0; c < n; ++c)
+        if (occ[bi * n + c] && col_active[c]) --col_cnt[c];
+      for (std::size_t r = 0; r < n; ++r)
+        if (occ[r * n + bj] && row_active[r]) --row_cnt[r];
+      // Structural fill among still-active rows/cols.
+      for (std::size_t r = 0; r < n; ++r) {
+        if (!row_active[r] || !occ[r * n + bj]) continue;
+        for (std::size_t c = 0; c < n; ++c) {
+          if (!col_active[c] || !occ[bi * n + c]) continue;
+          if (!occ[r * n + c]) {
+            occ[r * n + c] = 1;
+            ++row_cnt[r];
+            ++col_cnt[c];
+          }
+          // Fill inherits strength from its sources: a product of two weak
+          // (often-zero) entries is itself often zero.
+          if (strong[r * n + bj] && strong[bi * n + c])
+            strong[r * n + c] = 1;
+        }
+      }
+    }
+
+    inv_prow_.assign(n, 0);
+    inv_pcol_.assign(n, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+      inv_prow_[static_cast<std::size_t>(prow_[k])] = static_cast<int>(k);
+      inv_pcol_[static_cast<std::size_t>(pcol_[k])] = static_cast<int>(k);
+    }
+
+    // Recompute the LU fill pattern cleanly in permuted coordinates.
+    std::vector<char> lu_occ(n * n, 0);
+    for (std::size_t col = 0; col < n; ++col) {
+      for (int p = pattern.col_ptr()[col]; p < pattern.col_ptr()[col + 1];
+           ++p) {
+        const auto row = static_cast<std::size_t>(pattern.row_idx()[p]);
+        lu_occ[static_cast<std::size_t>(inv_prow_[row]) * n +
+               static_cast<std::size_t>(inv_pcol_[col])] = 1;
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t r = k + 1; r < n; ++r) {
+        if (!lu_occ[r * n + k]) continue;
+        for (std::size_t c = k + 1; c < n; ++c) {
+          if (lu_occ[k * n + c]) lu_occ[r * n + c] = 1;
+        }
+      }
+    }
+
+    // Slot assignment (row-major over the permuted LU pattern).
+    std::vector<int> slot_of(n * n, -1);
+    lu_nnz_ = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (lu_occ[r * n + c])
+          slot_of[r * n + c] = static_cast<int>(lu_nnz_++);
+      }
+    }
+
+    // Scatter map: A-pattern slot -> LU slot.
+    scatter_.assign(pattern.nnz(), -1);
+    scatter_col_.assign(pattern.nnz(), 0);
+    for (std::size_t col = 0; col < n; ++col) {
+      for (int p = pattern.col_ptr()[col]; p < pattern.col_ptr()[col + 1];
+           ++p) {
+        const auto row = static_cast<std::size_t>(pattern.row_idx()[p]);
+        scatter_[static_cast<std::size_t>(p)] =
+            slot_of[static_cast<std::size_t>(inv_prow_[row]) * n +
+                    static_cast<std::size_t>(inv_pcol_[col])];
+        scatter_col_[static_cast<std::size_t>(p)] = inv_pcol_[col];
+      }
+    }
+
+    diag_slot_.assign(n, -1);
+    for (std::size_t k = 0; k < n; ++k) diag_slot_[k] = slot_of[k * n + k];
+
+    auto build_lists = [&](auto pred, std::vector<int>& ptr,
+                           std::vector<int>& idx, std::vector<int>& slot,
+                           bool by_row) {
+      ptr.assign(n + 1, 0);
+      idx.clear();
+      slot.clear();
+      for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+          const std::size_t r = by_row ? a : b;
+          const std::size_t c = by_row ? b : a;
+          if (slot_of[r * n + c] >= 0 && pred(r, c)) {
+            idx.push_back(static_cast<int>(b));
+            slot.push_back(slot_of[r * n + c]);
+          }
+        }
+        ptr[a + 1] = static_cast<int>(idx.size());
+      }
+    };
+    auto in_l = [](std::size_t r, std::size_t c) { return c < r; };
+    auto in_u_offdiag = [](std::size_t r, std::size_t c) { return c > r; };
+    build_lists(in_l, lrow_ptr_, lrow_idx_, lrow_slot_, /*by_row=*/true);
+    build_lists(in_u_offdiag, urow_ptr_, urow_idx_, urow_slot_, true);
+    build_lists(in_l, lcol_ptr_, lcol_idx_, lcol_slot_, /*by_row=*/false);
+    build_lists(in_u_offdiag, ucol_ptr_, ucol_idx_, ucol_slot_, false);
+
+    // Compiled update program: for pivot k, for each L slot (r,k), for each
+    // U slot (k,c): target slot (r,c). Flat, in loop order.
+    upd_ptr_.assign(n + 1, 0);
+    upd_slot_.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      for (int lp = lcol_ptr_[k]; lp < lcol_ptr_[k + 1]; ++lp) {
+        const auto r = static_cast<std::size_t>(lcol_idx_[lp]);
+        for (int up = urow_ptr_[k]; up < urow_ptr_[k + 1]; ++up) {
+          const auto c = static_cast<std::size_t>(urow_idx_[up]);
+          upd_slot_.push_back(slot_of[r * n + c]);
+        }
+      }
+      upd_ptr_[k + 1] = static_cast<int>(upd_slot_.size());
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::size_t lu_nnz_ = 0;
+  bool ok_ = false;
+  std::vector<int> prow_, pcol_, inv_prow_, inv_pcol_;
+  std::vector<int> scatter_;      // A slot -> LU slot
+  std::vector<int> scatter_col_;  // A slot -> permuted column (pivot scale)
+  std::vector<int> diag_slot_;
+  // Row-major / column-major adjacency of L (unit diag excluded) and U
+  // (diagonal excluded); *_idx holds the other coordinate.
+  std::vector<int> lrow_ptr_, lrow_idx_, lrow_slot_;
+  std::vector<int> urow_ptr_, urow_idx_, urow_slot_;
+  std::vector<int> lcol_ptr_, lcol_idx_, lcol_slot_;
+  std::vector<int> ucol_ptr_, ucol_idx_, ucol_slot_;
+  std::vector<int> upd_ptr_, upd_slot_;
+};
+
+/// Numeric side: value array + scratch, reusable with zero allocation after
+/// construction. One instance per concurrent solver (not thread-safe).
+template <typename T>
+class SparseLuNumeric {
+ public:
+  SparseLuNumeric() = default;
+
+  explicit SparseLuNumeric(const SparseLuSymbolic& symbolic)
+      : sym_(&symbolic),
+        lu_vals_(symbolic.lu_nnz(), T{}),
+        col_scale_(symbolic.size(), 0.0),
+        y_(symbolic.size(), T{}) {}
+
+  /// Scale-aware pivot acceptance: |pivot| must exceed this fraction of the
+  /// largest |entry| stamped into its (permuted) column.
+  static constexpr double kPivotRelTol = 1e-13;
+
+  /// Refactorize from `a_vals` (aligned with the A pattern the symbolic
+  /// analysis was built from). Returns false — leaving no usable factors —
+  /// when a pivot fails the scale-aware check; the caller is expected to
+  /// fall back to a pivoting (dense) solve for this matrix.
+  bool refactor(const T* a_vals) {
+    const SparseLuSymbolic& s = *sym_;
+    const std::size_t n = s.n_;
+    std::fill(lu_vals_.begin(), lu_vals_.end(), T{});
+    std::fill(col_scale_.begin(), col_scale_.end(), 0.0);
+    for (std::size_t p = 0; p < s.scatter_.size(); ++p) {
+      const T v = a_vals[p];
+      lu_vals_[static_cast<std::size_t>(s.scatter_[p])] += v;
+      double& scale = col_scale_[static_cast<std::size_t>(s.scatter_col_[p])];
+      scale = std::max(scale, detail::mag_of(v));
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const T piv = lu_vals_[static_cast<std::size_t>(s.diag_slot_[k])];
+      const double scale = col_scale_[k];
+      if (!(detail::mag_of(piv) > kPivotRelTol * scale) ||
+          scale < std::numeric_limits<double>::min()) {
+        return false;
+      }
+      const T inv_piv = T(1) / piv;
+      const int l0 = s.lcol_ptr_[k], l1 = s.lcol_ptr_[k + 1];
+      const int u0 = s.urow_ptr_[k], u1 = s.urow_ptr_[k + 1];
+      const int* upd = s.upd_slot_.data() + s.upd_ptr_[k];
+      for (int lp = l0; lp < l1; ++lp) {
+        T& lval = lu_vals_[static_cast<std::size_t>(s.lcol_slot_[lp])];
+        lval *= inv_piv;
+        if (lval == T{}) {
+          upd += (u1 - u0);
+          continue;
+        }
+        for (int up = u0; up < u1; ++up) {
+          lu_vals_[static_cast<std::size_t>(*upd++)] -=
+              lval * lu_vals_[static_cast<std::size_t>(s.urow_slot_[up])];
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Solve A x = b (b and x must not alias; sizes n).
+  void solve(const T* b, T* x) const {
+    const SparseLuSymbolic& s = *sym_;
+    const std::size_t n = s.n_;
+    // z = P_r b; forward L (unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[static_cast<std::size_t>(s.prow_[i])];
+      for (int p = s.lrow_ptr_[i]; p < s.lrow_ptr_[i + 1]; ++p) {
+        acc -= lu_vals_[static_cast<std::size_t>(s.lrow_slot_[p])] *
+               y_[static_cast<std::size_t>(s.lrow_idx_[p])];
+      }
+      y_[i] = acc;
+    }
+    // Backward U; then x = P_c^T y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = y_[ii];
+      for (int p = s.urow_ptr_[ii]; p < s.urow_ptr_[ii + 1]; ++p) {
+        acc -= lu_vals_[static_cast<std::size_t>(s.urow_slot_[p])] *
+               y_[static_cast<std::size_t>(s.urow_idx_[p])];
+      }
+      y_[ii] = acc / lu_vals_[static_cast<std::size_t>(s.diag_slot_[ii])];
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      x[static_cast<std::size_t>(s.pcol_[j])] = y_[j];
+  }
+
+  /// Solve A^T x = b (plain transpose — what adjoint noise analysis needs).
+  void solve_transposed(const T* b, T* x) const {
+    const SparseLuSymbolic& s = *sym_;
+    const std::size_t n = s.n_;
+    // B^T = U^T L^T with B = P_r A P_c: solve U^T w = P_c^T-permuted b.
+    for (std::size_t j = 0; j < n; ++j) {
+      T acc = b[static_cast<std::size_t>(s.pcol_[j])];
+      for (int p = s.ucol_ptr_[j]; p < s.ucol_ptr_[j + 1]; ++p) {
+        acc -= lu_vals_[static_cast<std::size_t>(s.ucol_slot_[p])] *
+               y_[static_cast<std::size_t>(s.ucol_idx_[p])];
+      }
+      y_[j] = acc / lu_vals_[static_cast<std::size_t>(s.diag_slot_[j])];
+    }
+    // L^T v = w (unit upper in transpose).
+    for (std::size_t kk = n; kk-- > 0;) {
+      T acc = y_[kk];
+      for (int p = s.lcol_ptr_[kk]; p < s.lcol_ptr_[kk + 1]; ++p) {
+        acc -= lu_vals_[static_cast<std::size_t>(s.lcol_slot_[p])] *
+               y_[static_cast<std::size_t>(s.lcol_idx_[p])];
+      }
+      y_[kk] = acc;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(s.prow_[i])] = y_[i];
+  }
+
+ private:
+  const SparseLuSymbolic* sym_ = nullptr;
+  std::vector<T> lu_vals_;
+  std::vector<double> col_scale_;
+  mutable std::vector<T> y_;  // substitution scratch (solves are sequential)
+};
+
+}  // namespace autockt::linalg

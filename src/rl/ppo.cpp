@@ -191,7 +191,16 @@ TrainHistory PpoAgent::train(
       const int L = lanes_per_worker;
       const int base = w * L;
       env::SizingEnv probe = env_factory();
-      env::VectorSizingEnv venv(probe.problem_ptr(), probe.config(), L);
+      // Collection pins warm starting off: warm-started evaluations depend
+      // on each lane's history, and with several workers racing one shared
+      // memo cache, which lane's (low-bit different) result gets memoized
+      // would depend on thread timing — breaking both run-to-run
+      // reproducibility and the worker/lane-split invariance contract.
+      // Deployment and serial env use warm-start freely (single-threaded
+      // lockstep keeps it deterministic).
+      env::EnvConfig worker_config = probe.config();
+      worker_config.warm_start = false;
+      env::VectorSizingEnv venv(probe.problem_ptr(), worker_config, L);
       for (int i = 0; i < L; ++i) {
         venv.seed_lane(i, lane_seeds[static_cast<std::size_t>(base + i)]);
       }

@@ -1,29 +1,29 @@
 #include "spice/ac.hpp"
 
 #include <cmath>
+#include <optional>
+#include <string>
 
-#include "linalg/lu.hpp"
+#include "spice/complex_solver.hpp"
 #include "spice/units.hpp"
 
 namespace autockt::spice {
 
 namespace {
 
-util::Expected<std::vector<std::complex<double>>> solve_complex(
-    const Circuit& circuit, const OpPoint& op, double freq) {
-  const std::size_t n = circuit.num_unknowns();
-  linalg::ComplexMatrix a(n, n);
-  std::vector<std::complex<double>> b(n, {0.0, 0.0});
-  ComplexStamp ctx{a, b, op.node_v};
-  ctx.omega = 2.0 * kPi * freq;
-  ctx.num_nodes = circuit.num_nodes();
-  circuit.stamp_complex(ctx);
+using detail::sweep_freq;
+using detail::sweep_points;
 
-  linalg::LuFactorization<std::complex<double>> lu(a);
-  if (!lu.ok()) {
-    return util::Error{"AC matrix singular at f=" + std::to_string(freq), 2};
-  }
-  return lu.solve(b);
+std::complex<double> probe_of(const std::vector<std::complex<double>>& x,
+                              NodeId probe_p, NodeId probe_m) {
+  std::complex<double> v{0.0, 0.0};
+  if (probe_p != kGround) v += x[probe_p - 1];
+  if (probe_m != kGround) v -= x[probe_m - 1];
+  return v;
+}
+
+util::Error singular_error(double freq) {
+  return util::Error{"AC matrix singular at f=" + std::to_string(freq), 2};
 }
 
 }  // namespace
@@ -32,31 +32,67 @@ util::Expected<std::vector<AcPoint>> ac_sweep(const Circuit& circuit,
                                               const OpPoint& op, NodeId probe_p,
                                               NodeId probe_m,
                                               const AcOptions& options) {
-  const double decades = std::log10(options.f_stop / options.f_start);
   const int total =
-      std::max(2, static_cast<int>(
-                      std::ceil(decades * options.points_per_decade)) +
-                      1);
-
+      sweep_points(options.f_start, options.f_stop, options.points_per_decade);
   std::vector<AcPoint> sweep;
   sweep.reserve(static_cast<std::size_t>(total));
-  for (int i = 0; i < total; ++i) {
-    const double frac = static_cast<double>(i) / static_cast<double>(total - 1);
-    const double freq = options.f_start * std::pow(10.0, frac * decades);
-    auto x = solve_complex(circuit, op, freq);
-    if (!x.ok()) return x.error();
 
-    std::complex<double> v{0.0, 0.0};
-    if (probe_p != kGround) v += (*x)[probe_p - 1];
-    if (probe_m != kGround) v -= (*x)[probe_m - 1];
-    sweep.push_back({freq, v});
+  if (options.kernel == SimKernel::Dense) {
+    detail::DenseAcAssembly assembly(circuit, op.node_v);
+    for (int i = 0; i < total; ++i) {
+      const double freq =
+          sweep_freq(options.f_start, options.f_stop, i, total);
+      if (!assembly.factor(2.0 * kPi * freq)) return singular_error(freq);
+      sweep.push_back({freq, probe_of(assembly.lu->solve(assembly.b),
+                                      probe_p, probe_m)});
+    }
+    return sweep;
+  }
+
+  std::optional<SimWorkspace> scratch;
+  SimWorkspace* ws = options.workspace;
+  if (ws != nullptr &&
+      (!ws->compatible(circuit) || !ws->has_complex())) {
+    return util::Error{"AC sweep: workspace does not match the circuit", 2};
+  }
+  if (ws == nullptr) {
+    scratch.emplace(circuit, SimWorkspace::Sides::Complex);
+    ws = &*scratch;
+  }
+  // One stamping pass serves the whole sweep; each frequency point is a
+  // numeric-only refactorization of G + j*omega*C.
+  ComplexStamp ctx = ws->begin_complex(op.node_v);
+  circuit.stamp_complex(ctx);
+  for (int i = 0; i < total; ++i) {
+    const double freq = sweep_freq(options.f_start, options.f_stop, i, total);
+    if (!ws->factor_complex(2.0 * kPi * freq)) return singular_error(freq);
+    sweep.push_back({freq, probe_of(ws->solve_complex(), probe_p, probe_m)});
   }
   return sweep;
 }
 
 util::Expected<std::vector<std::complex<double>>> ac_solve_at(
-    const Circuit& circuit, const OpPoint& op, double freq) {
-  return solve_complex(circuit, op, freq);
+    const Circuit& circuit, const OpPoint& op, double freq,
+    const AcOptions& options) {
+  if (options.kernel == SimKernel::Dense) {
+    detail::DenseAcAssembly assembly(circuit, op.node_v);
+    if (!assembly.factor(2.0 * kPi * freq)) return singular_error(freq);
+    return assembly.lu->solve(assembly.b);
+  }
+  std::optional<SimWorkspace> scratch;
+  SimWorkspace* ws = options.workspace;
+  if (ws != nullptr &&
+      (!ws->compatible(circuit) || !ws->has_complex())) {
+    return util::Error{"AC solve: workspace does not match the circuit", 2};
+  }
+  if (ws == nullptr) {
+    scratch.emplace(circuit, SimWorkspace::Sides::Complex);
+    ws = &*scratch;
+  }
+  ComplexStamp ctx = ws->begin_complex(op.node_v);
+  circuit.stamp_complex(ctx);
+  if (!ws->factor_complex(2.0 * kPi * freq)) return singular_error(freq);
+  return ws->solve_complex();
 }
 
 }  // namespace autockt::spice

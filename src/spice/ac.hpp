@@ -1,11 +1,17 @@
 #pragma once
 // Small-signal AC analysis: complex MNA sweep around a converged DC
 // operating point. The stimulus is whatever sources carry a nonzero ac_mag.
+//
+// The sweep is restamp-free: devices stamp the frequency-independent G and
+// the capacitance C exactly once per operating point; every frequency point
+// forms Y = G + j*omega*C and runs a numeric-only refactorization on the
+// sparse kernel (or a fresh dense LU on the reference kernel).
 
 #include <complex>
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/workspace.hpp"
 #include "util/expected.hpp"
 
 namespace autockt::spice {
@@ -19,6 +25,9 @@ struct AcOptions {
   double f_start = 1e3;
   double f_stop = 1e11;
   int points_per_decade = 10;
+  SimKernel kernel = SimKernel::Sparse;
+  /// Reusable workspace (sparse kernel); temporary per call when null.
+  SimWorkspace* workspace = nullptr;
 };
 
 /// Log-spaced sweep of the probe voltage. Fails if the AC matrix is singular
@@ -30,6 +39,7 @@ util::Expected<std::vector<AcPoint>> ac_sweep(const Circuit& circuit,
 
 /// Single-frequency full solution (all node voltages + branch currents).
 util::Expected<std::vector<std::complex<double>>> ac_solve_at(
-    const Circuit& circuit, const OpPoint& op, double freq);
+    const Circuit& circuit, const OpPoint& op, double freq,
+    const AcOptions& options = {});
 
 }  // namespace autockt::spice

@@ -4,6 +4,7 @@
 
 #include "spice/circuit.hpp"
 #include "spice/dc.hpp"
+#include "spice/workspace.hpp"
 
 namespace autockt::spice {
 
@@ -79,6 +80,9 @@ double inverter_trip_voltage(const TechCard& card, double wn, double wp,
                     MosGeom{wp, length, 1}, card);
     DcOptions opt;
     opt.initial_node_v = {0.0, card.vdd, vin, card.vdd / 2.0};
+    // Every bisection step rebuilds the same topology; the registry
+    // workspace keeps one symbolic factorization for the whole search.
+    opt.workspace = &workspace_for(ckt, "characterize_inverter");
     auto op = solve_op(ckt, opt);
     return op.ok() ? op->voltage(out) : card.vdd / 2.0;
   };

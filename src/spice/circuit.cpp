@@ -35,13 +35,21 @@ void Circuit::stamp_real(RealStamp& ctx) const {
   if (ctx.gmin > 0.0) {
     // Homotopy: small conductance from every node to ground.
     for (NodeId n = 1; n < num_nodes(); ++n) {
-      ctx.a(ctx.row_of_node(n), ctx.row_of_node(n)) += ctx.gmin;
+      ctx.add_a(ctx.row_of_node(n), ctx.row_of_node(n), ctx.gmin);
     }
   }
 }
 
 void Circuit::stamp_complex(ComplexStamp& ctx) const {
   for (const auto& dev : devices_) dev->stamp_complex(ctx);
+}
+
+void Circuit::declare_real_pattern(RealStamp& ctx) const {
+  for (const auto& dev : devices_) dev->declare_real_pattern(ctx);
+}
+
+void Circuit::declare_complex_pattern(ComplexStamp& ctx) const {
+  for (const auto& dev : devices_) dev->declare_complex_pattern(ctx);
 }
 
 std::vector<CapElement> Circuit::collect_caps() const {
@@ -53,10 +61,17 @@ std::vector<CapElement> Circuit::collect_caps() const {
 std::vector<NoiseSource> Circuit::collect_noise(
     const std::vector<double>& op_voltages, double freq, double temp_k) const {
   std::vector<NoiseSource> out;
+  collect_noise(op_voltages, freq, temp_k, out);
+  return out;
+}
+
+void Circuit::collect_noise(const std::vector<double>& op_voltages,
+                            double freq, double temp_k,
+                            std::vector<NoiseSource>& out) const {
+  out.clear();
   for (const auto& dev : devices_) {
     dev->collect_noise(op_voltages, freq, temp_k, out);
   }
-  return out;
 }
 
 OpPoint Circuit::unpack(const std::vector<double>& x) const {

@@ -68,9 +68,16 @@ class Circuit {
   // ---- whole-circuit stamping ------------------------------------------
   void stamp_real(RealStamp& ctx) const;
   void stamp_complex(ComplexStamp& ctx) const;
+  /// Pattern-discovery passes: declare every position the stamps above may
+  /// touch (see Device::declare_real_pattern).
+  void declare_real_pattern(RealStamp& ctx) const;
+  void declare_complex_pattern(ComplexStamp& ctx) const;
   std::vector<CapElement> collect_caps() const;
   std::vector<NoiseSource> collect_noise(const std::vector<double>& op_voltages,
                                          double freq, double temp_k) const;
+  /// Allocation-free variant for per-frequency sweeps: clears and refills.
+  void collect_noise(const std::vector<double>& op_voltages, double freq,
+                     double temp_k, std::vector<NoiseSource>& out) const;
 
   /// Split a raw MNA unknown vector into an OpPoint.
   OpPoint unpack(const std::vector<double>& x) const;

@@ -3,20 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
-#include "linalg/lu.hpp"
+#include "spice/real_solver.hpp"
 
 namespace autockt::spice {
 
 namespace {
+
+using detail::kNoExtraStamps;
+using detail::StampKnobs;
 
 struct NewtonResult {
   bool converged = false;
   std::vector<double> x;  // full unknown vector
 };
 
-/// Plain damped Newton at fixed (gmin, source_scale), warm-started from `x0`.
-NewtonResult newton(const Circuit& circuit, const DcOptions& opt, double gmin,
-                    double source_scale, std::vector<double> x0) {
+/// Plain damped Newton at fixed (gmin, source_scale), warm-started from
+/// `x0`, over either kernel driver.
+template <typename Driver>
+NewtonResult newton(const Circuit& circuit, Driver& driver,
+                    const DcOptions& opt, double gmin, double source_scale,
+                    std::vector<double> x0) {
   const std::size_t n_unknowns = circuit.num_unknowns();
   const std::size_t n_nodes = circuit.num_nodes();
   NewtonResult res;
@@ -24,22 +30,17 @@ NewtonResult newton(const Circuit& circuit, const DcOptions& opt, double gmin,
   res.x.resize(n_unknowns, 0.0);
 
   std::vector<double> node_v(n_nodes, 0.0);
-  linalg::RealMatrix a(n_unknowns, n_unknowns);
-  std::vector<double> b(n_unknowns, 0.0);
+  std::vector<double> x_new;
+  StampKnobs knobs;
+  knobs.gmin = gmin;
+  knobs.source_scale = source_scale;
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    kernel_counters::add_newton_iterations(1);
     for (NodeId n = 1; n < n_nodes; ++n) node_v[n] = res.x[n - 1];
-    a.fill(0.0);
-    std::fill(b.begin(), b.end(), 0.0);
-    RealStamp ctx{a, b, node_v};
-    ctx.gmin = gmin;
-    ctx.source_scale = source_scale;
-    ctx.num_nodes = n_nodes;
-    circuit.stamp_real(ctx);
-
-    linalg::LuFactorization<double> lu(a);
-    if (!lu.ok()) return res;  // singular: report non-convergence
-    const std::vector<double> x_new = lu.solve(b);
+    if (!driver.solve(circuit, node_v, knobs, kNoExtraStamps, x_new)) {
+      return res;  // singular: report non-convergence
+    }
 
     // Convergence check on the undamped node-voltage update.
     double worst = 0.0;
@@ -66,10 +67,31 @@ NewtonResult newton(const Circuit& circuit, const DcOptions& opt, double gmin,
   return res;
 }
 
-}  // namespace
+template <typename Driver>
+util::Expected<OpPoint> solve_op_impl(const Circuit& circuit, Driver& driver,
+                                      const DcOptions& options) {
+  // Stage 0: warm start from a nearby design's converged operating point.
+  // A hit skips stamping heuristics entirely; a miss falls through to the
+  // cold-start chain below, keeping behaviour deterministic.
+  if (options.warm_start != nullptr &&
+      options.warm_start->node_v.size() == circuit.num_nodes() &&
+      options.warm_start->branch_i.size() == circuit.num_branches()) {
+    kernel_counters::add_warm_start_attempt();
+    std::vector<double> xw(circuit.num_unknowns(), 0.0);
+    for (NodeId n = 1; n < circuit.num_nodes(); ++n) {
+      xw[n - 1] = options.warm_start->node_v[n];
+    }
+    for (std::size_t b = 0; b < circuit.num_branches(); ++b) {
+      xw[(circuit.num_nodes() - 1) + b] = options.warm_start->branch_i[b];
+    }
+    NewtonResult warm =
+        newton(circuit, driver, options, 0.0, 1.0, std::move(xw));
+    if (warm.converged) {
+      kernel_counters::add_warm_start_hit();
+      return circuit.unpack(warm.x);
+    }
+  }
 
-util::Expected<OpPoint> solve_op(const Circuit& circuit,
-                                 const DcOptions& options) {
   std::vector<double> x0(circuit.num_unknowns(), 0.0);
   if (!options.initial_node_v.empty()) {
     for (NodeId n = 1;
@@ -80,7 +102,7 @@ util::Expected<OpPoint> solve_op(const Circuit& circuit,
   }
 
   // Stage 1: plain Newton from the caller's guess.
-  NewtonResult best = newton(circuit, options, 0.0, 1.0, x0);
+  NewtonResult best = newton(circuit, driver, options, 0.0, 1.0, x0);
   if (best.converged) return circuit.unpack(best.x);
 
   // Stage 2: gmin stepping — heavy shunt conductance first, then relax.
@@ -91,7 +113,7 @@ util::Expected<OpPoint> solve_op(const Circuit& circuit,
   std::vector<double> x = x0;
   bool chain_ok = true;
   for (double gmin = 1e-2; gmin >= 1e-13; gmin *= 1e-2) {
-    NewtonResult r = newton(circuit, homotopy, gmin, 1.0, x);
+    NewtonResult r = newton(circuit, driver, homotopy, gmin, 1.0, x);
     if (!r.converged) {
       chain_ok = false;
       break;
@@ -99,7 +121,7 @@ util::Expected<OpPoint> solve_op(const Circuit& circuit,
     x = r.x;
   }
   if (chain_ok) {
-    NewtonResult r = newton(circuit, homotopy, 0.0, 1.0, x);
+    NewtonResult r = newton(circuit, driver, homotopy, 0.0, 1.0, x);
     if (r.converged) return circuit.unpack(r.x);
   }
 
@@ -107,7 +129,7 @@ util::Expected<OpPoint> solve_op(const Circuit& circuit,
   x.assign(circuit.num_unknowns(), 0.0);
   chain_ok = true;
   for (double scale : {0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0}) {
-    NewtonResult r = newton(circuit, homotopy, 0.0, scale, x);
+    NewtonResult r = newton(circuit, driver, homotopy, 0.0, scale, x);
     if (!r.converged) {
       chain_ok = false;
       break;
@@ -117,6 +139,29 @@ util::Expected<OpPoint> solve_op(const Circuit& circuit,
   if (chain_ok) return circuit.unpack(x);
 
   return util::Error{"DC operating point did not converge", 1};
+}
+
+}  // namespace
+
+util::Expected<OpPoint> solve_op(const Circuit& circuit,
+                                 const DcOptions& options) {
+  if (options.kernel == SimKernel::Dense) {
+    detail::DenseRealDriver driver(circuit.num_unknowns());
+    return solve_op_impl(circuit, driver, options);
+  }
+  if (options.workspace != nullptr) {
+    // A stale workspace would stamp through the wrong frozen pattern;
+    // fail deterministically instead of producing plausible garbage.
+    if (!options.workspace->compatible(circuit) ||
+        !options.workspace->has_real()) {
+      return util::Error{"DC solve: workspace does not match the circuit", 1};
+    }
+    detail::SparseRealDriver driver{*options.workspace};
+    return solve_op_impl(circuit, driver, options);
+  }
+  SimWorkspace scratch(circuit, SimWorkspace::Sides::Real);
+  detail::SparseRealDriver driver{scratch};
+  return solve_op_impl(circuit, driver, options);
 }
 
 }  // namespace autockt::spice

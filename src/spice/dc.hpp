@@ -1,11 +1,13 @@
 #pragma once
-// DC operating-point solver: damped Newton-Raphson with gmin-stepping and
-// source-stepping homotopy fallbacks. Non-convergence is reported through
-// util::Expected, never as a silent NaN solution.
+// DC operating-point solver: damped Newton-Raphson with warm starting from a
+// previous solution, plus gmin-stepping and source-stepping homotopy
+// fallbacks. Non-convergence is reported through util::Expected, never as a
+// silent NaN solution.
 
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/workspace.hpp"
 #include "util/expected.hpp"
 
 namespace autockt::spice {
@@ -18,6 +20,18 @@ struct DcOptions {
   /// Optional starting guess for node voltages (size = num_nodes incl.
   /// ground). Empty means all-zeros.
   std::vector<double> initial_node_v;
+
+  /// Sparse is the production path; Dense keeps the legacy allocating
+  /// partial-pivot kernel for parity tests and benchmarks.
+  SimKernel kernel = SimKernel::Sparse;
+  /// Reusable workspace for the sparse kernel (one symbolic factorization
+  /// per topology). A temporary workspace is built per call when null.
+  SimWorkspace* workspace = nullptr;
+  /// Optional warm start: the converged operating point of a nearby design
+  /// (e.g. the previous RL env step, one grid move away). Tried as Newton
+  /// stage 0; on non-convergence the solver falls back to the regular
+  /// cold-start stages, so the fallback chain is deterministic.
+  const OpPoint* warm_start = nullptr;
 };
 
 util::Expected<OpPoint> solve_op(const Circuit& circuit,

@@ -2,9 +2,23 @@
 // Device abstraction for the MNA engine.
 //
 // Devices are immutable and stateless: every stamping call receives the full
-// evaluation context (candidate node voltages, time, frequency). This makes
-// circuit evaluation trivially thread-safe — multiple RL environments can
-// evaluate copies of the same topology concurrently.
+// evaluation context (candidate node voltages, time). This makes circuit
+// evaluation trivially thread-safe — multiple RL environments can evaluate
+// copies of the same topology concurrently.
+//
+// Stamps write through MnaSink, which targets one of three backends:
+//  * a dense matrix            — the legacy/reference kernel,
+//  * a frozen sparse pattern   — pattern-resolved slot writes into a flat
+//                                value array (the fast kernel; see
+//                                spice/workspace.hpp),
+//  * a PatternBuilder          — the discovery pass that freezes a circuit
+//                                topology's structural pattern once.
+// Devices whose footprint depends on the operating point (the MOSFET's
+// drain/source swap) override declare_*_pattern() to declare the superset.
+//
+// AC stamping is split into a frequency-independent conductance part G and a
+// capacitance part C; the engines form Y(omega) = G + j*omega*C per
+// frequency without re-stamping any device.
 //
 // Conventions:
 //  * Node 0 is ground and has no matrix row/column.
@@ -14,21 +28,55 @@
 //    current J(v) leaving node d, they add the Jacobian dJ/dv to the matrix
 //    and move J(v0) - (dJ/dv)·v0 to the right-hand side.
 
+#include <cassert>
 #include <complex>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 
 namespace autockt::spice {
 
 using NodeId = std::size_t;  // 0 == ground
 inline constexpr NodeId kGround = 0;
 
+/// Polymorphic (but branch-cheap, non-virtual) target for matrix stamps.
+class MnaSink {
+ public:
+  MnaSink() = default;
+  /// Dense reference backend (implicit: keeps `Stamp{matrix, b, v}` terse).
+  MnaSink(linalg::RealMatrix& dense) : dense_(&dense) {}  // NOLINT(runtime/explicit)
+  /// Pattern-resolved slot writes into `values` (aligned with `pattern`).
+  MnaSink(const linalg::SparsePattern& pattern, double* values)
+      : pattern_(&pattern), values_(values) {}
+  /// Structural discovery: record positions, ignore values.
+  explicit MnaSink(linalg::PatternBuilder& builder) : builder_(&builder) {}
+
+  void add(std::size_t row, std::size_t col, double v) {
+    if (values_ != nullptr) {
+      const int s = pattern_->slot(row, col);
+      assert(s >= 0 && "stamp outside the discovered pattern");
+      if (s < 0) return;  // release builds: drop rather than corrupt memory
+      values_[s] += v;
+    } else if (dense_ != nullptr) {
+      (*dense_)(row, col) += v;
+    } else if (builder_ != nullptr) {
+      builder_->add(row, col);
+    }
+  }
+
+ private:
+  linalg::RealMatrix* dense_ = nullptr;
+  const linalg::SparsePattern* pattern_ = nullptr;
+  double* values_ = nullptr;
+  linalg::PatternBuilder* builder_ = nullptr;
+};
+
 /// Real-valued (DC / transient Newton iteration) stamping context.
 struct RealStamp {
-  linalg::RealMatrix& a;
+  MnaSink a;
   std::vector<double>& b;
   const std::vector<double>& voltages;  // candidate solution, indexed by node
   double time = 0.0;                    // transient time; 0 for DC
@@ -42,35 +90,43 @@ struct RealStamp {
     return (num_nodes - 1) + branch;
   }
 
-  /// Conductance g between nodes a_node and b_node.
+  /// Raw matrix entry (branch rows/columns of sources and probes).
+  void add_a(std::size_t row, std::size_t col, double v) { a.add(row, col, v); }
+
+  /// Conductance g between nodes n1 and n2.
   void conductance(NodeId n1, NodeId n2, double g) {
-    if (n1 != kGround) a(row_of_node(n1), row_of_node(n1)) += g;
-    if (n2 != kGround) a(row_of_node(n2), row_of_node(n2)) += g;
+    if (n1 != kGround) a.add(row_of_node(n1), row_of_node(n1), g);
+    if (n2 != kGround) a.add(row_of_node(n2), row_of_node(n2), g);
     if (n1 != kGround && n2 != kGround) {
-      a(row_of_node(n1), row_of_node(n2)) -= g;
-      a(row_of_node(n2), row_of_node(n1)) -= g;
+      a.add(row_of_node(n1), row_of_node(n2), -g);
+      a.add(row_of_node(n2), row_of_node(n1), -g);
     }
   }
 
   /// d(current leaving `at`)/d(voltage of `wrt`) += g.
   void jacobian(NodeId at, NodeId wrt, double g) {
     if (at != kGround && wrt != kGround)
-      a(row_of_node(at), row_of_node(wrt)) += g;
+      a.add(row_of_node(at), row_of_node(wrt), g);
   }
 
   /// Current `i` injected INTO node n (KCL right-hand side).
   void inject(NodeId n, double i) {
     if (n != kGround) b[row_of_node(n)] += i;
   }
+
+  /// Right-hand-side entry of a branch row.
+  void add_rhs(std::size_t row, double v) { b[row] += v; }
 };
 
-/// Complex-valued (AC / noise) stamping context. Devices linearize around the
-/// provided DC operating point.
+/// Small-signal (AC / noise) stamping context. Devices linearize around the
+/// provided DC operating point and write the frequency-independent part into
+/// `g` and capacitances into `c`; the engine forms G + j*omega*C per
+/// frequency point, so one stamping pass serves a whole sweep.
 struct ComplexStamp {
-  linalg::ComplexMatrix& a;
-  std::vector<std::complex<double>>& b;
+  MnaSink g;  // conductances, transconductances, source/probe branch rows
+  MnaSink c;  // capacitances (scaled by j*omega at solve time)
+  std::vector<std::complex<double>>& b;    // AC stimulus (freq-independent)
   const std::vector<double>& op_voltages;  // converged DC solution by node
-  double omega = 0.0;                      // rad/s
   std::size_t num_nodes = 0;
 
   std::size_t row_of_node(NodeId n) const { return n - 1; }
@@ -78,22 +134,38 @@ struct ComplexStamp {
     return (num_nodes - 1) + branch;
   }
 
-  void admittance(NodeId n1, NodeId n2, std::complex<double> y) {
-    if (n1 != kGround) a(row_of_node(n1), row_of_node(n1)) += y;
-    if (n2 != kGround) a(row_of_node(n2), row_of_node(n2)) += y;
-    if (n1 != kGround && n2 != kGround) {
-      a(row_of_node(n1), row_of_node(n2)) -= y;
-      a(row_of_node(n2), row_of_node(n1)) -= y;
-    }
+  void add_g(std::size_t row, std::size_t col, double v) { g.add(row, col, v); }
+
+  /// Conductance between two nodes (the real part of a branch admittance).
+  void conductance(NodeId n1, NodeId n2, double gv) {
+    two_node(g, n1, n2, gv);
   }
 
-  void transadmittance(NodeId at, NodeId wrt, std::complex<double> y) {
+  /// Capacitance between two nodes (stamped as admittance j*omega*c).
+  void capacitance(NodeId n1, NodeId n2, double cv) {
+    two_node(c, n1, n2, cv);
+  }
+
+  /// d(current leaving `at`)/d(v of `wrt`) += gv, at the operating point.
+  void transconductance(NodeId at, NodeId wrt, double gv) {
     if (at != kGround && wrt != kGround)
-      a(row_of_node(at), row_of_node(wrt)) += y;
+      g.add(row_of_node(at), row_of_node(wrt), gv);
   }
 
   void inject(NodeId n, std::complex<double> i) {
     if (n != kGround) b[row_of_node(n)] += i;
+  }
+
+  void add_rhs(std::size_t row, std::complex<double> v) { b[row] += v; }
+
+ private:
+  void two_node(MnaSink& sink, NodeId n1, NodeId n2, double v) {
+    if (n1 != kGround) sink.add(row_of_node(n1), row_of_node(n1), v);
+    if (n2 != kGround) sink.add(row_of_node(n2), row_of_node(n2), v);
+    if (n1 != kGround && n2 != kGround) {
+      sink.add(row_of_node(n1), row_of_node(n2), -v);
+      sink.add(row_of_node(n2), row_of_node(n1), -v);
+    }
   }
 };
 
@@ -135,8 +207,20 @@ class Device {
   /// elements reported by collect_caps().
   virtual void stamp_real(RealStamp& ctx) const = 0;
 
-  /// Stamp the small-signal model at ctx.omega (including capacitances).
+  /// Stamp the small-signal model split into G and C parts (see
+  /// ComplexStamp).
   virtual void stamp_complex(ComplexStamp& ctx) const = 0;
+
+  /// Declare the superset of matrix positions stamp_real() may ever touch,
+  /// stamping into a pattern-discovery context. The default single stamp is
+  /// exact for devices whose footprint is voltage-independent; the MOSFET
+  /// overrides it to cover both drain/source orientations.
+  virtual void declare_real_pattern(RealStamp& ctx) const { stamp_real(ctx); }
+
+  /// Same superset declaration for the small-signal G/C stamps.
+  virtual void declare_complex_pattern(ComplexStamp& ctx) const {
+    stamp_complex(ctx);
+  }
 
   /// Report linear capacitances for transient companion integration.
   virtual void collect_caps(std::vector<CapElement>& /*out*/) const {}

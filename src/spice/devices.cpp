@@ -14,7 +14,7 @@ void Resistor::stamp_real(RealStamp& ctx) const {
 }
 
 void Resistor::stamp_complex(ComplexStamp& ctx) const {
-  ctx.admittance(n1_, n2_, std::complex<double>(1.0 / ohms_, 0.0));
+  ctx.conductance(n1_, n2_, 1.0 / ohms_);
 }
 
 void Resistor::collect_noise(const std::vector<double>& /*op_voltages*/,
@@ -35,7 +35,7 @@ void Capacitor::stamp_real(RealStamp& /*ctx*/) const {
 }
 
 void Capacitor::stamp_complex(ComplexStamp& ctx) const {
-  ctx.admittance(n1_, n2_, std::complex<double>(0.0, ctx.omega * farads_));
+  ctx.capacitance(n1_, n2_, farads_);
 }
 
 void Capacitor::collect_caps(std::vector<CapElement>& out) const {
@@ -55,28 +55,28 @@ VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus,
 void VoltageSource::stamp_real(RealStamp& ctx) const {
   const std::size_t br = ctx.row_of_branch(first_branch());
   if (plus_ != kGround) {
-    ctx.a(ctx.row_of_node(plus_), br) += 1.0;
-    ctx.a(br, ctx.row_of_node(plus_)) += 1.0;
+    ctx.add_a(ctx.row_of_node(plus_), br, 1.0);
+    ctx.add_a(br, ctx.row_of_node(plus_), 1.0);
   }
   if (minus_ != kGround) {
-    ctx.a(ctx.row_of_node(minus_), br) -= 1.0;
-    ctx.a(br, ctx.row_of_node(minus_)) -= 1.0;
+    ctx.add_a(ctx.row_of_node(minus_), br, -1.0);
+    ctx.add_a(br, ctx.row_of_node(minus_), -1.0);
   }
-  ctx.b[br] +=
-      ctx.source_scale * (ctx.transient ? wave_.value(ctx.time) : wave_.dc());
+  ctx.add_rhs(br, ctx.source_scale *
+                      (ctx.transient ? wave_.value(ctx.time) : wave_.dc()));
 }
 
 void VoltageSource::stamp_complex(ComplexStamp& ctx) const {
   const std::size_t br = ctx.row_of_branch(first_branch());
   if (plus_ != kGround) {
-    ctx.a(ctx.row_of_node(plus_), br) += 1.0;
-    ctx.a(br, ctx.row_of_node(plus_)) += 1.0;
+    ctx.add_g(ctx.row_of_node(plus_), br, 1.0);
+    ctx.add_g(br, ctx.row_of_node(plus_), 1.0);
   }
   if (minus_ != kGround) {
-    ctx.a(ctx.row_of_node(minus_), br) -= 1.0;
-    ctx.a(br, ctx.row_of_node(minus_)) -= 1.0;
+    ctx.add_g(ctx.row_of_node(minus_), br, -1.0);
+    ctx.add_g(br, ctx.row_of_node(minus_), -1.0);
   }
-  ctx.b[br] += std::complex<double>(ac_mag_, 0.0);
+  ctx.add_rhs(br, std::complex<double>(ac_mag_, 0.0));
 }
 
 // ----------------------------------------------------------- CurrentSource
@@ -113,19 +113,19 @@ BiasProbe::BiasProbe(std::string name, NodeId bias_node, NodeId sense_node,
 void BiasProbe::stamp_real(RealStamp& ctx) const {
   const std::size_t br = ctx.row_of_branch(first_branch());
   // Servo current enters the bias node...
-  if (bias_node_ != kGround) ctx.a(ctx.row_of_node(bias_node_), br) += 1.0;
+  if (bias_node_ != kGround) ctx.add_a(ctx.row_of_node(bias_node_), br, 1.0);
   // ...and the constraint row demands the sensed node equal the target
   // (scaled along with the independent sources during source stepping).
-  if (sense_node_ != kGround) ctx.a(br, ctx.row_of_node(sense_node_)) += 1.0;
-  ctx.b[br] += ctx.source_scale * target_v_;
+  if (sense_node_ != kGround) ctx.add_a(br, ctx.row_of_node(sense_node_), 1.0);
+  ctx.add_rhs(br, ctx.source_scale * target_v_);
 }
 
 void BiasProbe::stamp_complex(ComplexStamp& ctx) const {
   const std::size_t br = ctx.row_of_branch(first_branch());
   // Open-loop small-signal behaviour: hold the bias node at AC ground.
   if (bias_node_ != kGround) {
-    ctx.a(ctx.row_of_node(bias_node_), br) += 1.0;
-    ctx.a(br, ctx.row_of_node(bias_node_)) += 1.0;
+    ctx.add_g(ctx.row_of_node(bias_node_), br, 1.0);
+    ctx.add_g(br, ctx.row_of_node(bias_node_), 1.0);
   }
 }
 
@@ -149,11 +149,10 @@ void Vccs::stamp_real(RealStamp& ctx) const {
 }
 
 void Vccs::stamp_complex(ComplexStamp& ctx) const {
-  const std::complex<double> gm(gm_, 0.0);
-  ctx.transadmittance(out_p_, in_p_, gm);
-  ctx.transadmittance(out_p_, in_m_, -gm);
-  ctx.transadmittance(out_m_, in_p_, -gm);
-  ctx.transadmittance(out_m_, in_m_, gm);
+  ctx.transconductance(out_p_, in_p_, gm_);
+  ctx.transconductance(out_p_, in_m_, -gm_);
+  ctx.transconductance(out_m_, in_p_, -gm_);
+  ctx.transconductance(out_m_, in_m_, gm_);
 }
 
 }  // namespace autockt::spice

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "spice/units.hpp"
 
@@ -176,21 +177,49 @@ void Mosfet::stamp_real(RealStamp& ctx) const {
 void Mosfet::stamp_complex(ComplexStamp& ctx) const {
   const Eval e = evaluate(ctx.op_voltages);
 
-  auto y = [&](NodeId at, NodeId wrt, double g) {
-    ctx.transadmittance(at, wrt, std::complex<double>(g, 0.0));
-  };
-  y(e.d_eff, e.d_eff, e.gds);
-  y(e.d_eff, g_, e.gm);
-  y(e.d_eff, e.s_eff, -(e.gm + e.gds));
-  y(e.s_eff, e.d_eff, -e.gds);
-  y(e.s_eff, g_, -e.gm);
-  y(e.s_eff, e.s_eff, e.gm + e.gds);
+  ctx.transconductance(e.d_eff, e.d_eff, e.gds);
+  ctx.transconductance(e.d_eff, g_, e.gm);
+  ctx.transconductance(e.d_eff, e.s_eff, -(e.gm + e.gds));
+  ctx.transconductance(e.s_eff, e.d_eff, -e.gds);
+  ctx.transconductance(e.s_eff, g_, -e.gm);
+  ctx.transconductance(e.s_eff, e.s_eff, e.gm + e.gds);
 
   // Geometry capacitances (physical, unswapped terminals).
-  ctx.admittance(g_, s_, std::complex<double>(0.0, ctx.omega * cgs_));
-  ctx.admittance(g_, d_, std::complex<double>(0.0, ctx.omega * cgd_));
-  ctx.admittance(d_, b_, std::complex<double>(0.0, ctx.omega * cdb_));
-  ctx.admittance(s_, b_, std::complex<double>(0.0, ctx.omega * csb_));
+  ctx.capacitance(g_, s_, cgs_);
+  ctx.capacitance(g_, d_, cgd_);
+  ctx.capacitance(d_, b_, cdb_);
+  ctx.capacitance(s_, b_, csb_);
+}
+
+void Mosfet::declare_real_pattern(RealStamp& ctx) const {
+  // The drain/source swap means the Jacobian footprint depends on the
+  // candidate voltages; declare both orientations so the frozen pattern
+  // covers every iterate. (The two orientations touch the same position
+  // set whenever both terminals are off ground, but ground connections
+  // drop different entries per orientation.)
+  for (const auto& [de, se] : {std::pair{d_, s_}, std::pair{s_, d_}}) {
+    ctx.jacobian(de, de, 0.0);
+    ctx.jacobian(de, g_, 0.0);
+    ctx.jacobian(de, se, 0.0);
+    ctx.jacobian(se, de, 0.0);
+    ctx.jacobian(se, g_, 0.0);
+    ctx.jacobian(se, se, 0.0);
+  }
+}
+
+void Mosfet::declare_complex_pattern(ComplexStamp& ctx) const {
+  for (const auto& [de, se] : {std::pair{d_, s_}, std::pair{s_, d_}}) {
+    ctx.transconductance(de, de, 0.0);
+    ctx.transconductance(de, g_, 0.0);
+    ctx.transconductance(de, se, 0.0);
+    ctx.transconductance(se, de, 0.0);
+    ctx.transconductance(se, g_, 0.0);
+    ctx.transconductance(se, se, 0.0);
+  }
+  ctx.capacitance(g_, s_, 0.0);
+  ctx.capacitance(g_, d_, 0.0);
+  ctx.capacitance(d_, b_, 0.0);
+  ctx.capacitance(s_, b_, 0.0);
 }
 
 void Mosfet::collect_caps(std::vector<CapElement>& out) const {

@@ -86,6 +86,8 @@ class Mosfet : public Device {
 
   void stamp_real(RealStamp& ctx) const override;
   void stamp_complex(ComplexStamp& ctx) const override;
+  void declare_real_pattern(RealStamp& ctx) const override;
+  void declare_complex_pattern(ComplexStamp& ctx) const override;
   void collect_caps(std::vector<CapElement>& out) const override;
   void collect_noise(const std::vector<double>& op_voltages, double freq,
                      double temp_k,

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <complex>
+#include <optional>
+#include <string>
 
-#include "linalg/lu.hpp"
+#include "spice/complex_solver.hpp"
 #include "spice/units.hpp"
 
 namespace autockt::spice {
@@ -17,9 +19,8 @@ util::Expected<NoiseResult> noise_sweep(const Circuit& circuit,
                                         NodeId probe_m,
                                         const NoiseOptions& options) {
   const std::size_t n = circuit.num_unknowns();
-  const double decades = std::log10(options.f_stop / options.f_start);
-  const int total = std::max(
-      2, static_cast<int>(std::ceil(decades * options.points_per_decade)) + 1);
+  const int total = detail::sweep_points(options.f_start, options.f_stop,
+                                         options.points_per_decade);
 
   NoiseResult result;
   result.freq.reserve(static_cast<std::size_t>(total));
@@ -27,36 +28,63 @@ util::Expected<NoiseResult> noise_sweep(const Circuit& circuit,
 
   const double temp_k = 300.0;
 
-  linalg::ComplexMatrix a(n, n);
-  for (int i = 0; i < total; ++i) {
-    const double frac = static_cast<double>(i) / static_cast<double>(total - 1);
-    const double freq = options.f_start * std::pow(10.0, frac * decades);
+  // Adjoint stimulus selecting the probe voltage (frequency-independent).
+  std::vector<std::complex<double>> c(n, {0.0, 0.0});
+  if (probe_p != kGround) c[probe_p - 1] += 1.0;
+  if (probe_m != kGround) c[probe_m - 1] -= 1.0;
 
-    a.fill({0.0, 0.0});
-    std::vector<std::complex<double>> dummy_b(n, {0.0, 0.0});
-    ComplexStamp ctx{a, dummy_b, op.node_v};
-    ctx.omega = 2.0 * kPi * freq;
-    ctx.num_nodes = circuit.num_nodes();
+  const bool dense = options.kernel == SimKernel::Dense;
+  std::optional<detail::DenseAcAssembly> dense_assembly;
+  std::optional<SimWorkspace> scratch;
+  SimWorkspace* ws = options.workspace;
+  if (dense) {
+    dense_assembly.emplace(circuit, op.node_v);
+  } else {
+    if (ws != nullptr &&
+        (!ws->compatible(circuit) || !ws->has_complex())) {
+      return util::Error{"noise sweep: workspace does not match the circuit",
+                         4};
+    }
+    if (ws == nullptr) {
+      scratch.emplace(circuit, SimWorkspace::Sides::Complex);
+      ws = &*scratch;
+    }
+    // One stamping pass; every frequency is a numeric-only refactorization.
+    ComplexStamp ctx = ws->begin_complex(op.node_v);
     circuit.stamp_complex(ctx);
+  }
 
-    linalg::LuFactorization<std::complex<double>> lu(a);
-    if (!lu.ok()) {
+  std::vector<NoiseSource> sources;
+  std::vector<std::complex<double>> xa_dense;
+  for (int i = 0; i < total; ++i) {
+    const double freq =
+        detail::sweep_freq(options.f_start, options.f_stop, i, total);
+    const double omega = 2.0 * kPi * freq;
+
+    const std::vector<std::complex<double>>* xa = nullptr;
+    bool ok = false;
+    if (dense) {
+      ok = dense_assembly->factor(omega);
+      if (ok) {
+        xa_dense = dense_assembly->lu->solve_transposed(c);
+        xa = &xa_dense;
+      }
+    } else {
+      ok = ws->factor_complex(omega);
+      if (ok) xa = &ws->solve_complex_transposed(c);
+    }
+    if (!ok) {
       return util::Error{"noise matrix singular at f=" + std::to_string(freq),
                          4};
     }
 
-    // Adjoint: x_a = Y^-T c with c selecting the probe voltage.
-    std::vector<std::complex<double>> c(n, {0.0, 0.0});
-    if (probe_p != kGround) c[probe_p - 1] += 1.0;
-    if (probe_m != kGround) c[probe_m - 1] -= 1.0;
-    const std::vector<std::complex<double>> xa = lu.solve_transposed(c);
-
+    // Adjoint: x_a = Y^-T c; |h|^2-weighted PSD sum over all sources.
     double psd = 0.0;
-    for (const NoiseSource& src :
-         circuit.collect_noise(op.node_v, freq, temp_k)) {
+    circuit.collect_noise(op.node_v, freq, temp_k, sources);
+    for (const NoiseSource& src : sources) {
       std::complex<double> h{0.0, 0.0};
-      if (src.n1 != kGround) h -= xa[src.n1 - 1];
-      if (src.n2 != kGround) h += xa[src.n2 - 1];
+      if (src.n1 != kGround) h -= (*xa)[src.n1 - 1];
+      if (src.n2 != kGround) h += (*xa)[src.n2 - 1];
       psd += std::norm(h) * src.psd;
     }
     result.freq.push_back(freq);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/workspace.hpp"
 #include "util/expected.hpp"
 
 namespace autockt::spice {
@@ -15,6 +16,9 @@ struct NoiseOptions {
   double f_start = 1e3;
   double f_stop = 1e10;
   int points_per_decade = 5;
+  SimKernel kernel = SimKernel::Sparse;
+  /// Reusable workspace (sparse kernel); temporary per call when null.
+  SimWorkspace* workspace = nullptr;
 };
 
 struct NoiseResult {

@@ -1,0 +1,76 @@
+#pragma once
+// Internal kernel drivers shared by the real-valued Newton loops (DC and
+// transient): one stamp-factor-solve round on either the sparse workspace
+// kernel (numeric-only refactorization, zero allocation) or the legacy
+// dense kernel (fresh matrix + partial-pivot LU per call, kept as the
+// parity/benchmark reference).
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "spice/circuit.hpp"
+#include "spice/workspace.hpp"
+
+namespace autockt::spice::detail {
+
+struct StampKnobs {
+  double gmin = 0.0;
+  double source_scale = 1.0;
+  double time = 0.0;
+  bool transient = false;
+};
+
+struct SparseRealDriver {
+  SimWorkspace& ws;
+
+  /// `extra` stamps engine-level terms (transient companions) after the
+  /// circuit; pass a no-op for DC.
+  template <typename Extra>
+  bool solve(const Circuit& circuit, const std::vector<double>& node_v,
+             const StampKnobs& knobs, Extra&& extra,
+             std::vector<double>& x_out) {
+    RealStamp ctx = ws.begin_real(node_v);
+    ctx.gmin = knobs.gmin;
+    ctx.source_scale = knobs.source_scale;
+    ctx.time = knobs.time;
+    ctx.transient = knobs.transient;
+    circuit.stamp_real(ctx);
+    extra(ctx);
+    if (!ws.factor_real()) return false;
+    x_out = ws.solve_real();
+    return true;
+  }
+};
+
+struct DenseRealDriver {
+  linalg::RealMatrix a;
+  std::vector<double> b;
+
+  explicit DenseRealDriver(std::size_t n) : a(n, n), b(n, 0.0) {}
+
+  template <typename Extra>
+  bool solve(const Circuit& circuit, const std::vector<double>& node_v,
+             const StampKnobs& knobs, Extra&& extra,
+             std::vector<double>& x_out) {
+    a.fill(0.0);
+    std::fill(b.begin(), b.end(), 0.0);
+    RealStamp ctx{a, b, node_v};
+    ctx.gmin = knobs.gmin;
+    ctx.source_scale = knobs.source_scale;
+    ctx.time = knobs.time;
+    ctx.transient = knobs.transient;
+    ctx.num_nodes = circuit.num_nodes();
+    circuit.stamp_real(ctx);
+    extra(ctx);
+    linalg::LuFactorization<double> lu(a);
+    if (!lu.ok()) return false;
+    x_out = lu.solve(b);
+    return true;
+  }
+};
+
+inline constexpr auto kNoExtraStamps = [](RealStamp&) {};
+
+}  // namespace autockt::spice::detail

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <string>
 
-#include "linalg/lu.hpp"
+#include "spice/real_solver.hpp"
 
 namespace autockt::spice {
 
@@ -22,12 +24,12 @@ double across(const std::vector<double>& node_v, const CapElement& e) {
   return v1 - v2;
 }
 
-}  // namespace
-
-util::Expected<TranResult> transient(const Circuit& circuit,
-                                     const OpPoint& initial,
-                                     const std::vector<NodeId>& probes,
-                                     const TranOptions& options) {
+template <typename Driver>
+util::Expected<TranResult> transient_impl(const Circuit& circuit,
+                                          Driver& driver,
+                                          const OpPoint& initial,
+                                          const std::vector<NodeId>& probes,
+                                          const TranOptions& options) {
   const std::size_t n_unknowns = circuit.num_unknowns();
   const std::size_t n_nodes = circuit.num_nodes();
   const double h = options.dt;
@@ -40,6 +42,20 @@ util::Expected<TranResult> transient(const Circuit& circuit,
     s.i = 0.0;  // steady state: no capacitor current
     caps.push_back(s);
   }
+
+  // Trapezoidal companions: i_new = geq*v_new - (geq*v_old + i_old). The
+  // companion conductance slots are part of the workspace's frozen pattern
+  // (declared weak), so the sparse kernel re-uses its symbolic
+  // factorization across every step and iteration.
+  auto companions = [&](RealStamp& ctx) {
+    for (const CapState& s : caps) {
+      const double geq = 2.0 * s.elem.capacitance / h;
+      const double ihist = geq * s.v + s.i;
+      ctx.conductance(s.elem.n1, s.elem.n2, geq);
+      ctx.inject(s.elem.n1, ihist);
+      ctx.inject(s.elem.n2, -ihist);
+    }
+  };
 
   // Full unknown vector, warm-started from the operating point.
   std::vector<double> x(n_unknowns, 0.0);
@@ -54,8 +70,7 @@ util::Expected<TranResult> transient(const Circuit& circuit,
   result.waveforms.assign(probes.size(), {});
 
   std::vector<double> node_v(n_nodes, 0.0);
-  linalg::RealMatrix a(n_unknowns, n_unknowns);
-  std::vector<double> b(n_unknowns, 0.0);
+  std::vector<double> x_new;
 
   auto record = [&](double t) {
     result.time.push_back(t);
@@ -69,33 +84,18 @@ util::Expected<TranResult> transient(const Circuit& circuit,
   for (std::size_t k = 1; k <= steps; ++k) {
     const double t = static_cast<double>(k) * h;
     bool converged = false;
+    detail::StampKnobs knobs;
+    knobs.time = t;
+    knobs.transient = true;
 
     for (int iter = 0; iter < options.max_newton; ++iter) {
+      kernel_counters::add_newton_iterations(1);
       for (NodeId n = 1; n < n_nodes; ++n) node_v[n] = x[n - 1];
-      a.fill(0.0);
-      std::fill(b.begin(), b.end(), 0.0);
-      RealStamp ctx{a, b, node_v};
-      ctx.time = t;
-      ctx.transient = true;
-      ctx.num_nodes = n_nodes;
-      circuit.stamp_real(ctx);
-
-      // Trapezoidal companions: i_new = geq*v_new - (geq*v_old + i_old).
-      for (const CapState& s : caps) {
-        const double geq = 2.0 * s.elem.capacitance / h;
-        const double ihist = geq * s.v + s.i;
-        ctx.conductance(s.elem.n1, s.elem.n2, geq);
-        ctx.inject(s.elem.n1, ihist);
-        ctx.inject(s.elem.n2, -ihist);
-      }
-
-      linalg::LuFactorization<double> lu(a);
-      if (!lu.ok()) {
+      if (!driver.solve(circuit, node_v, knobs, companions, x_new)) {
         return util::Error{"transient matrix singular at t=" +
                                std::to_string(t),
                            3};
       }
-      const std::vector<double> x_new = lu.solve(b);
 
       double worst = 0.0;
       for (std::size_t i = 0; i + 1 < n_nodes; ++i) {
@@ -134,6 +134,30 @@ util::Expected<TranResult> transient(const Circuit& circuit,
     record(t);
   }
   return result;
+}
+
+}  // namespace
+
+util::Expected<TranResult> transient(const Circuit& circuit,
+                                     const OpPoint& initial,
+                                     const std::vector<NodeId>& probes,
+                                     const TranOptions& options) {
+  if (options.kernel == SimKernel::Dense) {
+    detail::DenseRealDriver driver(circuit.num_unknowns());
+    return transient_impl(circuit, driver, initial, probes, options);
+  }
+  if (options.workspace != nullptr) {
+    if (!options.workspace->compatible(circuit) ||
+        !options.workspace->has_real()) {
+      return util::Error{"transient: workspace does not match the circuit",
+                         3};
+    }
+    detail::SparseRealDriver driver{*options.workspace};
+    return transient_impl(circuit, driver, initial, probes, options);
+  }
+  SimWorkspace scratch(circuit, SimWorkspace::Sides::Real);
+  detail::SparseRealDriver driver{scratch};
+  return transient_impl(circuit, driver, initial, probes, options);
 }
 
 }  // namespace autockt::spice

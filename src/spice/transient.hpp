@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "spice/circuit.hpp"
+#include "spice/workspace.hpp"
 #include "util/expected.hpp"
 
 namespace autockt::spice {
@@ -18,6 +19,9 @@ struct TranOptions {
   double v_abstol = 1e-7;
   double v_reltol = 1e-6;
   double max_step = 0.5;  // Newton damping per iteration (V)
+  SimKernel kernel = SimKernel::Sparse;
+  /// Reusable workspace (sparse kernel); temporary per call when null.
+  SimWorkspace* workspace = nullptr;
 };
 
 struct TranResult {

@@ -1,0 +1,247 @@
+#include "spice/workspace.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace autockt::spice {
+
+namespace {
+
+// Process-wide kernel counters (relaxed atomics: telemetry, not
+// synchronization). Aggregated across topologies and threads; surfaced
+// through SizingProblem::eval_stats().
+std::atomic<long> g_newton{0};
+std::atomic<long> g_symbolic{0};
+std::atomic<long> g_numeric{0};
+std::atomic<long> g_dense_fallback{0};
+std::atomic<long> g_warm_attempts{0};
+std::atomic<long> g_warm_hits{0};
+
+}  // namespace
+
+KernelStats kernel_stats_snapshot() {
+  KernelStats s;
+  s.newton_iterations = g_newton.load(std::memory_order_relaxed);
+  s.symbolic_factorizations = g_symbolic.load(std::memory_order_relaxed);
+  s.numeric_factorizations = g_numeric.load(std::memory_order_relaxed);
+  s.dense_fallbacks = g_dense_fallback.load(std::memory_order_relaxed);
+  s.warm_start_attempts = g_warm_attempts.load(std::memory_order_relaxed);
+  s.warm_start_hits = g_warm_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_kernel_stats() {
+  g_newton.store(0, std::memory_order_relaxed);
+  g_symbolic.store(0, std::memory_order_relaxed);
+  g_numeric.store(0, std::memory_order_relaxed);
+  g_dense_fallback.store(0, std::memory_order_relaxed);
+  g_warm_attempts.store(0, std::memory_order_relaxed);
+  g_warm_hits.store(0, std::memory_order_relaxed);
+}
+
+namespace kernel_counters {
+void add_newton_iterations(long n) {
+  g_newton.fetch_add(n, std::memory_order_relaxed);
+}
+void add_warm_start_attempt() {
+  g_warm_attempts.fetch_add(1, std::memory_order_relaxed);
+}
+void add_warm_start_hit() {
+  g_warm_hits.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace kernel_counters
+
+SimWorkspace::SimWorkspace(const Circuit& circuit, Sides sides)
+    : n_(circuit.num_unknowns()),
+      num_nodes_(circuit.num_nodes()),
+      num_branches_(circuit.num_branches()),
+      num_devices_(circuit.devices().size()),
+      zero_voltages_(circuit.num_nodes(), 0.0) {
+  if (sides != Sides::Complex) build_real(circuit);
+  if (sides != Sides::Real) build_complex(circuit);
+}
+
+void SimWorkspace::build_real(const Circuit& circuit) {
+  real_built_ = true;
+  rhs_real_.assign(n_, 0.0);
+  x_real_.assign(n_, 0.0);
+
+  // ---- real pattern discovery -------------------------------------------
+  {
+    linalg::PatternBuilder builder(n_);
+    RealStamp ctx{MnaSink(builder), rhs_real_, zero_voltages_};
+    ctx.num_nodes = num_nodes_;
+    circuit.declare_real_pattern(ctx);
+    // Weak slots: structurally present, often numerically zero — kept out
+    // of the pivot order while strong candidates remain.
+    for (NodeId n = 1; n < num_nodes_; ++n) {
+      builder.add(n - 1, n - 1, /*weak=*/true);  // gmin homotopy diagonal
+    }
+    for (const CapElement& e : circuit.collect_caps()) {
+      // Transient companion conductance footprint (zero during DC solves).
+      const bool g1 = e.n1 == kGround, g2 = e.n2 == kGround;
+      if (!g1) builder.add(e.n1 - 1, e.n1 - 1, true);
+      if (!g2) builder.add(e.n2 - 1, e.n2 - 1, true);
+      if (!g1 && !g2) {
+        builder.add(e.n1 - 1, e.n2 - 1, true);
+        builder.add(e.n2 - 1, e.n1 - 1, true);
+      }
+    }
+    std::fill(rhs_real_.begin(), rhs_real_.end(), 0.0);  // discovery scribbles
+    pattern_real_ = linalg::SparsePattern(std::move(builder));
+  }
+  sym_real_ = linalg::SparseLuSymbolic(pattern_real_, pattern_real_.weak());
+  g_symbolic.fetch_add(1, std::memory_order_relaxed);
+  lu_real_ = linalg::SparseLuNumeric<double>(sym_real_);
+  vals_real_.assign(pattern_real_.nnz(), 0.0);
+  real_slot_row_.resize(pattern_real_.nnz());
+  real_slot_col_.resize(pattern_real_.nnz());
+  for (std::size_t s = 0; s < pattern_real_.nnz(); ++s) {
+    real_slot_row_[s] = pattern_real_.row_of_slot(s);
+    real_slot_col_[s] = pattern_real_.col_of_slot(s);
+  }
+  dense_real_ = linalg::RealMatrix(n_, n_);
+}
+
+void SimWorkspace::build_complex(const Circuit& circuit) {
+  cplx_built_ = true;
+  rhs_cplx_.assign(n_, {0.0, 0.0});
+  x_cplx_.assign(n_, {0.0, 0.0});
+
+  // ---- complex (G/C union) pattern discovery ----------------------------
+  {
+    linalg::PatternBuilder builder(n_);
+    ComplexStamp ctx{MnaSink(builder), MnaSink(builder),
+                     rhs_cplx_, zero_voltages_};
+    ctx.num_nodes = num_nodes_;
+    circuit.declare_complex_pattern(ctx);
+    std::fill(rhs_cplx_.begin(), rhs_cplx_.end(),
+              std::complex<double>{0.0, 0.0});
+    pattern_cplx_ = linalg::SparsePattern(std::move(builder));
+  }
+  sym_cplx_ = linalg::SparseLuSymbolic(pattern_cplx_, pattern_cplx_.weak());
+  g_symbolic.fetch_add(1, std::memory_order_relaxed);
+  lu_cplx_ = linalg::SparseLuNumeric<std::complex<double>>(sym_cplx_);
+  g_vals_.assign(pattern_cplx_.nnz(), 0.0);
+  c_vals_.assign(pattern_cplx_.nnz(), 0.0);
+  y_vals_.assign(pattern_cplx_.nnz(), {0.0, 0.0});
+  cplx_slot_row_.resize(pattern_cplx_.nnz());
+  cplx_slot_col_.resize(pattern_cplx_.nnz());
+  for (std::size_t s = 0; s < pattern_cplx_.nnz(); ++s) {
+    cplx_slot_row_[s] = pattern_cplx_.row_of_slot(s);
+    cplx_slot_col_[s] = pattern_cplx_.col_of_slot(s);
+  }
+  dense_cplx_ = linalg::ComplexMatrix(n_, n_);
+}
+
+bool SimWorkspace::compatible(const Circuit& circuit) const {
+  return circuit.num_unknowns() == n_ && circuit.num_nodes() == num_nodes_ &&
+         circuit.num_branches() == num_branches_ &&
+         circuit.devices().size() == num_devices_;
+}
+
+RealStamp SimWorkspace::begin_real(const std::vector<double>& node_v) {
+  std::fill(vals_real_.begin(), vals_real_.end(), 0.0);
+  std::fill(rhs_real_.begin(), rhs_real_.end(), 0.0);
+  RealStamp ctx{MnaSink(pattern_real_, vals_real_.data()), rhs_real_,
+                node_v};
+  ctx.num_nodes = num_nodes_;
+  return ctx;
+}
+
+bool SimWorkspace::factor_real() {
+  g_numeric.fetch_add(1, std::memory_order_relaxed);
+  if (sym_real_.ok() && lu_real_.refactor(vals_real_.data())) {
+    real_sparse_ok_ = true;
+    return true;
+  }
+  // Scale-aware pivot check failed (or the pattern is structurally odd):
+  // deterministic dense partial-pivot fallback on the same values.
+  real_sparse_ok_ = false;
+  g_dense_fallback.fetch_add(1, std::memory_order_relaxed);
+  dense_real_.fill(0.0);
+  for (std::size_t s = 0; s < vals_real_.size(); ++s) {
+    dense_real_(static_cast<std::size_t>(real_slot_row_[s]),
+                static_cast<std::size_t>(real_slot_col_[s])) += vals_real_[s];
+  }
+  dense_lu_real_.emplace(dense_real_);
+  return dense_lu_real_->ok();
+}
+
+const std::vector<double>& SimWorkspace::solve_real() {
+  if (real_sparse_ok_) {
+    lu_real_.solve(rhs_real_.data(), x_real_.data());
+  } else {
+    x_real_ = dense_lu_real_->solve(rhs_real_);
+  }
+  return x_real_;
+}
+
+ComplexStamp SimWorkspace::begin_complex(
+    const std::vector<double>& op_voltages) {
+  std::fill(g_vals_.begin(), g_vals_.end(), 0.0);
+  std::fill(c_vals_.begin(), c_vals_.end(), 0.0);
+  std::fill(rhs_cplx_.begin(), rhs_cplx_.end(),
+            std::complex<double>{0.0, 0.0});
+  ComplexStamp ctx{MnaSink(pattern_cplx_, g_vals_.data()),
+                   MnaSink(pattern_cplx_, c_vals_.data()), rhs_cplx_,
+                   op_voltages};
+  ctx.num_nodes = num_nodes_;
+  return ctx;
+}
+
+bool SimWorkspace::factor_complex(double omega) {
+  g_numeric.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < y_vals_.size(); ++s) {
+    y_vals_[s] = {g_vals_[s], omega * c_vals_[s]};
+  }
+  if (sym_cplx_.ok() && lu_cplx_.refactor(y_vals_.data())) {
+    cplx_sparse_ok_ = true;
+    return true;
+  }
+  cplx_sparse_ok_ = false;
+  g_dense_fallback.fetch_add(1, std::memory_order_relaxed);
+  dense_cplx_.fill({0.0, 0.0});
+  for (std::size_t s = 0; s < y_vals_.size(); ++s) {
+    dense_cplx_(static_cast<std::size_t>(cplx_slot_row_[s]),
+                static_cast<std::size_t>(cplx_slot_col_[s])) += y_vals_[s];
+  }
+  dense_lu_cplx_.emplace(dense_cplx_);
+  return dense_lu_cplx_->ok();
+}
+
+const std::vector<std::complex<double>>& SimWorkspace::solve_complex() {
+  if (cplx_sparse_ok_) {
+    lu_cplx_.solve(rhs_cplx_.data(), x_cplx_.data());
+  } else {
+    x_cplx_ = dense_lu_cplx_->solve(rhs_cplx_);
+  }
+  return x_cplx_;
+}
+
+const std::vector<std::complex<double>>&
+SimWorkspace::solve_complex_transposed(
+    const std::vector<std::complex<double>>& rhs) {
+  if (cplx_sparse_ok_) {
+    lu_cplx_.solve_transposed(rhs.data(), x_cplx_.data());
+  } else {
+    x_cplx_ = dense_lu_cplx_->solve_transposed(rhs);
+  }
+  return x_cplx_;
+}
+
+SimWorkspace& workspace_for(const Circuit& circuit,
+                            const std::string& topology_key) {
+  thread_local std::unordered_map<std::string, std::unique_ptr<SimWorkspace>>
+      cache;
+  std::unique_ptr<SimWorkspace>& slot = cache[topology_key];
+  if (!slot || !slot->compatible(circuit)) {
+    slot = std::make_unique<SimWorkspace>(circuit);
+  }
+  return *slot;
+}
+
+}  // namespace autockt::spice

@@ -217,8 +217,8 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
 TEST(CornerBackend, MatchesSerialReferenceLoop) {
   // Corner evaluator: scales the spec by (corner+1); worst case folds with
   // min for spec0 (GreaterEq-like) via the injected fold.
-  auto corner_eval = [](std::size_t corner,
-                        const ParamVector& p) -> EvalResult {
+  auto corner_eval = [](std::size_t corner, const ParamVector& p,
+                        eval::OpHint*) -> EvalResult {
     double sum = 0.0;
     for (int x : p) sum += static_cast<double>(x);
     const double scale = 1.0 + 0.1 * static_cast<double>(corner);
@@ -253,7 +253,8 @@ TEST(CornerBackend, MatchesSerialReferenceLoop) {
 TEST(CornerBackend, FirstFailingCornerWinsDeterministically) {
   // Corners 2 and 4 fail with distinct codes; the serial loop would surface
   // corner 2's error, so the parallel fan-out must as well.
-  auto corner_eval = [](std::size_t corner, const ParamVector&) -> EvalResult {
+  auto corner_eval = [](std::size_t corner, const ParamVector&,
+                        eval::OpHint*) -> EvalResult {
     if (corner == 2) return util::Error{"corner 2 failed", 2};
     if (corner == 4) return util::Error{"corner 4 failed", 4};
     return SpecVector{1.0};
