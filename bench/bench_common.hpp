@@ -85,7 +85,7 @@ inline core::TrainOutcome get_or_train_agent(
     std::ifstream in(path);
     if (in) {
       std::printf("[bench] loading cached agent from %s\n", path.c_str());
-      core::TrainOutcome outcome{rl::PpoAgent::load(in), {}, {}};
+      core::TrainOutcome outcome{rl::PpoAgent::load(in), {}, {}, {}, {}};
       return outcome;
     }
   }

@@ -1,0 +1,98 @@
+// Micro-benchmarks for the spec-scenario subsystem: target draws per second
+// for the three samplers (uniform / stratified / curriculum), the curriculum
+// outcome-update path, and SpecSuite generation + CSV round-trip. Target
+// sampling sits on the reset path of every training episode, so a sampler
+// must stay a rounding error next to one circuit simulation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "circuits/problems.hpp"
+#include "spec/spec_space.hpp"
+#include "spec/spec_suite.hpp"
+#include "spec/target_sampler.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt;
+
+namespace {
+
+spec::SpecSpace two_stage_space() {
+  return spec::SpecSpace(circuits::make_two_stage_problem().specs);
+}
+
+}  // namespace
+
+static void BM_UniformSampler(benchmark::State& state) {
+  spec::UniformSampler sampler(two_stage_space());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_UniformSampler);
+
+static void BM_StratifiedSampler(benchmark::State& state) {
+  spec::StratifiedSampler sampler(two_stage_space(),
+                                  static_cast<int>(state.range(0)));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_StratifiedSampler)->Arg(16)->Arg(256);
+
+static void BM_CurriculumSampler(benchmark::State& state) {
+  spec::CurriculumConfig config;
+  config.bins_per_axis = static_cast<int>(state.range(0));
+  spec::CurriculumSampler sampler(two_stage_space(), config);
+  util::Rng rng(3);
+  // Mixed-success region statistics so the weight table is non-trivial.
+  for (int i = 0; i < 500; ++i) {
+    sampler.record_outcome(sampler.sample(rng), (i % 3) == 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_CurriculumSampler)->Arg(2)->Arg(3);
+
+static void BM_CurriculumRecordOutcome(benchmark::State& state) {
+  spec::CurriculumSampler sampler(two_stage_space(), {});
+  util::Rng rng(4);
+  const auto target = sampler.sample(rng);
+  bool met = false;
+  for (auto _ : state) {
+    sampler.record_outcome(target, met);
+    met = !met;
+  }
+  benchmark::DoNotOptimize(sampler.outcomes_recorded());
+}
+BENCHMARK(BM_CurriculumRecordOutcome);
+
+static void BM_SuiteGenerateAndSplit(benchmark::State& state) {
+  const spec::SpecSpace space = two_stage_space();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto suites = spec::make_train_holdout_suites(space, n, n / 4, 0xa11ce,
+                                                  "bench");
+    benchmark::DoNotOptimize(suites.holdout.size());
+  }
+}
+BENCHMARK(BM_SuiteGenerateAndSplit)->Arg(50)->Arg(1000);
+
+static void BM_SuiteCsvRoundTrip(benchmark::State& state) {
+  const spec::SpecSpace space = two_stage_space();
+  spec::UniformSampler sampler(space);
+  const spec::SpecSuite suite = spec::SpecSuite::generate(
+      space, sampler, static_cast<std::size_t>(state.range(0)), 7, "bench");
+  for (auto _ : state) {
+    auto parsed = spec::SpecSuite::from_csv(suite.to_csv());
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_SuiteCsvRoundTrip)->Arg(50)->Arg(1000);
+
+BENCHMARK_MAIN();

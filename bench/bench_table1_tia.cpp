@@ -17,24 +17,25 @@ int main(int argc, char** argv) {
   auto outcome = bench::get_or_train_agent(problem, scale);
   const auto config = bench::training_config(problem->name, scale);
 
-  // Deployment on fresh targets (paper: 500).
+  // Deployment on a fresh named suite (paper: 500 targets), generated from
+  // the suite seed alone.
   const auto n_deploy = static_cast<std::size_t>(
       args.get_int("deploy", scale.quick ? 100 : 500));
-  util::Rng rng(scale.seed + 1);
-  const auto targets = env::sample_targets(*problem, n_deploy, rng);
+  const spec::SpecSuite suite =
+      core::make_deploy_suite(*problem, n_deploy, scale.seed + 1);
   const auto stats =
-      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+      core::deploy_agent(outcome.agent, problem, suite, config.env_config);
 
-  // GA baseline with the paper's population-size sweep protocol.
+  // GA baseline with the paper's population-size sweep protocol, scored on
+  // a prefix of the SAME suite the agent deployed on.
   const auto n_ga =
       static_cast<std::size_t>(
           args.get_int("ga_targets", scale.quick ? 4 : 12));
   baselines::GaConfig ga;
   ga.max_evals = 8000;
   ga.seed = scale.seed;
-  const auto ga_targets = env::sample_targets(*problem, n_ga, rng);
   const auto ga_agg =
-      core::run_ga_over_targets(*problem, ga_targets, ga, {20, 40, 80});
+      core::run_ga_over_suite(*problem, suite.head(n_ga), ga, {20, 40, 80});
 
   util::Table table({"metric", "paper", "measured"});
   table.add_row({"Genetic Alg. TIA SE", "376",

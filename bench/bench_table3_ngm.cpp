@@ -18,18 +18,18 @@ int main(int argc, char** argv) {
   auto outcome = bench::get_or_train_agent(problem, scale);
   const auto config = bench::training_config(problem->name, scale);
 
+  // One shared suite for the RL, random-agent and GA rows.
   const auto n_deploy = static_cast<std::size_t>(
       args.get_int("deploy", scale.quick ? 100 : 500));
-  util::Rng rng(scale.seed + 1);
-  const auto targets = env::sample_targets(*problem, n_deploy, rng);
+  const spec::SpecSuite suite =
+      core::make_deploy_suite(*problem, n_deploy, scale.seed + 1);
   const auto stats =
-      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+      core::deploy_agent(outcome.agent, problem, suite, config.env_config);
 
   const auto n_random = static_cast<std::size_t>(
       args.get_int("random_targets", scale.quick ? 100 : 500));
-  const auto random_targets = env::sample_targets(*problem, n_random, rng);
-  const auto random_agg = core::run_random_over_targets(
-      problem, random_targets, config.env_config, scale.seed + 5);
+  const auto random_agg = core::run_random_over_suite(
+      problem, suite.head(n_random), config.env_config, scale.seed + 5);
 
   const auto n_ga =
       static_cast<std::size_t>(
@@ -37,9 +37,8 @@ int main(int argc, char** argv) {
   baselines::GaConfig ga;
   ga.max_evals = 10000;
   ga.seed = scale.seed;
-  const auto ga_targets = env::sample_targets(*problem, n_ga, rng);
   const auto ga_agg =
-      core::run_ga_over_targets(*problem, ga_targets, ga, {20, 40, 80});
+      core::run_ga_over_suite(*problem, suite.head(n_ga), ga, {20, 40, 80});
 
   util::Table table({"metric", "paper", "measured"});
   table.add_row({"Genetic Alg. SE", "406",

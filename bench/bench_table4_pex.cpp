@@ -24,19 +24,21 @@ int main(int argc, char** argv) {
 
   auto outcome = bench::get_or_train_agent(schematic, scale);
   const auto config = bench::training_config(schematic->name, scale);
-  util::Rng rng(scale.seed + 1);
 
   // AutoCkt schematic row.
   const auto n_sch = static_cast<std::size_t>(
       args.get_int("schematic_deploy", scale.quick ? 100 : 500));
-  const auto sch_targets = env::sample_targets(*schematic, n_sch, rng);
+  const auto sch_suite =
+      core::make_deploy_suite(*schematic, n_sch, scale.seed + 1);
   const auto sch_stats = core::deploy_agent(outcome.agent, schematic,
-                                            sch_targets, config.env_config);
+                                            sch_suite, config.env_config);
 
-  // AutoCkt PEX row (paper: 40 targets).
+  // AutoCkt PEX row (paper: 40 targets). The GA+ML baseline below runs on
+  // a prefix of this same suite.
   const auto n_pex =
       static_cast<std::size_t>(args.get_int("pex_deploy", 40));
-  const auto pex_targets = env::sample_targets(*pex, n_pex, rng);
+  const auto pex_suite = core::make_deploy_suite(*pex, n_pex, scale.seed + 2);
+  const auto& pex_targets = pex_suite.targets();
   // PEX-degraded targets sit deeper in the frontier: deploy with a longer
   // trajectory budget (the horizon is a deployment knob the paper itself
   // optimizes, Fig. 10) and allow extra sampled attempts. All simulation
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
   env::EnvConfig pex_env = config.env_config;
   pex_env.horizon = static_cast<int>(args.get_int("pex_horizon", 60));
   const auto pex_stats =
-      core::deploy_agent(outcome.agent, pex, pex_targets, pex_env,
+      core::deploy_agent(outcome.agent, pex, pex_suite, pex_env,
                          /*stochastic=*/false, /*seed=*/scale.seed + 17,
                          /*stochastic_retries=*/3);
 

@@ -47,21 +47,23 @@ int main(int argc, char** argv) {
               "every future target)\n",
               outcome.history.total_env_steps);
 
+  // One shared deployment suite: RL and GA score against byte-identical
+  // targets (generated from the suite seed, independent of training).
   const auto n = static_cast<std::size_t>(args.get_int("targets", 8));
-  util::Rng rng(config.seed + 1);
-  const auto targets = env::sample_targets(*problem, n, rng);
+  const spec::SpecSuite suite =
+      core::make_deploy_suite(*problem, n, config.seed + 1);
 
   // RL: per-target deployment cost.
   const auto rl_stats =
-      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+      core::deploy_agent(outcome.agent, problem, suite, config.env_config);
 
   // GA: from-scratch optimization per target (the paper's protocol with a
   // population-size sweep, keeping the best run).
   baselines::GaConfig ga;
   ga.max_evals = 10000;
   ga.seed = config.seed;
-  const auto ga_agg =
-      core::run_ga_over_targets(*problem, targets, ga, {20, 40, 80});
+  const auto ga_agg = core::run_ga_over_suite(*problem, suite, ga,
+                                              {20, 40, 80});
 
   util::Table table({"method", "targets reached", "avg sims per target"});
   table.add_row({"AutoCkt (deployed)",

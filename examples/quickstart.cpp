@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "autockt/autockt.hpp"
+#include "autockt/experiments.hpp"
 #include "circuits/problems.hpp"
 #include "util/cli.hpp"
 
@@ -51,13 +52,25 @@ int main(int argc, char** argv) {
   std::printf("\none env step: reward=%.3f done=%d\n", sr.reward,
               sr.done ? 1 : 0);
 
-  // --- 3. Train briefly and deploy ----------------------------------------
+  // --- 3. Train on sampled targets, evaluate on a frozen holdout ----------
+  // The spec subsystem (src/spec/) makes the paper's protocol explicit:
+  // training draws episode targets from a sampler over the spec space,
+  // while a holdout SpecSuite — generated from suite_seed alone, never
+  // trained on — is probed at checkpoint intervals to watch generalization.
   core::AutoCktConfig config;
   config.ppo.max_iterations = static_cast<int>(args.get_int("iterations", 8));
   config.ppo.steps_per_iteration = 800;
+  config.holdout_target_count = 25;
+  config.holdout_interval = 4;
   std::printf("\ntraining a small agent (%d iterations)...\n",
               config.ppo.max_iterations);
-  auto outcome = core::train_agent(problem, config);
+  auto outcome =
+      core::train_agent(problem, config, [](const rl::IterationStats& s) {
+        if (s.holdout_evaluated) {
+          std::printf("  iter %2d  train goal rate %.2f  holdout %.2f\n",
+                      s.iteration, s.goal_rate, s.holdout_goal_rate);
+        }
+      });
   if (outcome.history.iterations.empty()) {
     std::printf("no training iterations ran (agent stays at init)\n");
   } else {
@@ -65,14 +78,28 @@ int main(int argc, char** argv) {
                 outcome.history.iterations.back().mean_episode_reward);
   }
 
-  // The paper's generalization sweep: 100 unseen targets, rolled out
+  // The paper's generalization sweep: a suite of unseen targets, rolled out
   // through a VectorSizingEnv — every tick is one batched policy forward
-  // plus one evaluate_batch() fanned out by the backend stack.
-  const auto targets = env::sample_targets(*problem, 100, rng);
-  const auto stats =
-      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
-  std::printf("deployment on 100 fresh targets: reached %d, avg steps %.1f\n",
+  // plus one evaluate_batch() fanned out by the backend stack. The same
+  // named suite can be saved to CSV and replayed against any baseline.
+  const spec::SpecSuite deploy_suite =
+      core::make_deploy_suite(*problem, 100, /*suite_seed=*/0xdeb101);
+  const auto stats = core::deploy_agent(outcome.agent, problem, deploy_suite,
+                                        config.env_config);
+  std::printf("deployment on %zu fresh targets (%s): reached %d, "
+              "avg steps %.1f\n",
+              deploy_suite.size(), deploy_suite.name().c_str(),
               stats.reached_count(), stats.avg_steps_reached());
+
+  // Train-vs-holdout scorecard with the frozen agent.
+  if (!outcome.holdout_suite.empty()) {
+    const auto report = core::evaluate_generalization(
+        outcome.agent, problem, outcome.train_suite, outcome.holdout_suite,
+        config.env_config);
+    std::printf("generalization: train %.2f vs holdout %.2f (gap %.2f)\n",
+                report.train_goal_rate(), report.holdout_goal_rate(),
+                report.gap());
+  }
 
   // --- 4. The evaluation backend keeps the books --------------------------
   // Training + deployment share one backend stack (memo cache over the
@@ -82,8 +109,8 @@ int main(int argc, char** argv) {
               outcome.history.eval_stats.summary().c_str());
   std::printf("deployment eval stats: %s\n",
               stats.eval_stats.summary().c_str());
-  const auto again =
-      core::deploy_agent(outcome.agent, problem, targets, config.env_config);
+  const auto again = core::deploy_agent(outcome.agent, problem, deploy_suite,
+                                        config.env_config);
   std::printf("same targets again:    %s\n",
               again.eval_stats.summary().c_str());
   std::printf("\n(see train_two_stage_opamp / transfer_to_pex for the full "

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "autockt/autockt.hpp"
+#include "autockt/experiments.hpp"
 #include "circuits/problems.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -37,22 +38,28 @@ int main(int argc, char** argv) {
       core::train_agent(problem, config, [](const rl::IterationStats& s) {
         std::printf(
             "iter %3d  steps %7ld  mean_ep_reward %8.3f  goal_rate %.2f  "
-            "ep_len %5.1f  entropy %.3f\n",
+            "ep_len %5.1f  entropy %.3f",
             s.iteration, s.cumulative_env_steps, s.mean_episode_reward,
             s.goal_rate, s.mean_episode_len, s.entropy);
+        if (s.holdout_evaluated) {
+          std::printf("  holdout_goal_rate %.2f", s.holdout_goal_rate);
+        }
+        std::printf("\n");
         std::fflush(stdout);
       });
-  std::printf("converged=%d after %ld env steps\n",
+  std::printf("converged=%d after %ld env steps "
+              "(final holdout goal rate %.2f)\n",
               outcome.history.converged ? 1 : 0,
-              outcome.history.total_env_steps);
+              outcome.history.total_env_steps,
+              outcome.history.final_holdout_goal_rate);
 
   // Deployment on fresh targets the agent has never seen.
   const auto n_targets = static_cast<std::size_t>(args.get_int("targets", 50));
-  util::Rng rng(config.seed + 1);
-  const auto targets = env::sample_targets(*problem, n_targets, rng);
+  const spec::SpecSuite deploy_suite =
+      core::make_deploy_suite(*problem, n_targets, config.seed + 1);
   const auto stats =
-      core::deploy_agent(outcome.agent, problem, targets, config.env_config,
-                         args.get_bool("stochastic"));
+      core::deploy_agent(outcome.agent, problem, deploy_suite,
+                         config.env_config, args.get_bool("stochastic"));
 
   std::printf("\ndeployment: reached %d/%d targets, avg steps (reached) %.1f\n",
               stats.reached_count(), stats.total(),

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "autockt/autockt.hpp"
+#include "autockt/experiments.hpp"
 #include "circuits/problems.hpp"
 #include "util/cli.hpp"
 
@@ -43,19 +44,22 @@ int main(int argc, char** argv) {
               outcome.history.total_env_steps);
 
   std::printf("\n== phase 2: deploy on schematic (sanity)\n");
-  util::Rng rng(config.seed + 1);
   const auto n = static_cast<std::size_t>(args.get_int("targets", 20));
-  auto sch_targets = env::sample_targets(*schematic, n, rng);
-  auto sch_stats = core::deploy_agent(outcome.agent, schematic, sch_targets,
+  // Separate named suites per environment (the PEX spec space pins phase
+  // margin at 60), both derived from the suite seed alone.
+  const auto sch_suite = core::make_deploy_suite(*schematic, n,
+                                                 config.seed + 1);
+  auto sch_stats = core::deploy_agent(outcome.agent, schematic, sch_suite,
                                       config.env_config);
   std::printf("schematic: reached %d/%d, avg steps %.1f\n",
               sch_stats.reached_count(), sch_stats.total(),
               sch_stats.avg_steps_reached());
 
   std::printf("\n== phase 3: transfer to PEX + PVT (no retraining)\n");
-  auto pex_targets = env::sample_targets(*pex, n, rng);
+  const auto pex_suite = core::make_deploy_suite(*pex, n, config.seed + 2);
+  const auto& pex_targets = pex_suite.targets();
   auto pex_stats =
-      core::deploy_agent(outcome.agent, pex, pex_targets, config.env_config);
+      core::deploy_agent(outcome.agent, pex, pex_suite, config.env_config);
   std::printf("PEX: reached %d/%d, avg steps %.1f\n",
               pex_stats.reached_count(), pex_stats.total(),
               pex_stats.avg_steps_reached());

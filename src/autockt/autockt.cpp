@@ -1,6 +1,8 @@
 #include "autockt/autockt.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace autockt::core {
 
@@ -10,9 +12,40 @@ TrainOutcome train_agent(
     std::shared_ptr<const circuits::SizingProblem> problem,
     const AutoCktConfig& config,
     const std::function<void(const rl::IterationStats&)>& on_iteration) {
-  util::Rng rng(config.seed);
-  std::vector<SpecVector> targets =
-      env::sample_targets(*problem, config.train_target_count, rng);
+  const spec::SpecSpace space(*problem);
+
+  // Training targets. FixedSuite keeps the historical stream: one uniform
+  // draw per spec from Rng(config.seed), bitwise-identical to the pre-suite
+  // code path, so existing seeds retrain to identical agents.
+  rl::TrainOptions options;
+  std::vector<SpecVector> targets;
+  spec::SpecSuite train_suite;
+  if (config.sampling == AutoCktConfig::Sampling::FixedSuite) {
+    util::Rng rng(config.seed);
+    targets = env::sample_targets(*problem, config.train_target_count, rng);
+    train_suite = spec::SpecSuite(problem->name + "/train", space.names(),
+                                  targets);
+    options.sampler = std::make_shared<spec::SuiteSampler>(targets);
+  } else {
+    train_suite =
+        spec::SpecSuite(problem->name + "/train(curriculum)", space.names(),
+                        {});
+    options.sampler =
+        std::make_shared<spec::CurriculumSampler>(space, config.curriculum);
+  }
+
+  // The holdout suite derives from suite_seed alone: retrain with any
+  // training seed and the agent is scored on the same unseen targets.
+  spec::SpecSuite holdout_suite;
+  if (config.holdout_target_count > 0) {
+    spec::StratifiedSampler stratified(
+        space, static_cast<int>(config.holdout_target_count));
+    holdout_suite = spec::SpecSuite::generate(
+        space, stratified, config.holdout_target_count, config.suite_seed,
+        problem->name + "/holdout");
+    options.holdout = holdout_suite;
+    options.holdout_interval = config.holdout_interval;
+  }
 
   env::SizingEnv probe(problem, config.env_config);
   rl::PpoConfig ppo = config.ppo;
@@ -22,9 +55,10 @@ TrainOutcome train_agent(
   auto factory = [problem, env_config = config.env_config]() {
     return env::SizingEnv(problem, env_config);
   };
-  rl::TrainHistory history = agent.train(factory, targets, on_iteration);
+  rl::TrainHistory history = agent.train(factory, options, on_iteration);
   return TrainOutcome{std::move(agent), std::move(history),
-                      std::move(targets)};
+                      std::move(targets), std::move(train_suite),
+                      std::move(holdout_suite)};
 }
 
 int DeployStats::reached_count() const {
@@ -217,6 +251,33 @@ DeployStats deploy_agent(const rl::PpoAgent& agent,
   }
   stats.eval_stats = problem->eval_stats().since(eval_baseline);
   return stats;
+}
+
+DeployStats deploy_agent(const rl::PpoAgent& agent,
+                         std::shared_ptr<const circuits::SizingProblem> problem,
+                         const spec::SpecSuite& suite,
+                         const env::EnvConfig& env_config, bool stochastic,
+                         std::uint64_t seed, int stochastic_retries,
+                         int lanes) {
+  return deploy_agent(agent, std::move(problem), suite.targets(), env_config,
+                      stochastic, seed, stochastic_retries, lanes);
+}
+
+GeneralizationReport evaluate_generalization(
+    const rl::PpoAgent& agent,
+    std::shared_ptr<const circuits::SizingProblem> problem,
+    const spec::SpecSuite& train_suite, const spec::SpecSuite& holdout_suite,
+    const env::EnvConfig& env_config, std::uint64_t seed) {
+  GeneralizationReport report;
+  report.train_suite_name = train_suite.name();
+  report.holdout_suite_name = holdout_suite.name();
+  report.train =
+      deploy_agent(agent, problem, train_suite, env_config, false, seed);
+  // Distinct deployment stream per suite (records stay target-indexed and
+  // deterministic either way; this just keeps the two rollouts decoupled).
+  report.holdout = deploy_agent(agent, problem, holdout_suite, env_config,
+                                false, seed + 1);
+  return report;
 }
 
 TrajectoryTrace trace_trajectory(

@@ -13,6 +13,8 @@
 #include "env/vector_env.hpp"
 #include "eval/stats.hpp"
 #include "rl/ppo.hpp"
+#include "spec/spec_suite.hpp"
+#include "spec/target_sampler.hpp"
 
 namespace autockt::core {
 
@@ -22,12 +24,35 @@ struct AutoCktConfig {
   /// Paper: "50 target specifications are randomly sampled" for training.
   std::size_t train_target_count = 50;
   std::uint64_t seed = 7;
+
+  // ---- spec-scenario protocol ---------------------------------------------
+  /// How episode targets are drawn during training:
+  ///  * FixedSuite — the paper's protocol: sample train_target_count
+  ///    targets once (from `seed`), then pick uniformly per episode.
+  ///  * Curriculum — frontier-biased region sampling over the whole spec
+  ///    space (spec::CurriculumSampler); train_targets stays empty.
+  enum class Sampling { FixedSuite, Curriculum };
+  Sampling sampling = Sampling::FixedSuite;
+  spec::CurriculumConfig curriculum;  // used when sampling == Curriculum
+
+  /// Held-out generalization suite: stratified over the spec space from
+  /// `suite_seed` ALONE (never the training seed), frozen before training,
+  /// never trained on, probed every holdout_interval iterations. 0 targets
+  /// disables the probe.
+  std::size_t holdout_target_count = 20;
+  std::uint64_t suite_seed = 0xa11ce;
+  int holdout_interval = 5;
 };
 
 struct TrainOutcome {
   rl::PpoAgent agent;
   rl::TrainHistory history;
   std::vector<circuits::SpecVector> train_targets;
+  /// The training targets as a named, serializable suite (empty target
+  /// list under curriculum sampling — targets are drawn fresh per episode).
+  spec::SpecSuite train_suite;
+  /// The frozen holdout suite the agent never saw (empty when disabled).
+  spec::SpecSuite holdout_suite;
 };
 
 /// Train an agent on the given problem (paper Fig. 3, training half).
@@ -81,6 +106,33 @@ DeployStats deploy_agent(const rl::PpoAgent& agent,
                          const env::EnvConfig& env_config,
                          bool stochastic = false, std::uint64_t seed = 99,
                          int stochastic_retries = 1, int lanes = 16);
+
+/// Suite form of deploy_agent (identical semantics, suite.targets() order).
+DeployStats deploy_agent(const rl::PpoAgent& agent,
+                         std::shared_ptr<const circuits::SizingProblem> problem,
+                         const spec::SpecSuite& suite,
+                         const env::EnvConfig& env_config,
+                         bool stochastic = false, std::uint64_t seed = 99,
+                         int stochastic_retries = 1, int lanes = 16);
+
+/// Train-vs-holdout generalization scorecard: deploy the frozen agent on
+/// both suites under identical settings and report the two goal-met rates
+/// side by side (paper Figs. 8/12 are exactly this comparison).
+struct GeneralizationReport {
+  DeployStats train;
+  DeployStats holdout;
+  std::string train_suite_name;
+  std::string holdout_suite_name;
+  double train_goal_rate() const { return train.reach_fraction(); }
+  double holdout_goal_rate() const { return holdout.reach_fraction(); }
+  /// Train minus holdout reach — the generalization gap (>= 0 typically).
+  double gap() const { return train_goal_rate() - holdout_goal_rate(); }
+};
+GeneralizationReport evaluate_generalization(
+    const rl::PpoAgent& agent,
+    std::shared_ptr<const circuits::SizingProblem> problem,
+    const spec::SpecSuite& train_suite, const spec::SpecSuite& holdout_suite,
+    const env::EnvConfig& env_config, std::uint64_t seed = 99);
 
 /// Single-trajectory trace for Fig. 14-style plots.
 struct TrajectoryTrace {

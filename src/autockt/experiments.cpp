@@ -62,6 +62,31 @@ RandomAggregate run_random_over_targets(
   return agg;
 }
 
+GaAggregate run_ga_over_suite(const circuits::SizingProblem& problem,
+                              const spec::SpecSuite& suite,
+                              const baselines::GaConfig& base,
+                              const std::vector<int>& population_sizes) {
+  return run_ga_over_targets(problem, suite.targets(), base,
+                             population_sizes);
+}
+
+RandomAggregate run_random_over_suite(
+    std::shared_ptr<const circuits::SizingProblem> problem,
+    const spec::SpecSuite& suite, const env::EnvConfig& env_config,
+    std::uint64_t seed) {
+  return run_random_over_targets(std::move(problem), suite.targets(),
+                                 env_config, seed);
+}
+
+spec::SpecSuite make_deploy_suite(const circuits::SizingProblem& problem,
+                                  std::size_t count,
+                                  std::uint64_t suite_seed) {
+  const spec::SpecSpace space(problem);
+  spec::UniformSampler sampler(space);
+  return spec::SpecSuite::generate(space, sampler, count, suite_seed,
+                                   problem.name + "/deploy");
+}
+
 double paper_equivalent_hours(double simulations, double seconds_per_sim) {
   return simulations * seconds_per_sim / 3600.0;
 }

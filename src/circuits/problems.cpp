@@ -88,6 +88,7 @@ SizingProblem make_tia_problem(const ProblemOptions& options) {
                           res->input_noise};
       },
       "tia_sim", options);
+  prob.validate();
   return prob;
 }
 
@@ -144,6 +145,7 @@ SizingProblem make_two_stage_problem(const ProblemOptions& options) {
                           res->bias_current};
       },
       "two_stage_sim", options);
+  prob.validate();
   return prob;
 }
 
@@ -204,6 +206,7 @@ SizingProblem make_ngm_problem(const ProblemOptions& options) {
         return SpecVector{res->gain, res->ugbw, res->phase_margin};
       },
       "ngm_sim", options);
+  prob.validate();
   return prob;
 }
 
@@ -268,6 +271,7 @@ SizingProblem make_ngm_pex_problem(const ProblemOptions& options) {
         std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
   }
   prob.backend = wrap_cache(std::move(backend), options);
+  prob.validate();
   return prob;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "eval/function_backend.hpp"
@@ -11,6 +13,26 @@ namespace autockt::circuits {
 
 namespace {
 constexpr double kDenominatorGuard = 1e-12;
+}
+
+void SpecDef::validate() const {
+  const std::string who = "SpecDef '" + (name.empty() ? "<unnamed>" : name);
+  if (std::isnan(sample_lo) || std::isnan(sample_hi)) {
+    throw std::invalid_argument(who + "': NaN sampling bound");
+  }
+  if (sample_hi < sample_lo) {
+    throw std::invalid_argument(
+        who + "': sample_hi (" + std::to_string(sample_hi) +
+        ") < sample_lo (" + std::to_string(sample_lo) + ")");
+  }
+  if (std::isnan(norm_const) || norm_const <= 0.0) {
+    throw std::invalid_argument(
+        who + "': norm_const must be positive (got " +
+        std::to_string(norm_const) + ")");
+  }
+  if (std::isnan(fail_value)) {
+    throw std::invalid_argument(who + "': NaN fail_value");
+  }
 }
 
 double SpecDef::rel(double observed, double target) const {
@@ -76,6 +98,17 @@ eval::EvalStats SizingProblem::eval_stats() const {
 void SizingProblem::reset_eval_stats() const {
   if (backend) backend->reset_stats();
   spice::reset_kernel_stats();
+}
+
+void SizingProblem::validate() const {
+  for (const SpecDef& s : specs) {
+    try {
+      s.validate();
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("SizingProblem '" + name +
+                                  "': " + e.what());
+    }
+  }
 }
 
 double SizingProblem::action_space_log10() const {

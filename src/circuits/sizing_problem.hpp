@@ -57,6 +57,13 @@ struct SpecDef {
   double fail_value = 0.0;  // observed value substituted when the simulator
                             // cannot produce a measurement
 
+  /// Reject definitions that would only misbehave deep inside lookup
+  /// normalization or target sampling: sample_hi < sample_lo, non-positive
+  /// norm_const, and NaN bounds all throw std::invalid_argument naming the
+  /// spec. Called by the problem factories (and spec::SpecSpace) so bad
+  /// definitions fail at construction, not mid-training.
+  void validate() const;
+
   /// Signed relative satisfaction: >= 0 iff the spec is met. This is the
   /// paper's (o - o*)/(o + o*) with the sign arranged per sense.
   double rel(double observed, double target) const;
@@ -110,6 +117,11 @@ struct SizingProblem {
   /// iterations, symbolic/numeric factorizations, warm-start hit rate).
   eval::EvalStats eval_stats() const;
   void reset_eval_stats() const;
+
+  /// Validate every spec definition (see SpecDef::validate). The factories
+  /// in circuits/problems.cpp call this before returning, so a hand-edited
+  /// sampling range fails loudly at construction.
+  void validate() const;
 
   /// Per-simulation wall-clock cost reported by the paper for this setup;
   /// used to convert sample counts to paper-equivalent hours.

@@ -1,0 +1,45 @@
+#include "circuits/synthetic.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace autockt::circuits {
+
+SizingProblem make_synthetic_problem(int n_params, int grid) {
+  SizingProblem prob;
+  prob.name = "synthetic";
+  prob.description = "synthetic smooth sizing problem for tests";
+  for (int i = 0; i < n_params; ++i) {
+    prob.params.push_back(
+        {"p" + std::to_string(i), 0.0, static_cast<double>(grid - 1), 1.0});
+  }
+  // Sampling ranges are chosen to be jointly feasible: "diff" <= t needs
+  // sum(x) >= 3*(5 - t) and "power" <= t allows mean|x| <= 2*(t - 1); the
+  // ranges below keep those bands overlapping for every target draw.
+  prob.specs = {
+      {"sum", SpecSense::GreaterEq, 9.5, 11.0, 10.0, 0.0},
+      {"diff", SpecSense::LessEq, 4.6, 5.4, 5.0, 100.0},
+      {"power", SpecSense::Minimize, 1.25, 1.5, 1.35, 100.0},
+  };
+  const auto params = prob.params;
+  prob.set_evaluator(
+      [params](const ParamVector& idx) -> util::Expected<SpecVector> {
+        double sum = 0.0, mean_abs = 0.0;
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          const double hi = params[i].end;
+          const double x =
+              2.0 * static_cast<double>(idx[i]) / hi - 1.0;  // [-1,1]
+          sum += x;
+          mean_abs += std::fabs(x);
+        }
+        const double n = static_cast<double>(idx.size());
+        return SpecVector{10.0 + sum, 5.0 - sum / n,
+                          1.0 + 0.5 * mean_abs / n};
+      },
+      "synthetic");
+  prob.paper_sim_seconds = 0.001;
+  prob.validate();
+  return prob;
+}
+
+}  // namespace autockt::circuits

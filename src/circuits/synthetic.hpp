@@ -1,0 +1,21 @@
+#pragma once
+// A cheap synthetic sizing problem (no circuit simulation): params form a
+// grid [0, K-1]^N and specs are smooth monotone functions of the normalized
+// parameters. Environment/RL/baseline logic — and the CI generalization
+// smoke — exercise the full stack in milliseconds against it. Shared by
+// tests/test_helpers.hpp and bench/bench_generalization_smoke.cpp.
+
+#include "circuits/sizing_problem.hpp"
+
+namespace autockt::circuits {
+
+/// Spec shape:
+///   spec0 ("sum")  = 10 + sum of normalized params          (GreaterEq)
+///   spec1 ("diff") = 5 - mean of normalized params          (LessEq)
+///   spec2 ("power")= 1 + 0.5 * mean of |normalized params|  (Minimize)
+/// All three are exactly reachable from the grid centre within a few steps,
+/// and the sampling ranges keep every random target jointly feasible, which
+/// makes RL/GA convergence runs fast and deterministic.
+SizingProblem make_synthetic_problem(int n_params = 3, int grid = 21);
+
+}  // namespace autockt::circuits

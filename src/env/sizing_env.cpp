@@ -12,11 +12,16 @@ SizingEnv::SizingEnv(std::shared_ptr<const circuits::SizingProblem> problem,
                      EnvConfig config)
     : problem_(std::move(problem)), config_(config) {
   if (!problem_) throw std::invalid_argument("SizingEnv: null problem");
-  target_.assign(problem_->specs.size(), 0.0);
-  for (std::size_t i = 0; i < problem_->specs.size(); ++i) {
-    target_[i] = 0.5 * (problem_->specs[i].sample_lo +
-                        problem_->specs[i].sample_hi);
-  }
+  // The default target is the spec-space midpoint — derived from the same
+  // SpecSpace the samplers use, so the two can never drift (and invalid
+  // spec definitions are rejected here, at construction).
+  target_ = spec::SpecSpace(*problem_).midpoint();
+}
+
+void SizingEnv::set_target_sampler(
+    std::shared_ptr<spec::TargetSampler> sampler, std::uint64_t seed) {
+  sampler_ = std::move(sampler);
+  sampler_rng_.reseed(seed);
 }
 
 int SizingEnv::obs_size() const {
@@ -40,6 +45,7 @@ std::vector<double> SizingEnv::reset() {
 }
 
 const ParamVector& SizingEnv::begin_reset() {
+  if (sampler_) target_ = sampler_->sample(sampler_rng_);
   params_ = problem_->center_params();
   steps_ = 0;
   // Episodes cold-start: warm hints never leak across episode boundaries,
@@ -108,6 +114,9 @@ SizingEnv::StepResult SizingEnv::finish_step(eval::EvalResult result) {
   out.reward = current_reward();
   out.done = out.goal_met || steps_ >= config_.horizon;
   out.obs = observe();
+  // Close the curriculum feedback loop: the episode's outcome flows back to
+  // the sampler that chose its target.
+  if (out.done && sampler_) sampler_->record_outcome(target_, out.goal_met);
   return out;
 }
 
@@ -134,21 +143,15 @@ std::vector<double> SizingEnv::observe() const {
 
 SpecVector sample_target(const circuits::SizingProblem& problem,
                          util::Rng& rng) {
-  SpecVector target;
-  target.reserve(problem.specs.size());
-  for (const auto& spec : problem.specs) {
-    target.push_back(rng.uniform(spec.sample_lo, spec.sample_hi));
-  }
-  return target;
+  return spec::UniformSampler(spec::SpecSpace(problem)).sample(rng);
 }
 
 std::vector<SpecVector> sample_targets(const circuits::SizingProblem& problem,
                                        std::size_t count, util::Rng& rng) {
+  spec::UniformSampler sampler{spec::SpecSpace(problem)};
   std::vector<SpecVector> out;
   out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(sample_target(problem, rng));
-  }
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sampler.sample(rng));
   return out;
 }
 

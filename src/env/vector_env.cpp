@@ -42,6 +42,27 @@ void VectorSizingEnv::seed_lane(int lane, std::uint64_t seed) {
 
 void VectorSizingEnv::set_target_sampler(TargetSampler sampler) {
   target_sampler_ = std::move(sampler);
+  spec_sampler_.reset();
+  report_outcomes_ = false;
+}
+
+void VectorSizingEnv::set_target_sampler(
+    std::shared_ptr<spec::TargetSampler> sampler, bool report_outcomes) {
+  if (!sampler) {
+    clear_target_sampler();
+    return;
+  }
+  spec_sampler_ = std::move(sampler);
+  report_outcomes_ = report_outcomes;
+  target_sampler_ = [s = spec_sampler_](int /*lane*/, util::Rng& rng) {
+    return s->sample(rng);
+  };
+}
+
+void VectorSizingEnv::clear_target_sampler() {
+  target_sampler_ = nullptr;
+  spec_sampler_.reset();
+  report_outcomes_ = false;
 }
 
 void VectorSizingEnv::set_target(int lane, circuits::SpecVector target) {
@@ -122,6 +143,11 @@ std::vector<VectorSizingEnv::LaneStep> VectorSizingEnv::step_all(
     const int i = stepped[k];
     const std::size_t li = static_cast<std::size_t>(i);
     SizingEnv::StepResult sr = lanes_[li].finish_step(std::move(results[k]));
+    if (sr.done && report_outcomes_) {
+      // The lane's target is still the finished episode's target here (the
+      // auto-reset that may replace it happens in phase 3 below).
+      spec_sampler_->record_outcome(lanes_[li].target(), sr.goal_met);
+    }
     LaneStep& ls = out[li];
     ls.stepped = true;
     ls.reward = sr.reward;

@@ -53,6 +53,18 @@ class VectorSizingEnv {
   using TargetSampler =
       std::function<circuits::SpecVector(int lane, util::Rng& rng)>;
   void set_target_sampler(TargetSampler sampler);
+
+  /// First-class spec-subsystem sampler: resets draw sampler->sample(rng)
+  /// from each lane's own stream; with `report_outcomes` every finished
+  /// episode additionally feeds (target, goal_met) back through
+  /// record_outcome — the serial curriculum loop. Leave reporting off when
+  /// a trainer wants to replay outcomes itself in a deterministic order
+  /// across many vector envs (rl/ppo.cpp does). Replaces any previously
+  /// set sampler of either kind; clear_target_sampler() detaches.
+  void set_target_sampler(std::shared_ptr<spec::TargetSampler> sampler,
+                          bool report_outcomes = false);
+  /// Detach any sampler (of either kind); lanes keep their current targets.
+  void clear_target_sampler();
   void set_target(int lane, circuits::SpecVector target);
   const circuits::SpecVector& target(int lane) const {
     return lanes_[check_lane(lane)].target();
@@ -111,6 +123,8 @@ class VectorSizingEnv {
   std::vector<util::Rng> rngs_;
   std::vector<char> running_;  // char, not bool: lanes mutate independently
   TargetSampler target_sampler_;
+  std::shared_ptr<spec::TargetSampler> spec_sampler_;
+  bool report_outcomes_ = false;
 };
 
 }  // namespace autockt::env

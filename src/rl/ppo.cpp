@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <memory>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "nn/categorical.hpp"
 
@@ -152,7 +154,110 @@ TrainHistory PpoAgent::train(
   if (train_targets.empty()) {
     throw std::invalid_argument("PpoAgent::train: no training targets");
   }
+  TrainOptions options;
+  options.sampler = std::make_shared<spec::SuiteSampler>(train_targets);
+  return train(env_factory, options, on_iteration);
+}
+
+double PpoAgent::evaluate_goal_rate(
+    const std::function<env::SizingEnv()>& env_factory,
+    const std::vector<circuits::SpecVector>& targets,
+    int holdout_lanes) const {
+  if (targets.empty()) return -1.0;
+  env::SizingEnv probe = env_factory();
+  // Cold-start every evaluation: holdout probes interleave with training
+  // collection on the shared backend cache, and pinning warm-start off
+  // keeps every memoized result identical to the cold path (the same
+  // contract multi-worker collection relies on).
+  env::EnvConfig holdout_config = probe.config();
+  holdout_config.warm_start = false;
+  const int L = std::max(
+      1, std::min(holdout_lanes, static_cast<int>(targets.size())));
+  env::VectorSizingEnv venv(probe.problem_ptr(), holdout_config, L);
+
+  std::vector<int> lane_target(static_cast<std::size_t>(L), -1);
+  std::vector<std::vector<double>> obs(static_cast<std::size_t>(L));
+  std::size_t next = 0;
+  auto assign = [&](int i) {
+    if (next >= targets.size()) return false;
+    lane_target[static_cast<std::size_t>(i)] = static_cast<int>(next);
+    venv.set_target(i, targets[next++]);
+    return true;
+  };
+  std::vector<int> to_reset;
+  for (int i = 0; i < L; ++i) {
+    if (assign(i)) to_reset.push_back(i);
+  }
+  {
+    auto fresh = venv.reset_lanes(to_reset);
+    for (std::size_t k = 0; k < to_reset.size(); ++k) {
+      obs[static_cast<std::size_t>(to_reset[k])] = std::move(fresh[k]);
+    }
+  }
+
+  int reached = 0;
+  std::vector<std::vector<int>> actions(static_cast<std::size_t>(L));
+  std::vector<int> act_lanes;
+  std::vector<double> rows;
+  while (venv.running_count() > 0) {
+    act_lanes.clear();
+    rows.clear();
+    for (int i = 0; i < L; ++i) {
+      if (!venv.lane_running(i)) continue;
+      act_lanes.push_back(i);
+      const auto& o = obs[static_cast<std::size_t>(i)];
+      rows.insert(rows.end(), o.begin(), o.end());
+    }
+    const int n = static_cast<int>(act_lanes.size());
+    const std::vector<int> acts = act_greedy_batch(rows, n);
+    for (int k = 0; k < n; ++k) {
+      actions[static_cast<std::size_t>(act_lanes[k])].assign(
+          acts.begin() + static_cast<std::size_t>(k) * num_params_,
+          acts.begin() + static_cast<std::size_t>(k + 1) * num_params_);
+    }
+    const auto results = venv.step_all(actions, [](int) { return false; });
+    to_reset.clear();
+    for (int i = 0; i < L; ++i) {
+      const auto& ls = results[static_cast<std::size_t>(i)];
+      if (!ls.stepped) continue;
+      if (!ls.done) {
+        obs[static_cast<std::size_t>(i)] = ls.obs;
+        continue;
+      }
+      reached += ls.goal_met ? 1 : 0;
+      if (assign(i)) to_reset.push_back(i);
+    }
+    if (!to_reset.empty()) {
+      auto fresh = venv.reset_lanes(to_reset);
+      for (std::size_t k = 0; k < to_reset.size(); ++k) {
+        obs[static_cast<std::size_t>(to_reset[k])] = std::move(fresh[k]);
+      }
+    }
+  }
+  return static_cast<double>(reached) / static_cast<double>(targets.size());
+}
+
+TrainHistory PpoAgent::train(
+    const std::function<env::SizingEnv()>& env_factory,
+    const TrainOptions& options,
+    const std::function<void(const IterationStats&)>& on_iteration) {
+  if (!options.sampler) {
+    throw std::invalid_argument("PpoAgent::train: no target sampler");
+  }
   config_.validate();
+  if (config_.num_workers > 1 &&
+      !options.sampler->concurrent_sampling_safe()) {
+    throw std::invalid_argument(
+        "PpoAgent::train: sampler '" + options.sampler->name() +
+        "' is a sequential generator (stateful draws) and cannot feed " +
+        std::to_string(config_.num_workers) +
+        " collection workers; generate a SpecSuite with it and train on a "
+        "SuiteSampler instead");
+  }
+  if (options.holdout_interval <= 0) {
+    throw std::invalid_argument(
+        "PpoAgent::train: holdout_interval must be >= 1");
+  }
   TrainHistory history;
   util::Rng master_rng(config_.seed);
   nn::Adam opt_policy(policy_.param_count(), config_.lr_policy);
@@ -182,6 +287,13 @@ TrainHistory PpoAgent::train(
         (config_.steps_per_iteration + total_lanes - 1) / total_lanes;
     std::vector<std::vector<Episode>> lane_episodes(
         static_cast<std::size_t>(total_lanes));
+    // Episode outcomes (target, goal_met) buffered per global lane. They
+    // replay into the sampler after the join, in lane order, so curriculum
+    // state updates deterministically and independently of the worker
+    // split; the sampling distribution itself stays frozen while workers
+    // draw from it.
+    std::vector<std::vector<std::pair<circuits::SpecVector, bool>>>
+        lane_outcomes(static_cast<std::size_t>(total_lanes));
     std::vector<std::uint64_t> lane_seeds;
     lane_seeds.reserve(static_cast<std::size_t>(total_lanes));
     for (int l = 0; l < total_lanes; ++l)
@@ -204,14 +316,20 @@ TrainHistory PpoAgent::train(
       for (int i = 0; i < L; ++i) {
         venv.seed_lane(i, lane_seeds[static_cast<std::size_t>(base + i)]);
       }
-      venv.set_target_sampler(
-          [&train_targets](int /*lane*/, util::Rng& rng) {
-            return train_targets[rng.bounded(train_targets.size())];
-          });
+      // Outcome reporting stays off: this worker buffers outcomes and the
+      // trainer replays them in global lane order after the join.
+      venv.set_target_sampler(options.sampler, /*report_outcomes=*/false);
 
       std::vector<int> lane_steps(static_cast<std::size_t>(L), 0);
       std::vector<Episode> current(static_cast<std::size_t>(L));
       std::vector<std::vector<double>> obs = venv.reset_all();
+      // Each lane's live episode target (step_all auto-resets lanes and
+      // resamples before we can ask, so remember it at episode start).
+      std::vector<circuits::SpecVector> episode_target(
+          static_cast<std::size_t>(L));
+      for (int i = 0; i < L; ++i) {
+        episode_target[static_cast<std::size_t>(i)] = venv.target(i);
+      }
 
       // Scratch for the per-tick batches over the still-running lanes.
       std::vector<int> act_lanes;
@@ -270,6 +388,10 @@ TrainHistory PpoAgent::train(
             lane_episodes[static_cast<std::size_t>(base) + li].push_back(
                 std::move(ep));
             ep = Episode{};
+            lane_outcomes[static_cast<std::size_t>(base) + li].emplace_back(
+                episode_target[li], ls.goal_met);
+            // The auto-reset already drew the next episode's target.
+            episode_target[li] = venv.target(act_lanes[k]);
           }
           obs[li] = ls.obs;
         }
@@ -283,6 +405,14 @@ TrainHistory PpoAgent::train(
       threads.reserve(static_cast<std::size_t>(workers));
       for (int w = 0; w < workers; ++w) threads.emplace_back(collect, w);
       for (auto& t : threads) t.join();
+    }
+
+    // Replay buffered episode outcomes into the sampler in global lane
+    // order — the curriculum's synchronous, deterministic update point.
+    for (const auto& outcomes : lane_outcomes) {
+      for (const auto& [target, goal_met] : outcomes) {
+        options.sampler->record_outcome(target, goal_met);
+      }
     }
 
     // ---- 2. GAE advantages and returns ----------------------------------
@@ -437,22 +567,39 @@ TrainHistory PpoAgent::train(
         value_loss_acc / static_cast<double>(std::max(loss_terms, 1L));
     stats.entropy = entropy_acc /
                     static_cast<double>(std::max(loss_terms, 1L) * num_params_);
-    const eval::EvalStats eval_now =
-        stats_probe.problem().eval_stats().since(eval_baseline);
-    stats.cumulative_simulations = eval_now.simulations;
-    stats.cumulative_cache_hits = eval_now.cache_hits;
-    history.iterations.push_back(stats);
-    if (on_iteration) on_iteration(stats);
-
+    // Early-stop decision BEFORE the holdout probe, so the final iteration
+    // (stopped or not) always carries a fresh holdout measurement.
+    bool stopping = false;
     if (stats.mean_episode_reward >= config_.target_mean_reward ||
         stats.goal_rate >= config_.target_goal_rate) {
       if (++patience_hits >= config_.stop_patience) {
         history.converged = true;
-        break;
+        stopping = true;
       }
     } else {
       patience_hits = 0;
     }
+    const bool last_iteration = stopping || iter + 1 == config_.max_iterations;
+
+    if (!options.holdout.empty() &&
+        (iter % options.holdout_interval == 0 || last_iteration)) {
+      stats.holdout_goal_rate = evaluate_goal_rate(
+          env_factory, options.holdout.targets(), options.holdout_lanes);
+      stats.holdout_evaluated = true;
+      history.final_holdout_goal_rate = stats.holdout_goal_rate;
+    }
+
+    // Backend telemetry after the probe, so the iteration's cumulative
+    // counters include every simulation this iteration actually cost
+    // (collection AND holdout rollouts).
+    const eval::EvalStats eval_now =
+        stats_probe.problem().eval_stats().since(eval_baseline);
+    stats.cumulative_simulations = eval_now.simulations;
+    stats.cumulative_cache_hits = eval_now.cache_hits;
+
+    history.iterations.push_back(stats);
+    if (on_iteration) on_iteration(stats);
+    if (stopping) break;
   }
   history.total_env_steps = cumulative_steps;
   history.eval_stats = stats_probe.problem().eval_stats().since(eval_baseline);

@@ -25,6 +25,8 @@
 #include "env/vector_env.hpp"
 #include "eval/stats.hpp"
 #include "nn/mlp.hpp"
+#include "spec/spec_suite.hpp"
+#include "spec/target_sampler.hpp"
 #include "util/rng.hpp"
 
 namespace autockt::rl {
@@ -84,6 +86,13 @@ struct IterationStats {
   /// real simulations vs cache hits — the paper's true cost axis.
   long cumulative_simulations = 0;
   long cumulative_cache_hits = 0;
+  /// Generalization probe: greedy goal-met rate on the frozen holdout
+  /// suite (TrainOptions::holdout), refreshed every holdout_interval
+  /// iterations and on the final one. Compare against goal_rate (the
+  /// train-sampler rate) to watch the generalization gap. Meaningful only
+  /// when holdout_evaluated is true; -1 otherwise.
+  double holdout_goal_rate = -1.0;
+  bool holdout_evaluated = false;
 };
 
 struct TrainHistory {
@@ -92,6 +101,32 @@ struct TrainHistory {
   long total_env_steps = 0;
   /// Backend activity over the whole training run (delta from train start).
   eval::EvalStats eval_stats;
+  /// Last holdout probe of the run (-1 when no holdout suite was given).
+  double final_holdout_goal_rate = -1.0;
+};
+
+/// Spec-scenario training protocol: where episode targets come from and
+/// which frozen suite measures generalization along the way.
+struct TrainOptions {
+  /// Per-episode target source (required). Drawn through each lane's own
+  /// RNG stream; with several workers the sampler must be safe for
+  /// concurrent sampling (spec::TargetSampler::concurrent_sampling_safe) —
+  /// stateful generators like StratifiedSampler are suite generators, not
+  /// training samplers, and are rejected up front. Episode outcomes are
+  /// buffered per lane during collection and replayed to
+  /// sampler->record_outcome in global lane order after workers join, so
+  /// curriculum state updates are deterministic and worker-split-invariant
+  /// (the sampling distribution is frozen within an iteration).
+  std::shared_ptr<spec::TargetSampler> sampler;
+  /// Frozen holdout suite the agent never trains on. When non-empty, every
+  /// holdout_interval-th iteration (and the last) rolls every holdout
+  /// target out greedily and reports the goal-met rate in
+  /// IterationStats::holdout_goal_rate.
+  spec::SpecSuite holdout;
+  int holdout_interval = 5;
+  /// Lockstep lanes for the holdout rollouts (cost control only; results
+  /// are lane-count-invariant).
+  int holdout_lanes = 8;
 };
 
 class PpoAgent {
@@ -128,14 +163,33 @@ class PpoAgent {
   std::vector<double> value_batch(const std::vector<double>& obs_rows,
                                   int rows) const;
 
-  /// Train against environments produced by `env_factory`; each episode
-  /// uses a target drawn uniformly from `train_targets` (the paper's 50
-  /// sampled target specifications). `on_iteration`, if set, observes
-  /// progress (used for live logging and the reward-curve benches).
+  /// Train against environments produced by `env_factory`, drawing each
+  /// episode's target from options.sampler and (optionally) probing the
+  /// frozen holdout suite at checkpoint intervals. `on_iteration`, if set,
+  /// observes progress (used for live logging and the reward-curve
+  /// benches).
+  TrainHistory train(
+      const std::function<env::SizingEnv()>& env_factory,
+      const TrainOptions& options,
+      const std::function<void(const IterationStats&)>& on_iteration = {});
+
+  /// Compatibility form — the paper's protocol: each episode uses a target
+  /// drawn uniformly from `train_targets` (the paper's 50 sampled target
+  /// specifications), no holdout probe. Identical to passing a
+  /// spec::SuiteSampler over the same targets (bitwise, for a fixed seed).
   TrainHistory train(
       const std::function<env::SizingEnv()>& env_factory,
       const std::vector<circuits::SpecVector>& train_targets,
       const std::function<void(const IterationStats&)>& on_iteration = {});
+
+  /// Greedy goal-met rate of the current policy over an explicit target
+  /// set, rolled out through `holdout_lanes` lockstep lanes. Deterministic
+  /// (greedy policy, fixed targets) and lane-count-invariant. Used for the
+  /// holdout probe; public so tools can score checkpoints on any suite.
+  double evaluate_goal_rate(
+      const std::function<env::SizingEnv()>& env_factory,
+      const std::vector<circuits::SpecVector>& targets,
+      int holdout_lanes = 8) const;
 
   int obs_size() const { return obs_size_; }
   int num_params() const { return num_params_; }

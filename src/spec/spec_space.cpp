@@ -1,0 +1,109 @@
+#include "spec/spec_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autockt::spec {
+
+SpecSpace::SpecSpace(std::vector<circuits::SpecDef> specs)
+    : specs_(std::move(specs)) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("SpecSpace: no specs");
+  }
+  for (const circuits::SpecDef& s : specs_) s.validate();
+}
+
+std::vector<std::string> SpecSpace::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(s.name);
+  return out;
+}
+
+circuits::SpecVector SpecSpace::midpoint() const {
+  circuits::SpecVector out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) {
+    out.push_back(0.5 * (s.sample_lo + s.sample_hi));
+  }
+  return out;
+}
+
+bool SpecSpace::contains(const circuits::SpecVector& target) const {
+  if (target.size() != specs_.size()) return false;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (target[i] < specs_[i].sample_lo || target[i] > specs_[i].sample_hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int SpecSpace::axis_bins(std::size_t i, int bins_per_axis) const {
+  if (bins_per_axis < 1) {
+    throw std::invalid_argument("SpecSpace: bins_per_axis must be >= 1");
+  }
+  return width(i) > 0.0 ? bins_per_axis : 1;
+}
+
+int SpecSpace::num_regions(int bins_per_axis) const {
+  int n = 1;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    n *= axis_bins(i, bins_per_axis);
+  }
+  return n;
+}
+
+int SpecSpace::region_of(const circuits::SpecVector& target,
+                         int bins_per_axis) const {
+  if (target.size() != specs_.size()) {
+    throw std::invalid_argument("SpecSpace::region_of: target size mismatch");
+  }
+  int region = 0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const int bins = axis_bins(i, bins_per_axis);
+    int bin = 0;
+    if (bins > 1) {
+      const double frac = (target[i] - lo(i)) / width(i);
+      bin = std::clamp(static_cast<int>(frac * bins), 0, bins - 1);
+    }
+    region = region * bins + bin;
+  }
+  return region;
+}
+
+std::string SpecSpace::region_name(int region, int bins_per_axis) const {
+  // Decode the mixed-radix index back into per-axis bins (last axis is the
+  // least-significant digit, matching region_of).
+  std::vector<int> bin(specs_.size(), 0);
+  int rest = region;
+  for (std::size_t i = specs_.size(); i-- > 0;) {
+    const int bins = axis_bins(i, bins_per_axis);
+    bin[i] = rest % bins;
+    rest /= bins;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += specs_[i].name + "[" + std::to_string(bin[i]) + "/" +
+           std::to_string(axis_bins(i, bins_per_axis)) + "]";
+  }
+  return out;
+}
+
+std::pair<double, double> SpecSpace::region_axis_bounds(
+    int region, std::size_t i, int bins_per_axis) const {
+  int rest = region;
+  int my_bin = 0;
+  for (std::size_t a = specs_.size(); a-- > 0;) {
+    const int bins = axis_bins(a, bins_per_axis);
+    if (a == i) my_bin = rest % bins;
+    rest /= bins;
+  }
+  const int bins = axis_bins(i, bins_per_axis);
+  const double step = width(i) / static_cast<double>(bins);
+  return {lo(i) + my_bin * step, lo(i) + (my_bin + 1) * step};
+}
+
+}  // namespace autockt::spec

@@ -1,0 +1,81 @@
+#pragma once
+// SpecSpace: the target-specification space as a first-class object.
+//
+// AutoCkt's central claim is generalization over *specifications*: the agent
+// trains on a sparse subsample of the spec space and is then deployed on
+// unseen targets (paper Figs. 8/12, Tables II-IV). This class owns the
+// per-spec sampling ranges that used to live implicitly inside SpecDef
+// consumers, validates them once at construction, and gives the sampling
+// layer (spec/target_sampler.hpp) and the suite layer (spec/spec_suite.hpp)
+// a shared geometric vocabulary:
+//
+//  * axis bounds  — the [sample_lo, sample_hi] interval per spec,
+//  * the midpoint — the canonical "default target" (SizingEnv starts here),
+//  * membership   — is a target inside the sampled box,
+//  * regions      — a uniform bins-per-axis partition of the box into named
+//    cells, used by CurriculumSampler to track per-region success rates and
+//    by coverage accounting. Axes with a degenerate range (lo == hi, e.g.
+//    the PEX phase-margin pin) collapse to a single bin.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuits/sizing_problem.hpp"
+
+namespace autockt::spec {
+
+class SpecSpace {
+ public:
+  /// Validates every SpecDef (rejects sample_hi < sample_lo, non-positive
+  /// norm_const, NaN bounds) with an error naming the offending spec.
+  explicit SpecSpace(std::vector<circuits::SpecDef> specs);
+  explicit SpecSpace(const circuits::SizingProblem& problem)
+      : SpecSpace(problem.specs) {}
+
+  std::size_t size() const { return specs_.size(); }
+  const circuits::SpecDef& def(std::size_t i) const { return specs_[i]; }
+  const std::vector<circuits::SpecDef>& defs() const { return specs_; }
+  std::vector<std::string> names() const;
+
+  double lo(std::size_t i) const { return specs_[i].sample_lo; }
+  double hi(std::size_t i) const { return specs_[i].sample_hi; }
+  double width(std::size_t i) const {
+    return specs_[i].sample_hi - specs_[i].sample_lo;
+  }
+
+  /// Midpoint of every sampling range — the canonical default target
+  /// (SizingEnv uses this until a sampler or set_target overrides it).
+  circuits::SpecVector midpoint() const;
+
+  /// Every component within its sampling range (closed box).
+  bool contains(const circuits::SpecVector& target) const;
+
+  // ---- regions -------------------------------------------------------------
+  // A region is one cell of the uniform bins-per-axis grid over the box.
+  // Degenerate axes contribute one bin, so region counts stay meaningful
+  // when some specs are pinned (PEX fixes phase margin at 60).
+
+  /// Bins on axis i for a nominal per-axis bin count (1 when degenerate).
+  int axis_bins(std::size_t i, int bins_per_axis) const;
+
+  /// Total region count: product of axis_bins over all axes.
+  int num_regions(int bins_per_axis) const;
+
+  /// Flat region index (mixed-radix over axes) of a target. Out-of-range
+  /// components clamp to the nearest bin, so slightly-outside targets
+  /// (e.g. hand-written ones) still map to a region.
+  int region_of(const circuits::SpecVector& target, int bins_per_axis) const;
+
+  /// Human-readable region label, e.g. "gain_vv[1/3] ugbw_hz[0/3]".
+  std::string region_name(int region, int bins_per_axis) const;
+
+  /// Bounds of `region` on axis i as a [lo, hi) sub-interval of the axis.
+  std::pair<double, double> region_axis_bounds(int region, std::size_t i,
+                                               int bins_per_axis) const;
+
+ private:
+  std::vector<circuits::SpecDef> specs_;
+};
+
+}  // namespace autockt::spec

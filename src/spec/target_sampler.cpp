@@ -1,0 +1,142 @@
+#include "spec/target_sampler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace autockt::spec {
+
+void TargetSampler::record_outcome(const circuits::SpecVector& /*target*/,
+                                   bool /*goal_met*/) {}
+
+// ---- UniformSampler ---------------------------------------------------------
+
+UniformSampler::UniformSampler(SpecSpace space) : space_(std::move(space)) {}
+
+circuits::SpecVector UniformSampler::sample(util::Rng& rng) {
+  circuits::SpecVector target;
+  target.reserve(space_.size());
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    target.push_back(rng.uniform(space_.lo(i), space_.hi(i)));
+  }
+  return target;
+}
+
+// ---- StratifiedSampler ------------------------------------------------------
+
+StratifiedSampler::StratifiedSampler(SpecSpace space, int strata)
+    : space_(std::move(space)), strata_(strata), cursor_(strata) {
+  if (strata_ < 1) {
+    throw std::invalid_argument("StratifiedSampler: strata must be >= 1");
+  }
+  perms_.assign(space_.size(), std::vector<int>(strata_, 0));
+}
+
+circuits::SpecVector StratifiedSampler::sample(util::Rng& rng) {
+  if (cursor_ >= strata_) {
+    // New cycle: an independent Fisher-Yates permutation of the strata per
+    // axis, drawn from the caller's stream (so the whole schedule replays
+    // deterministically for a fixed seed).
+    for (auto& perm : perms_) {
+      for (int s = 0; s < strata_; ++s) perm[static_cast<std::size_t>(s)] = s;
+      for (std::size_t i = perm.size(); i-- > 1;) {
+        std::swap(perm[i], perm[rng.bounded(i + 1)]);
+      }
+    }
+    cursor_ = 0;
+  }
+  circuits::SpecVector target;
+  target.reserve(space_.size());
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    const double w = space_.width(i);
+    if (w <= 0.0) {
+      target.push_back(space_.lo(i));
+      continue;
+    }
+    const int stratum = perms_[i][static_cast<std::size_t>(cursor_)];
+    const double step = w / static_cast<double>(strata_);
+    target.push_back(space_.lo(i) + (stratum + rng.uniform()) * step);
+  }
+  ++cursor_;
+  return target;
+}
+
+// ---- CurriculumSampler ------------------------------------------------------
+
+CurriculumSampler::CurriculumSampler(SpecSpace space, CurriculumConfig config)
+    : space_(std::move(space)), config_(config) {
+  if (config_.bins_per_axis < 1) {
+    throw std::invalid_argument(
+        "CurriculumSampler: bins_per_axis must be >= 1");
+  }
+  if (config_.ema_decay <= 0.0 || config_.ema_decay >= 1.0) {
+    throw std::invalid_argument(
+        "CurriculumSampler: ema_decay must be in (0, 1)");
+  }
+  const int n = space_.num_regions(config_.bins_per_axis);
+  ema_.assign(static_cast<std::size_t>(n), config_.prior_success);
+  seen_.assign(static_cast<std::size_t>(n), 0);
+}
+
+double CurriculumSampler::region_success(int region) const {
+  return ema_.at(static_cast<std::size_t>(region));
+}
+
+double CurriculumSampler::region_weight(int region) const {
+  const double p = ema_.at(static_cast<std::size_t>(region));
+  return config_.min_weight + 4.0 * p * (1.0 - p);
+}
+
+circuits::SpecVector CurriculumSampler::sample(util::Rng& rng) {
+  // Categorical draw over region weights (frozen during sampling).
+  double total = 0.0;
+  for (int r = 0; r < num_regions(); ++r) total += region_weight(r);
+  double u = rng.uniform() * total;
+  int region = num_regions() - 1;
+  for (int r = 0; r < num_regions(); ++r) {
+    u -= region_weight(r);
+    if (u < 0.0) {
+      region = r;
+      break;
+    }
+  }
+  // Uniform within the region's cell.
+  circuits::SpecVector target;
+  target.reserve(space_.size());
+  for (std::size_t i = 0; i < space_.size(); ++i) {
+    const auto [lo, hi] =
+        space_.region_axis_bounds(region, i, config_.bins_per_axis);
+    target.push_back(hi > lo ? rng.uniform(lo, hi) : lo);
+  }
+  return target;
+}
+
+void CurriculumSampler::record_outcome(const circuits::SpecVector& target,
+                                       bool goal_met) {
+  const std::size_t r = static_cast<std::size_t>(
+      space_.region_of(target, config_.bins_per_axis));
+  const double x = goal_met ? 1.0 : 0.0;
+  if (!seen_[r]) {
+    // First outcome replaces the prior instead of averaging against it, so
+    // a region's EMA reflects data as soon as data exists.
+    ema_[r] = x;
+    seen_[r] = 1;
+  } else {
+    ema_[r] = config_.ema_decay * ema_[r] + (1.0 - config_.ema_decay) * x;
+  }
+  ++outcomes_;
+}
+
+// ---- SuiteSampler -----------------------------------------------------------
+
+SuiteSampler::SuiteSampler(std::vector<circuits::SpecVector> targets)
+    : targets_(std::move(targets)) {
+  if (targets_.empty()) {
+    throw std::invalid_argument("SuiteSampler: no targets");
+  }
+}
+
+circuits::SpecVector SuiteSampler::sample(util::Rng& rng) {
+  return targets_[rng.bounded(targets_.size())];
+}
+
+}  // namespace autockt::spec

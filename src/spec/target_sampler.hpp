@@ -1,0 +1,157 @@
+#pragma once
+// Target samplers: pluggable strategies for drawing training/deployment
+// target specifications from a SpecSpace.
+//
+// The paper samples targets uniformly; related work shows the sampling
+// strategy itself matters — Cao et al. (2202.13185) order targets by
+// difficulty, Wang et al. (1812.02734) re-sample per episode to force
+// robustness. This interface makes the strategy a first-class, swappable
+// component:
+//
+//  * UniformSampler     — independent uniform per axis; bitwise-compatible
+//    with the historical env::sample_target() stream for a fixed seed.
+//  * StratifiedSampler  — Latin-hypercube-style coverage: every cycle of
+//    `strata` consecutive samples visits every stratum of every axis exactly
+//    once, so N = strata draws provably cover all spec axes. Stateful
+//    (cycle cursor + per-axis permutations): drive it sequentially — it is
+//    the suite *generator*, not a concurrent training sampler.
+//  * CurriculumSampler  — maintains a success-rate EMA per SpecSpace region
+//    (fed by record_outcome) and biases sampling toward the frontier:
+//    regions that are neither reliably solved nor hopeless. Sampling reads
+//    a frozen weight table, so concurrent sample() calls are safe as long
+//    as record_outcome() is not concurrent with them (the PPO trainer
+//    replays buffered outcomes between iterations, in deterministic lane
+//    order — see rl/ppo.cpp).
+//  * SuiteSampler       — uniform over a fixed target list (the paper's "50
+//    sampled target specifications" training protocol).
+//
+// Determinism contract (asserted in tests/test_spec.cpp): sample() consumes
+// only the caller's Rng, and record_outcome() is a deterministic state
+// update, so any sampler driven by a fixed-seed Rng with a fixed outcome
+// sequence reproduces its target stream bitwise.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/sizing_problem.hpp"
+#include "spec/spec_space.hpp"
+#include "util/rng.hpp"
+
+namespace autockt::spec {
+
+class TargetSampler {
+ public:
+  virtual ~TargetSampler() = default;
+
+  /// Draw one target using the caller's RNG stream.
+  virtual circuits::SpecVector sample(util::Rng& rng) = 0;
+
+  /// Episode feedback: `target` was attempted, the goal was (not) met.
+  /// Default no-op; CurriculumSampler updates its region statistics. Never
+  /// call concurrently with sample() (see header comment).
+  virtual void record_outcome(const circuits::SpecVector& target,
+                              bool goal_met);
+
+  /// True when concurrent sample() calls (no concurrent record_outcome)
+  /// are safe AND produce per-stream-deterministic draws — required for
+  /// multi-worker PPO collection. Stateful generators return false.
+  virtual bool concurrent_sampling_safe() const { return true; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Independent uniform draw per spec axis. For a fixed seed this reproduces
+/// the historical env::sample_target() stream bitwise (one rng.uniform(lo,
+/// hi) per spec, in spec order).
+class UniformSampler : public TargetSampler {
+ public:
+  explicit UniformSampler(SpecSpace space);
+  circuits::SpecVector sample(util::Rng& rng) override;
+  std::string name() const override { return "uniform"; }
+  const SpecSpace& space() const { return space_; }
+
+ private:
+  SpecSpace space_;
+};
+
+/// Latin-hypercube-style stratified sampling: each axis is split into
+/// `strata` equal sub-intervals; every cycle of `strata` consecutive draws
+/// visits each sub-interval of each axis exactly once (independent random
+/// permutation per axis per cycle, jittered uniformly within the stratum).
+/// Degenerate axes (lo == hi) always return their pinned value.
+class StratifiedSampler : public TargetSampler {
+ public:
+  StratifiedSampler(SpecSpace space, int strata);
+  circuits::SpecVector sample(util::Rng& rng) override;
+  bool concurrent_sampling_safe() const override { return false; }
+  std::string name() const override { return "stratified"; }
+  int strata() const { return strata_; }
+
+ private:
+  SpecSpace space_;
+  int strata_;
+  int cursor_;                                // position within the cycle
+  std::vector<std::vector<int>> perms_;       // per-axis stratum order
+};
+
+struct CurriculumConfig {
+  int bins_per_axis = 3;    // SpecSpace region granularity
+  double ema_decay = 0.9;   // success-rate EMA per region
+  /// Sampling weight floor: every region keeps at least this weight so no
+  /// cell is starved (coverage never collapses onto the frontier alone).
+  double min_weight = 0.1;
+  /// Regions with no recorded outcome yet use this prior success rate
+  /// (0.5 = maximal frontier weight, encouraging initial coverage).
+  double prior_success = 0.5;
+};
+
+/// Frontier-biased curriculum: per-region success EMAs (from episode
+/// outcomes) shape a categorical distribution over regions with weight
+///   w_r = min_weight + 4 * ema_r * (1 - ema_r),
+/// peaking where the agent succeeds about half the time — the learning
+/// frontier — and decaying for both mastered and hopeless regions. A draw
+/// picks a region from the frozen weights, then samples uniformly inside
+/// its cell. Both steps consume only the caller's Rng, so the decision
+/// stream replays deterministically for a fixed seed and outcome sequence.
+class CurriculumSampler : public TargetSampler {
+ public:
+  explicit CurriculumSampler(SpecSpace space, CurriculumConfig config = {});
+  circuits::SpecVector sample(util::Rng& rng) override;
+  void record_outcome(const circuits::SpecVector& target,
+                      bool goal_met) override;
+  std::string name() const override { return "curriculum"; }
+
+  int num_regions() const { return static_cast<int>(ema_.size()); }
+  /// Success-rate EMA for one region (prior_success until first outcome).
+  double region_success(int region) const;
+  /// Current sampling weight of one region.
+  double region_weight(int region) const;
+  long outcomes_recorded() const { return outcomes_; }
+  const SpecSpace& space() const { return space_; }
+  const CurriculumConfig& config() const { return config_; }
+
+ private:
+  SpecSpace space_;
+  CurriculumConfig config_;
+  std::vector<double> ema_;        // per-region success EMA
+  std::vector<char> seen_;         // region has at least one outcome
+  long outcomes_ = 0;
+};
+
+/// Uniform choice from a fixed target list — the paper's training protocol
+/// (sample 50 targets once, then pick uniformly per episode). For a fixed
+/// seed the index stream is rng.bounded(size()), matching the historical
+/// inline lambda in rl/ppo.cpp bitwise.
+class SuiteSampler : public TargetSampler {
+ public:
+  explicit SuiteSampler(std::vector<circuits::SpecVector> targets);
+  circuits::SpecVector sample(util::Rng& rng) override;
+  std::string name() const override { return "suite"; }
+  std::size_t size() const { return targets_.size(); }
+
+ private:
+  std::vector<circuits::SpecVector> targets_;
+};
+
+}  // namespace autockt::spec

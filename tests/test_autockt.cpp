@@ -145,6 +145,85 @@ TEST(AutoCkt, StochasticDeploymentAlsoWorks) {
   EXPECT_GT(stats.reach_fraction(), 0.5);
 }
 
+TEST(AutoCkt, TrainAgentProducesSuitesAndHoldoutProbe) {
+  auto prob = synth();
+  auto config = small_config();
+  config.holdout_target_count = 10;
+  config.holdout_interval = 3;
+  auto outcome = core::train_agent(prob, config);
+
+  EXPECT_EQ(outcome.train_suite.size(), outcome.train_targets.size());
+  EXPECT_EQ(outcome.train_suite.targets(), outcome.train_targets);
+  ASSERT_EQ(outcome.holdout_suite.size(), 10u);
+  EXPECT_EQ(outcome.holdout_suite.name(), "synthetic/holdout");
+  // The probe ran and landed in [0, 1].
+  EXPECT_GE(outcome.history.final_holdout_goal_rate, 0.0);
+  EXPECT_LE(outcome.history.final_holdout_goal_rate, 1.0);
+  // A trained agent on this easy problem generalizes to the holdout.
+  EXPECT_GT(outcome.history.final_holdout_goal_rate, 0.5);
+}
+
+TEST(AutoCkt, HoldoutSuiteIsInvariantUnderTrainingSeed) {
+  auto prob = synth();
+  auto config = small_config();
+  config.ppo.max_iterations = 1;  // the suites are fixed before training
+  config.holdout_target_count = 8;
+  auto a = core::train_agent(prob, config);
+  config.seed = config.seed + 1234;
+  auto b = core::train_agent(prob, config);
+  EXPECT_EQ(a.holdout_suite, b.holdout_suite);
+  // ...while the training targets DO follow the training seed.
+  EXPECT_NE(a.train_targets, b.train_targets);
+}
+
+TEST(AutoCkt, EvaluateGeneralizationReportsBothSuites) {
+  auto prob = synth();
+  auto config = small_config();
+  config.holdout_target_count = 10;
+  auto outcome = core::train_agent(prob, config);
+  const auto report = core::evaluate_generalization(
+      outcome.agent, prob, outcome.train_suite, outcome.holdout_suite,
+      config.env_config);
+  EXPECT_EQ(report.train.total(),
+            static_cast<int>(outcome.train_suite.size()));
+  EXPECT_EQ(report.holdout.total(), 10);
+  EXPECT_EQ(report.train_suite_name, "synthetic/train");
+  EXPECT_EQ(report.holdout_suite_name, "synthetic/holdout");
+  EXPECT_GT(report.train_goal_rate(), 0.5);
+  EXPECT_GT(report.holdout_goal_rate(), 0.5);
+  EXPECT_NEAR(report.gap(),
+              report.train_goal_rate() - report.holdout_goal_rate(), 1e-12);
+}
+
+TEST(AutoCkt, CurriculumTrainingReachesHoldoutTargets) {
+  auto prob = synth();
+  auto config = small_config();
+  config.sampling = core::AutoCktConfig::Sampling::Curriculum;
+  config.holdout_target_count = 10;
+  auto outcome = core::train_agent(prob, config);
+  EXPECT_TRUE(outcome.train_targets.empty());  // no fixed set under curriculum
+  EXPECT_GE(outcome.history.final_holdout_goal_rate, 0.5);
+}
+
+TEST(Experiments, DeploySuiteIsSharedAcrossMethods) {
+  auto prob = synth();
+  const auto suite = core::make_deploy_suite(*prob, 12, 0xabc);
+  EXPECT_EQ(suite.name(), "synthetic/deploy");
+  ASSERT_EQ(suite.size(), 12u);
+  // Same (problem, count, seed) -> byte-identical suite in any process.
+  EXPECT_EQ(core::make_deploy_suite(*prob, 12, 0xabc), suite);
+
+  // GA and the random agent consume the same suite the RL deployment uses.
+  baselines::GaConfig ga;
+  ga.max_evals = 1500;
+  const auto ga_agg = core::run_ga_over_suite(*prob, suite.head(3), ga, {10});
+  EXPECT_EQ(ga_agg.targets, 3);
+  env::EnvConfig env_config;
+  const auto rand_agg =
+      core::run_random_over_suite(prob, suite, env_config, 3);
+  EXPECT_EQ(rand_agg.targets, 12);
+}
+
 TEST(Experiments, PaperEquivalentHours) {
   EXPECT_NEAR(core::paper_equivalent_hours(3600.0, 1.0), 1.0, 1e-12);
   EXPECT_NEAR(core::paper_equivalent_hours(40 * 23, 91.0), 23.26, 0.05);

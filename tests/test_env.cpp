@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "env/sizing_env.hpp"
+#include "spec/spec_space.hpp"
 #include "test_helpers.hpp"
 
 using namespace autockt;
@@ -116,6 +117,8 @@ TEST(SizingEnv, RewardImprovesWhenMovingTowardTarget) {
   EXPECT_GT(r1, r0);
 }
 
+// ---- reward paths (Eq. 1 shaping vs sparse ablation, goal_bonus plumbing) --
+
 TEST(SizingEnv, SparseRewardAblation) {
   EnvConfig config;
   config.eq1_shaping = false;
@@ -124,6 +127,110 @@ TEST(SizingEnv, SparseRewardAblation) {
   env.reset();
   auto sr = env.step({1, 1, 1});
   EXPECT_NEAR(sr.reward, -1.0 / config.horizon, 1e-12);
+}
+
+TEST(SizingEnv, SparseRewardPaysExactlyTheBonusOnGoal) {
+  EnvConfig config;
+  config.eq1_shaping = false;
+  config.goal_bonus = 7.5;  // non-default: pins the plumbing
+  SizingEnv env(synth(), config);
+  env.set_target({9.0, 6.0, 1.6});  // the centre already satisfies these
+  env.reset();
+  auto sr = env.step({1, 1, 1});
+  ASSERT_TRUE(sr.goal_met);
+  // Sparse path: no Eq. 1 shaping term, the terminal reward IS the bonus.
+  EXPECT_DOUBLE_EQ(sr.reward, 7.5);
+}
+
+TEST(SizingEnv, Eq1RewardIsBonusPlusEq1OnGoal) {
+  auto prob = synth();
+  EnvConfig config;
+  config.goal_bonus = 3.25;  // non-default
+  SizingEnv env(prob, config);
+  const circuits::SpecVector target{9.0, 6.0, 1.6};
+  env.set_target(target);
+  env.reset();
+  auto sr = env.step({1, 1, 1});
+  ASSERT_TRUE(sr.goal_met);
+  // Terminal reward is the paper's "bonus + r" with the full Eq. 1 value
+  // (whose unclamped minimize term rewards finishing below budget).
+  EXPECT_DOUBLE_EQ(sr.reward,
+                   3.25 + prob->reward_eq1(env.cur_specs(), target));
+}
+
+TEST(SizingEnv, Eq1NonTerminalRewardIsClampedViolationSum) {
+  auto prob = synth();
+  SizingEnv env(prob, EnvConfig{});
+  const circuits::SpecVector target{11.5, 4.2, 1.1};  // not met
+  env.set_target(target);
+  env.reset();
+  auto sr = env.step({1, 1, 1});
+  ASSERT_FALSE(sr.goal_met);
+  EXPECT_DOUBLE_EQ(sr.reward, prob->hard_violation(env.cur_specs(), target));
+}
+
+TEST(SizingEnv, SparseAndEq1PathsDifferOnlyInShaping) {
+  // Same trajectory, two reward configs: goal step pays bonus(+eq1) in
+  // both; non-goal steps pay the clamped violation vs the step penalty.
+  auto prob = synth();
+  EnvConfig eq1;
+  EnvConfig sparse;
+  sparse.eq1_shaping = false;
+  SizingEnv env_a(prob, eq1), env_b(prob, sparse);
+  const circuits::SpecVector target{11.5, 4.2, 1.1};
+  env_a.set_target(target);
+  env_b.set_target(target);
+  env_a.reset();
+  env_b.reset();
+  for (int i = 0; i < 4; ++i) {
+    auto ra = env_a.step({2, 2, 2});
+    auto rb = env_b.step({2, 2, 2});
+    ASSERT_EQ(ra.goal_met, rb.goal_met);  // reward shaping never moves state
+    if (ra.goal_met) break;
+    EXPECT_LE(ra.reward, 0.0);
+    EXPECT_DOUBLE_EQ(rb.reward, -1.0 / sparse.horizon);
+  }
+}
+
+// ---- env-attached target samplers ------------------------------------------
+
+TEST(SizingEnv, SamplerResamplesTargetEveryReset) {
+  auto prob = synth();
+  SizingEnv env(prob, EnvConfig{});
+  auto sampler = std::make_shared<spec::UniformSampler>(
+      spec::SpecSpace(*prob));
+  env.set_target_sampler(sampler, /*seed=*/42);
+  env.reset();
+  const auto t1 = env.target();
+  env.reset();
+  const auto t2 = env.target();
+  EXPECT_NE(t1, t2);
+  // Reseeding the sampler stream reproduces the draw sequence.
+  SizingEnv env2(prob, EnvConfig{});
+  env2.set_target_sampler(sampler, /*seed=*/42);
+  env2.reset();
+  EXPECT_EQ(env2.target(), t1);
+  env2.reset();
+  EXPECT_EQ(env2.target(), t2);
+}
+
+TEST(SizingEnv, ReportsEpisodeOutcomesToSampler) {
+  auto prob = synth();
+  EnvConfig config;
+  config.horizon = 3;
+  SizingEnv env(prob, config);
+  auto curriculum = std::make_shared<spec::CurriculumSampler>(
+      spec::SpecSpace(*prob));
+  env.set_target_sampler(curriculum, 7);
+  env.reset();
+  long episodes = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (env.step({1, 1, 1}).done) {
+      ++episodes;
+      env.reset();
+    }
+  }
+  EXPECT_EQ(curriculum->outcomes_recorded(), episodes);
 }
 
 TEST(SizingEnv, SimulationCounting) {
@@ -152,9 +259,11 @@ TEST(SizingEnv, FailedEvaluationsFallBackToFailSpecs) {
   EXPECT_LT(sr.reward, 0.0);
 }
 
-TEST(SizingEnv, DefaultTargetIsRangeMidpoint) {
+TEST(SizingEnv, DefaultTargetIsSpecSpaceMidpoint) {
   auto prob = synth();
   SizingEnv env(prob, EnvConfig{});
+  // Derived from SpecSpace, not hand-rolled: bitwise equal by construction.
+  EXPECT_EQ(env.target(), spec::SpecSpace(*prob).midpoint());
   for (std::size_t i = 0; i < prob->specs.size(); ++i) {
     EXPECT_NEAR(env.target()[i],
                 0.5 * (prob->specs[i].sample_lo + prob->specs[i].sample_hi),

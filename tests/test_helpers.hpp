@@ -1,58 +1,14 @@
 #pragma once
-// Shared helpers for the test suite: a cheap synthetic sizing problem (no
-// circuit simulation) so that environment/RL/baseline logic can be tested in
-// milliseconds, plus tolerance helpers.
-
-#include <cmath>
-#include <vector>
+// Shared helpers for the test suite. The cheap synthetic sizing problem
+// lives in the library now (circuits/synthetic.hpp) so the CI smoke benches
+// can drive the same problem; this header keeps the historical
+// test_support:: spelling for the tests.
 
 #include "circuits/sizing_problem.hpp"
+#include "circuits/synthetic.hpp"
 
 namespace autockt::test_support {
 
-/// Synthetic problem: params form a grid [0, K-1]^N; specs are smooth
-/// monotone functions of the normalized parameters:
-///   spec0 ("sum")  = 10 + sum of normalized params          (GreaterEq)
-///   spec1 ("prod") = 5 - mean of normalized params          (LessEq)
-///   spec2 ("power")= 1 + 0.5 * mean of |normalized params|  (Minimize)
-/// All three are exactly reachable from the grid centre within a few steps,
-/// which makes RL/GA convergence tests fast and deterministic.
-inline circuits::SizingProblem make_synthetic_problem(int n_params = 3,
-                                                      int grid = 21) {
-  circuits::SizingProblem prob;
-  prob.name = "synthetic";
-  prob.description = "synthetic smooth sizing problem for tests";
-  for (int i = 0; i < n_params; ++i) {
-    prob.params.push_back({"p" + std::to_string(i), 0.0,
-                           static_cast<double>(grid - 1), 1.0});
-  }
-  // Sampling ranges are chosen to be jointly feasible: "diff" <= t needs
-  // sum(x) >= 3*(5 - t) and "power" <= t allows mean|x| <= 2*(t - 1); the
-  // ranges below keep those bands overlapping for every target draw.
-  prob.specs = {
-      {"sum", circuits::SpecSense::GreaterEq, 9.5, 11.0, 10.0, 0.0},
-      {"diff", circuits::SpecSense::LessEq, 4.6, 5.4, 5.0, 100.0},
-      {"power", circuits::SpecSense::Minimize, 1.25, 1.5, 1.35, 100.0},
-  };
-  const auto params = prob.params;
-  prob.set_evaluator(
-      [params](const circuits::ParamVector& idx)
-          -> util::Expected<circuits::SpecVector> {
-        double sum = 0.0, mean_abs = 0.0;
-        for (std::size_t i = 0; i < idx.size(); ++i) {
-          const double hi = params[i].end;
-          const double x =
-              2.0 * static_cast<double>(idx[i]) / hi - 1.0;  // [-1,1]
-          sum += x;
-          mean_abs += std::fabs(x);
-        }
-        const double n = static_cast<double>(idx.size());
-        return circuits::SpecVector{10.0 + sum, 5.0 - sum / n,
-                                    1.0 + 0.5 * mean_abs / n};
-      },
-      "synthetic");
-  prob.paper_sim_seconds = 0.001;
-  return prob;
-}
+using circuits::make_synthetic_problem;
 
 }  // namespace autockt::test_support

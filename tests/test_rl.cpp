@@ -66,7 +66,8 @@ TEST(PpoAgent, TrainRejectsEmptyTargets) {
   rl::PpoConfig config;
   rl::PpoAgent agent(9, 3, config);
   auto prob = synth();
-  EXPECT_THROW(agent.train([prob] { return env::SizingEnv(prob, {}); }, {}),
+  EXPECT_THROW(agent.train([prob] { return env::SizingEnv(prob, {}); },
+                           std::vector<SpecVector>{}),
                std::invalid_argument);
 }
 
@@ -248,6 +249,207 @@ TEST(PpoAgent, TrajectoriesInvariantUnderWorkerLaneSplit) {
     EXPECT_EQ(h14.iterations[i].cumulative_env_steps,
               h41.iterations[i].cumulative_env_steps);
   }
+}
+
+// ---- spec-scenario training (TrainOptions: sampler + holdout suite) --------
+
+TEST(PpoAgent, SamplerApiMatchesLegacyTargetListBitwise) {
+  // train(factory, targets) and train(factory, {SuiteSampler(targets)})
+  // must collect identical trajectories: the suite sampler consumes the
+  // lane RNG exactly like the historical inline pick.
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+  util::Rng rng(7);
+  const auto targets = env::sample_targets(*prob, 10, rng);
+
+  auto run = [&](bool use_options) {
+    env::SizingEnv probe(prob, env_config);
+    rl::PpoConfig config = small_config();
+    config.max_iterations = 3;
+    rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+    auto factory = [prob, env_config] {
+      return env::SizingEnv(prob, env_config);
+    };
+    if (!use_options) return agent.train(factory, targets);
+    rl::TrainOptions options;
+    options.sampler = std::make_shared<spec::SuiteSampler>(targets);
+    return agent.train(factory, options);
+  };
+  const auto legacy = run(false);
+  const auto sampled = run(true);
+  ASSERT_EQ(legacy.iterations.size(), sampled.iterations.size());
+  for (std::size_t i = 0; i < legacy.iterations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy.iterations[i].mean_episode_reward,
+                     sampled.iterations[i].mean_episode_reward);
+    EXPECT_DOUBLE_EQ(legacy.iterations[i].policy_loss,
+                     sampled.iterations[i].policy_loss);
+  }
+}
+
+TEST(PpoAgent, HoldoutProbeRunsAtIntervalAndOnFinalIteration) {
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+  env::SizingEnv probe(prob, env_config);
+  rl::PpoConfig config = small_config();
+  config.max_iterations = 5;
+  config.target_mean_reward = 1e9;  // no early stop
+  config.target_goal_rate = 2.0;
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+
+  const spec::SpecSpace space(*prob);
+  auto suites = spec::make_train_holdout_suites(space, 12, 6, 0xfeed, "t");
+  rl::TrainOptions options;
+  options.sampler =
+      std::make_shared<spec::SuiteSampler>(suites.train.targets());
+  options.holdout = suites.holdout;
+  options.holdout_interval = 2;
+
+  const auto history = agent.train(
+      [prob, env_config] { return env::SizingEnv(prob, env_config); },
+      options);
+  ASSERT_EQ(history.iterations.size(), 5u);
+  // Interval pattern: iterations 0, 2, 4 probe; 4 is also the final one.
+  const std::vector<bool> expect_probe{true, false, true, false, true};
+  for (std::size_t i = 0; i < history.iterations.size(); ++i) {
+    EXPECT_EQ(history.iterations[i].holdout_evaluated, expect_probe[i])
+        << "iteration " << i;
+    if (expect_probe[i]) {
+      EXPECT_GE(history.iterations[i].holdout_goal_rate, 0.0);
+      EXPECT_LE(history.iterations[i].holdout_goal_rate, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(history.iterations[i].holdout_goal_rate, -1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(history.final_holdout_goal_rate,
+                   history.iterations.back().holdout_goal_rate);
+}
+
+TEST(PpoAgent, HoldoutProbeDoesNotPerturbTraining) {
+  // The probe interleaves greedy holdout rollouts with collection on the
+  // shared backend; trajectories (and thus learned stats) must not move.
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+  util::Rng rng(7);
+  const auto targets = env::sample_targets(*prob, 10, rng);
+
+  auto run = [&](std::size_t holdout_count) {
+    env::SizingEnv probe(prob, env_config);
+    rl::PpoConfig config = small_config();
+    config.max_iterations = 3;
+    rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+    rl::TrainOptions options;
+    options.sampler = std::make_shared<spec::SuiteSampler>(targets);
+    if (holdout_count > 0) {
+      const spec::SpecSpace space(*prob);
+      spec::StratifiedSampler stratified(
+          space, static_cast<int>(holdout_count));
+      options.holdout = spec::SpecSuite::generate(
+          space, stratified, holdout_count, 0xcafe, "probe");
+      options.holdout_interval = 1;
+    }
+    return agent.train(
+        [prob, env_config] { return env::SizingEnv(prob, env_config); },
+        options);
+  };
+  const auto without = run(0);
+  const auto with = run(8);
+  ASSERT_EQ(without.iterations.size(), with.iterations.size());
+  for (std::size_t i = 0; i < without.iterations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(without.iterations[i].mean_episode_reward,
+                     with.iterations[i].mean_episode_reward);
+    EXPECT_DOUBLE_EQ(without.iterations[i].value_loss,
+                     with.iterations[i].value_loss);
+  }
+}
+
+TEST(PpoAgent, CurriculumTrainingIsSeedReproducible) {
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+  auto run = [&] {
+    env::SizingEnv probe(prob, env_config);
+    rl::PpoConfig config = small_config();
+    config.max_iterations = 3;
+    rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+    rl::TrainOptions options;
+    options.sampler = std::make_shared<spec::CurriculumSampler>(
+        spec::SpecSpace(*prob));
+    return agent.train(
+        [prob, env_config] { return env::SizingEnv(prob, env_config); },
+        options);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.iterations[i].mean_episode_reward,
+                     b.iterations[i].mean_episode_reward);
+    EXPECT_DOUBLE_EQ(a.iterations[i].policy_loss, b.iterations[i].policy_loss);
+  }
+}
+
+TEST(PpoAgent, CurriculumLearnsFromOutcomes) {
+  // After training on the synthetic problem, the curriculum must have
+  // digested one outcome per collected episode.
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+  env::SizingEnv probe(prob, env_config);
+  rl::PpoConfig config = small_config();
+  config.max_iterations = 2;
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), config);
+  auto curriculum = std::make_shared<spec::CurriculumSampler>(
+      spec::SpecSpace(*prob));
+  rl::TrainOptions options;
+  options.sampler = curriculum;
+  const auto history = agent.train(
+      [prob, env_config] { return env::SizingEnv(prob, env_config); },
+      options);
+  EXPECT_GT(curriculum->outcomes_recorded(), 0);
+  EXPECT_GT(history.total_env_steps, 0);
+}
+
+TEST(PpoAgent, RejectsSequentialSamplerWithMultipleWorkers) {
+  auto prob = synth();
+  rl::PpoConfig config = small_config();
+  ASSERT_GT(config.num_workers, 1);
+  rl::PpoAgent agent(9, 3, config);
+  rl::TrainOptions options;
+  options.sampler =
+      std::make_shared<spec::StratifiedSampler>(spec::SpecSpace(*prob), 8);
+  EXPECT_THROW(
+      agent.train([prob] { return env::SizingEnv(prob, {}); }, options),
+      std::invalid_argument);
+}
+
+TEST(PpoAgent, RejectsMissingSampler) {
+  auto prob = synth();
+  rl::PpoAgent agent(9, 3, small_config());
+  EXPECT_THROW(
+      agent.train([prob] { return env::SizingEnv(prob, {}); },
+                  rl::TrainOptions{}),
+      std::invalid_argument);
+}
+
+TEST(PpoAgent, EvaluateGoalRateIsLaneCountInvariant) {
+  auto prob = synth();
+  env::EnvConfig env_config;
+  env_config.horizon = 10;
+  env::SizingEnv probe(prob, env_config);
+  rl::PpoAgent agent(probe.obs_size(), probe.num_params(), small_config());
+  util::Rng rng(3);
+  const auto targets = env::sample_targets(*prob, 11, rng);
+  auto factory = [prob, env_config] {
+    return env::SizingEnv(prob, env_config);
+  };
+  const double r1 = agent.evaluate_goal_rate(factory, targets, 1);
+  const double r4 = agent.evaluate_goal_rate(factory, targets, 4);
+  const double r16 = agent.evaluate_goal_rate(factory, targets, 16);
+  EXPECT_DOUBLE_EQ(r1, r4);
+  EXPECT_DOUBLE_EQ(r1, r16);
 }
 
 TEST(PpoAgent, SingleWorkerMatchesConfig) {
