@@ -65,7 +65,9 @@ int main(int argc, char** argv) {
   std::printf("%zu nodes, %zu devices\n\n", deck.circuit.num_nodes() - 1,
               deck.circuit.devices().size());
 
-  auto op = solve_op(deck.circuit);
+  DcOptions dc_opt;
+  dc_opt.initial_node_v = deck.initial_node_voltages();
+  auto op = solve_op(deck.circuit, dc_opt);
   if (!op.ok()) {
     std::fprintf(stderr, "DC failed: %s\n", op.error().message.c_str());
     return 1;

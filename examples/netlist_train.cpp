@@ -1,0 +1,195 @@
+// Registry-driven trainer: pick any sizing scenario — a built-in circuit or
+// a .cir deck with .param/.spec/.measure sizing declarations — train an
+// AutoCkt agent on it, and report the train-vs-holdout generalization
+// scorecard. The whole point: a new circuit is a file drop, not a C++
+// change.
+//
+// Usage:
+//   netlist_train --problem <name|path.cir>  train + scorecard
+//   netlist_train --list                     show registered scenarios
+//   netlist_train --problem X --characterize evaluate the grid centre only
+//   netlist_train --problem X --sweep N      specs over N random designs
+//
+// Options: --decks <dir> (extra scenario directory, default examples/decks
+// when present), --iterations --steps --horizon --seed --train-targets
+// --holdout --curriculum --stochastic.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autockt/autockt.hpp"
+#include "circuits/registry.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace autockt;
+
+namespace {
+
+void print_problem(const circuits::SizingProblem& prob) {
+  std::printf("problem %s: %s\n", prob.name.c_str(),
+              prob.description.c_str());
+  std::printf("  action space: 10^%.1f designs over %zu parameters\n",
+              prob.action_space_log10(), prob.params.size());
+  for (const auto& p : prob.params) {
+    std::printf("    %-12s [%g, %g] x%d\n", p.name.c_str(), p.start, p.end,
+                p.grid_size());
+  }
+  for (const auto& s : prob.specs) {
+    const char* sense = s.sense == circuits::SpecSense::GreaterEq ? ">="
+                        : s.sense == circuits::SpecSense::LessEq  ? "<="
+                                                                  : "min";
+    std::printf("    %-18s %s targets in [%g, %g]\n", s.name.c_str(), sense,
+                s.sample_lo, s.sample_hi);
+  }
+}
+
+int characterize(const circuits::SizingProblem& prob) {
+  auto specs = prob.evaluate(prob.center_params());
+  if (!specs.ok()) {
+    std::fprintf(stderr, "grid-centre evaluation failed: %s\n",
+                 specs.error().message.c_str());
+    return 1;
+  }
+  std::printf("  grid centre:\n");
+  for (std::size_t i = 0; i < prob.specs.size(); ++i) {
+    std::printf("    %-18s = %.6g\n", prob.specs[i].name.c_str(),
+                (*specs)[i]);
+  }
+  return 0;
+}
+
+int sweep(const circuits::SizingProblem& prob, int count,
+          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> observed(prob.specs.size());
+  int failures = 0;
+  for (int n = 0; n < count; ++n) {
+    circuits::ParamVector p(prob.params.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p[i] = static_cast<int>(
+          rng.bounded(static_cast<std::uint64_t>(prob.params[i].grid_size())));
+    }
+    auto specs = prob.evaluate(p);
+    if (!specs.ok()) {
+      ++failures;
+      continue;
+    }
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      observed[i].push_back((*specs)[i]);
+    }
+  }
+  std::printf("  %d random designs (%d simulation failures):\n", count,
+              failures);
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    auto& v = observed[i];
+    if (v.empty()) continue;
+    std::sort(v.begin(), v.end());
+    std::printf("    %-18s min %.4g  p25 %.4g  median %.4g  p75 %.4g  "
+                "max %.4g\n",
+                prob.specs[i].name.c_str(), v.front(), v[v.size() / 4],
+                v[v.size() / 2], v[3 * v.size() / 4], v.back());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+
+  circuits::CircuitRegistry registry =
+      circuits::CircuitRegistry::with_builtins();
+  const std::string decks_dir = args.get("decks", "examples/decks");
+  if (std::filesystem::is_directory(decks_dir)) {
+    auto registered = registry.add_deck_dir(decks_dir);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "deck scan failed: %s\n",
+                   registered.error().message.c_str());
+      return 1;
+    }
+  }
+
+  if (args.get_bool("list")) {
+    std::printf("registered scenarios:\n");
+    for (const std::string& name : registry.names()) {
+      std::printf("  %-18s %s\n", name.c_str(),
+                  registry.description(name).c_str());
+    }
+    return 0;
+  }
+
+  const std::string scenario = args.get("problem", "");
+  if (scenario.empty()) {
+    std::fprintf(stderr,
+                 "usage: netlist_train --problem <name|path.cir> "
+                 "[--list] [--characterize] [--sweep N]\n");
+    return 1;
+  }
+
+  auto problem = registry.make_shared(scenario);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "%s\n", problem.error().message.c_str());
+    return 1;
+  }
+  print_problem(**problem);
+
+  if (args.get_bool("characterize")) return characterize(**problem);
+  if (args.has("sweep")) {
+    return sweep(**problem, static_cast<int>(args.get_int("sweep", 64)),
+                 static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  }
+
+  core::AutoCktConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  config.env_config.horizon = static_cast<int>(args.get_int("horizon", 40));
+  config.ppo.max_iterations =
+      static_cast<int>(args.get_int("iterations", 30));
+  config.ppo.steps_per_iteration =
+      static_cast<int>(args.get_int("steps", 1000));
+  config.ppo.target_mean_reward = args.get_double("stop_reward", 9.0);
+  config.train_target_count =
+      static_cast<std::size_t>(args.get_int("train-targets", 50));
+  config.holdout_target_count =
+      static_cast<std::size_t>(args.get_int("holdout", 20));
+  if (args.get_bool("curriculum")) {
+    config.sampling = core::AutoCktConfig::Sampling::Curriculum;
+  }
+
+  std::printf("\ntraining on %s ...\n", (*problem)->name.c_str());
+  auto outcome =
+      core::train_agent(*problem, config, [](const rl::IterationStats& s) {
+        std::printf("iter %3d  steps %7ld  mean_ep_reward %8.3f  "
+                    "goal_rate %.2f",
+                    s.iteration, s.cumulative_env_steps,
+                    s.mean_episode_reward, s.goal_rate);
+        if (s.holdout_evaluated) {
+          std::printf("  holdout_goal_rate %.2f", s.holdout_goal_rate);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+      });
+
+  // Train-vs-holdout scorecard on the frozen suites (paper Figs. 8/12).
+  const auto report = core::evaluate_generalization(
+      outcome.agent, *problem, outcome.train_suite, outcome.holdout_suite,
+      config.env_config, config.seed + 1);
+  std::printf("\ngeneralization scorecard for %s:\n",
+              (*problem)->name.c_str());
+  std::printf("  %-28s goal rate %.2f  (%d/%d, avg steps %.1f)\n",
+              report.train_suite_name.c_str(), report.train_goal_rate(),
+              report.train.reached_count(), report.train.total(),
+              report.train.avg_steps_reached());
+  std::printf("  %-28s goal rate %.2f  (%d/%d, avg steps %.1f)\n",
+              report.holdout_suite_name.c_str(), report.holdout_goal_rate(),
+              report.holdout.reached_count(), report.holdout.total(),
+              report.holdout.avg_steps_reached());
+  std::printf("  generalization gap %.2f\n", report.gap());
+  return 0;
+}

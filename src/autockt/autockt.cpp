@@ -61,6 +61,17 @@ TrainOutcome train_agent(
                       std::move(holdout_suite)};
 }
 
+util::Expected<ScenarioTrainOutcome> train_agent(
+    const circuits::CircuitRegistry& registry, const std::string& scenario,
+    const circuits::ProblemOptions& problem_options,
+    const AutoCktConfig& config,
+    const std::function<void(const rl::IterationStats&)>& on_iteration) {
+  auto problem = registry.make_shared(scenario, problem_options);
+  if (!problem.ok()) return problem.error();
+  TrainOutcome outcome = train_agent(*problem, config, on_iteration);
+  return ScenarioTrainOutcome{std::move(*problem), std::move(outcome)};
+}
+
 int DeployStats::reached_count() const {
   int n = 0;
   for (const auto& r : records) n += r.reached ? 1 : 0;

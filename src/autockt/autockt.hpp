@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "circuits/registry.hpp"
 #include "circuits/sizing_problem.hpp"
 #include "env/sizing_env.hpp"
 #include "env/vector_env.hpp"
@@ -58,6 +59,21 @@ struct TrainOutcome {
 /// Train an agent on the given problem (paper Fig. 3, training half).
 TrainOutcome train_agent(
     std::shared_ptr<const circuits::SizingProblem> problem,
+    const AutoCktConfig& config,
+    const std::function<void(const rl::IterationStats&)>& on_iteration = {});
+
+/// Registry-driven form: resolve `scenario` — a registered circuit name or
+/// a path to a .cir deck — through the registry, build its backend stack
+/// from `problem_options`, and train. The resolved problem is returned in
+/// the outcome so deployment/generalization run against the same backend
+/// (and cache) the trainer used.
+struct ScenarioTrainOutcome {
+  std::shared_ptr<const circuits::SizingProblem> problem;
+  TrainOutcome outcome;
+};
+util::Expected<ScenarioTrainOutcome> train_agent(
+    const circuits::CircuitRegistry& registry, const std::string& scenario,
+    const circuits::ProblemOptions& problem_options,
     const AutoCktConfig& config,
     const std::function<void(const rl::IterationStats&)>& on_iteration = {});
 

@@ -35,9 +35,9 @@ std::shared_ptr<eval::EvalBackend> wrap_cache(
                                                options.cache_shards);
 }
 
-/// Standard stack for a schematic problem: batch fan-out over the simulator
-/// leaf, behind the memo cache.
-std::shared_ptr<eval::EvalBackend> make_schematic_backend(
+}  // namespace
+
+std::shared_ptr<eval::EvalBackend> make_standard_backend(
     eval::HintedEvalFn fn, const std::string& name,
     const ProblemOptions& options) {
   std::shared_ptr<eval::EvalBackend> backend =
@@ -48,8 +48,6 @@ std::shared_ptr<eval::EvalBackend> make_schematic_backend(
   }
   return wrap_cache(std::move(backend), options);
 }
-
-}  // namespace
 
 SizingProblem make_tia_problem(const ProblemOptions& options) {
   SizingProblem prob;
@@ -76,7 +74,7 @@ SizingProblem make_tia_problem(const ProblemOptions& options) {
 
   const spice::TechCard card = spice::TechCard::ptm45();
   const auto param_defs = prob.params;
-  prob.backend = make_schematic_backend(
+  prob.backend = make_standard_backend(
       [card, param_defs](const ParamVector& idx,
                          eval::OpHint* hint) -> util::Expected<SpecVector> {
         const TiaParams p = tia_params_from_grid(param_defs, idx);
@@ -133,7 +131,7 @@ SizingProblem make_two_stage_problem(const ProblemOptions& options) {
 
   const spice::TechCard card = spice::TechCard::ptm45();
   const auto param_defs = prob.params;
-  prob.backend = make_schematic_backend(
+  prob.backend = make_standard_backend(
       [card, param_defs](const ParamVector& idx,
                          eval::OpHint* hint) -> util::Expected<SpecVector> {
         const TwoStageParams p = two_stage_params_from_grid(param_defs, idx);
@@ -195,7 +193,7 @@ SizingProblem make_ngm_problem(const ProblemOptions& options) {
 
   const spice::TechCard card = spice::TechCard::finfet16();
   const auto param_defs = prob.params;
-  prob.backend = make_schematic_backend(
+  prob.backend = make_standard_backend(
       [card, param_defs](const ParamVector& idx,
                          eval::OpHint* hint) -> util::Expected<SpecVector> {
         const NgmParams p = ngm_params_from_grid(param_defs, idx);

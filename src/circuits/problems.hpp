@@ -34,6 +34,14 @@ struct ProblemOptions {
   std::shared_ptr<eval::ThreadPool> pool;
 };
 
+/// The standard backend stack behind a schematic problem: a FunctionBackend
+/// simulator leaf, optionally fanned out over the batch thread pool, behind
+/// an optional sharded memo cache. Shared by the built-in factories and by
+/// deck-compiled problems (circuits/netlist_problem.hpp).
+std::shared_ptr<eval::EvalBackend> make_standard_backend(
+    eval::HintedEvalFn fn, const std::string& name,
+    const ProblemOptions& options);
+
 /// Transimpedance amplifier (Table I / Fig. 5). ptm45 card.
 SizingProblem make_tia_problem(const ProblemOptions& options = {});
 

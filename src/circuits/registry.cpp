@@ -1,0 +1,153 @@
+#include "circuits/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "circuits/netlist_problem.hpp"
+
+namespace autockt::circuits {
+
+namespace {
+
+bool looks_like_path(const std::string& scenario) {
+  if (scenario.find('/') != std::string::npos) return true;
+  if (scenario.find('\\') != std::string::npos) return true;
+  return scenario.size() > 4 &&
+         scenario.compare(scenario.size() - 4, 4, ".cir") == 0;
+}
+
+}  // namespace
+
+CircuitRegistry CircuitRegistry::with_builtins() {
+  CircuitRegistry reg;
+  reg.add(
+      "tia",
+      [](const ProblemOptions& o) -> util::Expected<SizingProblem> {
+        return make_tia_problem(o);
+      },
+      "Transimpedance amplifier, ptm45 schematic (paper Table I)");
+  reg.add(
+      "two_stage_opamp",
+      [](const ProblemOptions& o) -> util::Expected<SizingProblem> {
+        return make_two_stage_problem(o);
+      },
+      "Two-stage Miller op-amp, ptm45 schematic (paper Table II)");
+  reg.add(
+      "ngm_ota",
+      [](const ProblemOptions& o) -> util::Expected<SizingProblem> {
+        return make_ngm_problem(o);
+      },
+      "Negative-gm OTA, finfet16 schematic (paper Table III)");
+  reg.add(
+      "ngm_ota_pex",
+      [](const ProblemOptions& o) -> util::Expected<SizingProblem> {
+        return make_ngm_pex_problem(o);
+      },
+      "Negative-gm OTA through PEX + PVT worst case (paper Table IV)");
+  return reg;
+}
+
+void CircuitRegistry::add(const std::string& name, Factory factory,
+                          std::string description) {
+  entries_[name] = Entry{std::move(factory), std::move(description)};
+}
+
+util::Expected<std::string> CircuitRegistry::add_deck_file(
+    const std::string& path, std::string name) {
+  auto deck = load_deck(path);
+  if (!deck.ok()) return deck.error();
+  if (!deck->has_sizing()) {
+    return util::Error{path + ": deck declares no .param/.spec sizing"};
+  }
+  if (name.empty()) name = deck_scenario_name(path);
+  if (has(name)) {
+    // A deck stem silently shadowing a builtin (or another deck) would
+    // attribute results to the wrong scenario; collisions must be explicit
+    // (pass a distinct `name`, or use add() to replace deliberately).
+    return util::Error{path + ": scenario name '" + name +
+                       "' is already registered"};
+  }
+  const std::string description =
+      deck->title.empty() ? "deck scenario (" + path + ")" : deck->title;
+  auto shared = std::make_shared<const spice::NetlistDeck>(std::move(*deck));
+  add(name,
+      [shared, name](const ProblemOptions& o) {
+        return make_netlist_problem(*shared, name, o);
+      },
+      description);
+  return name;
+}
+
+util::Expected<std::vector<std::string>> CircuitRegistry::add_deck_dir(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return util::Error{"not a directory: '" + dir + "'"};
+  }
+  std::vector<std::string> files;
+  try {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".cir") {
+        files.push_back(entry.path().string());
+      }
+    }
+  } catch (const fs::filesystem_error& e) {
+    return util::Error{"cannot scan '" + dir + "': " + std::string(e.what())};
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::string> registered;
+  registered.reserve(files.size());
+  for (const std::string& file : files) {
+    auto name = add_deck_file(file);
+    if (!name.ok()) return name.error();
+    registered.push_back(std::move(*name));
+  }
+  return registered;
+}
+
+bool CircuitRegistry::has(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> CircuitRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::string CircuitRegistry::description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? "" : it->second.description;
+}
+
+util::Expected<SizingProblem> CircuitRegistry::make(
+    const std::string& scenario, const ProblemOptions& options) const {
+  if (const auto it = entries_.find(scenario); it != entries_.end()) {
+    return it->second.factory(options);
+  }
+  if (looks_like_path(scenario)) {
+    return make_netlist_problem_from_file(scenario, options);
+  }
+  std::string known;
+  for (const std::string& name : names()) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  return util::Error{"unknown scenario '" + scenario +
+                     "' (registered: " + known +
+                     "; or pass a path to a .cir deck)"};
+}
+
+util::Expected<std::shared_ptr<const SizingProblem>>
+CircuitRegistry::make_shared(const std::string& scenario,
+                             const ProblemOptions& options) const {
+  auto prob = make(scenario, options);
+  if (!prob.ok()) return prob.error();
+  return std::make_shared<const SizingProblem>(std::move(*prob));
+}
+
+}  // namespace autockt::circuits

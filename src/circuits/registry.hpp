@@ -1,0 +1,76 @@
+#pragma once
+// CircuitRegistry: scenario name -> sizing-problem factory.
+//
+// AutoCkt's premise is training over many circuits and spec scenarios; the
+// registry is the single place a scenario is looked up, whether it is one
+// of the four built-in C++ factories (circuits/problems.hpp) or a .cir deck
+// compiled at runtime (circuits/netlist_problem.hpp). Trainers, deployment
+// and the examples resolve `--problem <name|path.cir>` through here, so
+// adding a scenario is a file drop, not a code change.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/problems.hpp"
+#include "circuits/sizing_problem.hpp"
+#include "util/expected.hpp"
+
+namespace autockt::circuits {
+
+class CircuitRegistry {
+ public:
+  using Factory =
+      std::function<util::Expected<SizingProblem>(const ProblemOptions&)>;
+
+  /// Registry pre-loaded with the paper's problems: tia, two_stage_opamp,
+  /// ngm_ota, ngm_ota_pex.
+  static CircuitRegistry with_builtins();
+
+  /// Register (or deliberately replace) a named factory.
+  void add(const std::string& name, Factory factory,
+           std::string description = "");
+
+  /// Register one deck file as a scenario named after its stem (or `name`
+  /// when given). The deck is parsed eagerly so malformed files fail at
+  /// registration with their line numbers, and a name colliding with an
+  /// already-registered scenario (e.g. a deck stem shadowing a builtin) is
+  /// an error rather than a silent replacement. Returns the registered
+  /// name.
+  util::Expected<std::string> add_deck_file(const std::string& path,
+                                            std::string name = "");
+
+  /// Register every *.cir file directly under `dir` (sorted by name).
+  /// Returns the registered scenario names; an unreadable or malformed deck
+  /// fails the whole scan with the file named in the error.
+  util::Expected<std::vector<std::string>> add_deck_dir(
+      const std::string& dir);
+
+  bool has(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  /// Description of a registered scenario ("" when unknown).
+  std::string description(const std::string& name) const;
+
+  /// Resolve a scenario argument: a registered name, or a path to a .cir
+  /// deck (anything containing a path separator or ending in ".cir" is
+  /// treated as a path and compiled on the fly). Unknown names error with
+  /// the list of registered scenarios.
+  util::Expected<SizingProblem> make(const std::string& scenario,
+                                     const ProblemOptions& options = {}) const;
+
+  /// make() boxed for the train/deploy APIs, which share problems.
+  util::Expected<std::shared_ptr<const SizingProblem>> make_shared(
+      const std::string& scenario, const ProblemOptions& options = {}) const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    std::string description;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace autockt::circuits

@@ -18,6 +18,10 @@ constexpr double kPhotodiodeCap = 50e-15;  // F
 constexpr double kLoadCap = 15e-15;        // F
 constexpr double kStepCurrent = 5e-6;      // A input step for settling
 constexpr double kChannelLengthFactor = 2.0;  // drawn L = 2 * l_min
+// Settling reported when the transient window ends before the output
+// demonstrably settles. Equal to the maximum window (and the spec's fail
+// value), so a still-ringing design can never out-score one that settled.
+constexpr double kUnsettledPenalty = 3e-8;  // s
 }  // namespace
 
 spice::Circuit build_tia(const TiaParams& params, const spice::TechCard& card,
@@ -148,9 +152,16 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
   tr_opt.dt = t_window / 400.0;
   auto tran = transient(step_ckt, *op, {step_ckt.node("out")}, tr_opt);
   if (!tran.ok()) return tran.error();
-  const double settle_abs =
-      settling_time(tran->time, tran->waveforms[0], 0.02);
-  result.settling_time = std::max(settle_abs - t_edge, tr_opt.dt);
+  const SettlingResult settle =
+      measure_settling(tran->time, tran->waveforms[0], 0.02);
+  if (settle.settled) {
+    result.settling_time = std::max(settle.time - t_edge, tr_opt.dt);
+  } else {
+    // The output was still moving at the window end: the measured instant is
+    // only a lower bound. Report the penalty instead of crediting the design
+    // with a (possibly tiny) truncated window length.
+    result.settling_time = kUnsettledPenalty;
+  }
 
   result.supply_current = -op->branch_i[0];
   return result;

@@ -2,26 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "util/fmt.hpp"
 #include "util/rng.hpp"
 
 namespace autockt::spec {
 
 namespace {
-
-/// Full-round-trip double formatting (shortest form is not needed; %.17g
-/// guarantees bitwise recovery through strtod).
-std::string format_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
 
 std::vector<std::string> split_csv_line(const std::string& line) {
   std::vector<std::string> cells;
@@ -107,7 +99,7 @@ std::string SpecSuite::to_csv() const {
   for (const auto& t : targets_) {
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (i > 0) out += ',';
-      out += format_double(t[i]);
+      out += util::format_g17(t[i]);
     }
     out += '\n';
   }

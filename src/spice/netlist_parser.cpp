@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <sstream>
+
+#include "util/fmt.hpp"
 
 namespace autockt::spice {
 
@@ -104,6 +107,33 @@ util::Expected<SourceSpec> parse_source_tail(
   return spec;
 }
 
+/// Map a sense keyword of a .spec declaration.
+util::Expected<DeckSpec::Sense> parse_sense(const std::string& token,
+                                            std::size_t line_no) {
+  const std::string s = lower(token);
+  if (s == "geq") return DeckSpec::Sense::GreaterEq;
+  if (s == "leq") return DeckSpec::Sense::LessEq;
+  if (s == "min") return DeckSpec::Sense::Minimize;
+  return at_line(line_no,
+                 "unknown spec sense '" + token + "' (want geq, leq or min)");
+}
+
+/// Map a measurement keyword of a .measure declaration.
+util::Expected<DeckMeasure::Kind> parse_measure_kind(const std::string& token,
+                                                     std::size_t line_no) {
+  const std::string s = lower(token);
+  if (s == "gain") return DeckMeasure::Kind::Gain;
+  if (s == "f3db") return DeckMeasure::Kind::F3db;
+  if (s == "ugbw") return DeckMeasure::Kind::Ugbw;
+  if (s == "phase_margin") return DeckMeasure::Kind::PhaseMargin;
+  if (s == "settling") return DeckMeasure::Kind::Settling;
+  if (s == "noise") return DeckMeasure::Kind::Noise;
+  if (s == "supply_current") return DeckMeasure::Kind::SupplyCurrent;
+  return at_line(line_no, "unknown measure kind '" + token +
+                              "' (want gain, f3db, ugbw, phase_margin, "
+                              "settling, noise or supply_current)");
+}
+
 }  // namespace
 
 std::vector<double> ParsedNetlist::initial_node_voltages() const {
@@ -112,6 +142,21 @@ std::vector<double> ParsedNetlist::initial_node_voltages() const {
     if (node != kGround && node < out.size()) out[node] = volts;
   }
   return out;
+}
+
+double DeckParam::value_at(int idx) const {
+  if (steps <= 1) return lo;
+  const double frac =
+      static_cast<double>(idx) / static_cast<double>(steps - 1);
+  if (log_scale) return lo * std::pow(hi / lo, frac);
+  return lo + (hi - lo) * frac;
+}
+
+int NetlistDeck::param_index(const std::string& name) const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 util::Expected<double> parse_spice_number(const std::string& token) {
@@ -151,32 +196,63 @@ util::Expected<double> parse_spice_number(const std::string& token) {
   return base * scale;
 }
 
-util::Expected<ParsedNetlist> parse_netlist(const std::string& text) {
+namespace {
+
+/// Substitute every {param} reference in `token` with the value's %.17g
+/// rendering (the engineering-suffix path then scales it exactly as it
+/// would a literal, so "w={wp}u" behaves like "w=3.2u").
+util::Expected<std::string> substitute_params(
+    const std::string& token, const NetlistDeck& deck,
+    const std::vector<double>& values, std::size_t line_no) {
+  std::string out = token;
+  std::size_t open;
+  while ((open = out.find('{')) != std::string::npos) {
+    const std::size_t close = out.find('}', open);
+    if (close == std::string::npos) {
+      return at_line(line_no, "unterminated '{' in '" + token + "'");
+    }
+    const std::string name = lower(out.substr(open + 1, close - open - 1));
+    const int p = deck.param_index(name);
+    if (p < 0) {
+      return at_line(line_no, "unknown design variable '{" + name +
+                                  "}' in '" + token + "'");
+    }
+    out = out.substr(0, open) +
+          util::format_g17(values[static_cast<std::size_t>(p)]) +
+          out.substr(close + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Expected<ParsedNetlist> NetlistDeck::instantiate(
+    const std::vector<double>& values) const {
+  if (values.size() != params.size()) {
+    return util::Error{"instantiate: " + std::to_string(values.size()) +
+                           " values for " + std::to_string(params.size()) +
+                           " design variables",
+                       10};
+  }
   ParsedNetlist out;
+  out.title = title;
   TechCard default_card = TechCard::ptm45();
 
-  std::istringstream stream(text);
-  std::string line;
-  std::size_t line_no = 0;
-  bool ended = false;
-
-  while (std::getline(stream, line)) {
-    ++line_no;
-    if (ended) break;
-    const auto tokens = tokenize(line);
-    if (tokens.empty()) continue;
+  std::vector<std::string> tokens;
+  for (const RawLine& raw : lines) {
+    const std::size_t line_no = raw.no;
+    tokens.clear();
+    tokens.reserve(raw.tokens.size());
+    for (const std::string& t : raw.tokens) {
+      auto sub = substitute_params(t, *this, values, line_no);
+      if (!sub.ok()) return sub.error();
+      tokens.push_back(std::move(*sub));
+    }
     const std::string head = lower(tokens[0]);
 
     // ---- directives ------------------------------------------------------
     if (head[0] == '.') {
-      if (head == ".title") {
-        std::ostringstream title;
-        for (std::size_t i = 1; i < tokens.size(); ++i) {
-          if (i > 1) title << ' ';
-          title << tokens[i];
-        }
-        out.title = title.str();
-      } else if (head == ".card") {
+      if (head == ".card") {
         if (tokens.size() < 2) return at_line(line_no, ".card needs a name");
         const std::string name = lower(tokens[1]);
         if (name == "ptm45") {
@@ -239,8 +315,6 @@ util::Expected<ParsedNetlist> parse_netlist(const std::string& text) {
         req.options.f_start = *f0;
         req.options.f_stop = *f1;
         out.noise.push_back(std::move(req));
-      } else if (head == ".end") {
-        ended = true;
       } else {
         return at_line(line_no, "unknown directive '" + tokens[0] + "'");
       }
@@ -384,6 +458,241 @@ util::Expected<ParsedNetlist> parse_netlist(const std::string& text) {
     }
   }
   return out;
+}
+
+util::Expected<ParsedNetlist> NetlistDeck::instantiate_default() const {
+  std::vector<double> values;
+  values.reserve(params.size());
+  for (const DeckParam& p : params) values.push_back(p.default_value());
+  return instantiate(values);
+}
+
+util::Expected<NetlistDeck> parse_deck(const std::string& text) {
+  NetlistDeck deck;
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool ended = false;
+
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (ended) break;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string head = lower(tokens[0]);
+
+    if (head == ".end") {
+      ended = true;
+      continue;
+    }
+    if (head == ".title") {
+      std::ostringstream title;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (i > 1) title << ' ';
+        title << tokens[i];
+      }
+      deck.title = title.str();
+      continue;
+    }
+
+    // ---- sizing declarations --------------------------------------------
+    if (head == ".param") {
+      if (tokens.size() < 5) {
+        return at_line(line_no, ".param needs name lo hi steps [log]");
+      }
+      DeckParam p;
+      p.name = lower(tokens[1]);
+      if (deck.param_index(p.name) >= 0) {
+        return at_line(line_no, "duplicate .param '" + p.name + "'");
+      }
+      auto lo = parse_spice_number(tokens[2]);
+      auto hi = parse_spice_number(tokens[3]);
+      auto steps = parse_spice_number(tokens[4]);
+      if (!lo.ok()) return at_line(line_no, lo.error().message);
+      if (!hi.ok()) return at_line(line_no, hi.error().message);
+      if (!steps.ok()) return at_line(line_no, steps.error().message);
+      p.lo = *lo;
+      p.hi = *hi;
+      if (*steps < 1.0 || *steps != std::floor(*steps)) {
+        return at_line(line_no, ".param '" + p.name + "': steps must be a " +
+                                    "positive integer, got '" + tokens[4] +
+                                    "'");
+      }
+      p.steps = static_cast<int>(*steps);
+      if (p.hi < p.lo) {
+        return at_line(line_no, ".param '" + p.name + "': hi < lo");
+      }
+      if (tokens.size() > 5) {
+        if (lower(tokens[5]) != "log") {
+          return at_line(line_no, "unexpected token '" + tokens[5] +
+                                      "' (only 'log' may follow steps)");
+        }
+        p.log_scale = true;
+        if (p.lo <= 0.0) {
+          return at_line(line_no,
+                         ".param '" + p.name + "': log grid needs lo > 0");
+        }
+      }
+      deck.params.push_back(std::move(p));
+      continue;
+    }
+    if (head == ".spec") {
+      if (tokens.size() < 6) {
+        return at_line(line_no,
+                       ".spec needs name sense sample_lo sample_hi norm");
+      }
+      DeckSpec s;
+      s.name = lower(tokens[1]);
+      s.line_no = line_no;
+      for (const DeckSpec& existing : deck.specs) {
+        if (existing.name == s.name) {
+          return at_line(line_no, "duplicate .spec '" + s.name + "'");
+        }
+      }
+      auto sense = parse_sense(tokens[2], line_no);
+      if (!sense.ok()) return sense.error();
+      s.sense = *sense;
+      auto lo = parse_spice_number(tokens[3]);
+      auto hi = parse_spice_number(tokens[4]);
+      auto norm = parse_spice_number(tokens[5]);
+      if (!lo.ok()) return at_line(line_no, lo.error().message);
+      if (!hi.ok()) return at_line(line_no, hi.error().message);
+      if (!norm.ok()) return at_line(line_no, norm.error().message);
+      s.sample_lo = *lo;
+      s.sample_hi = *hi;
+      s.norm = *norm;
+      if (s.sample_hi < s.sample_lo) {
+        return at_line(line_no,
+                       ".spec '" + s.name + "': sample_hi < sample_lo");
+      }
+      if (s.norm <= 0.0) {
+        return at_line(line_no, ".spec '" + s.name + "': norm must be > 0");
+      }
+      for (std::size_t i = 6; i < tokens.size(); ++i) {
+        const std::string opt = lower(tokens[i]);
+        if (opt.rfind("fail=", 0) == 0) {
+          auto fv = parse_spice_number(opt.substr(5));
+          if (!fv.ok()) return at_line(line_no, fv.error().message);
+          s.fail_value = *fv;
+          s.has_fail = true;
+        } else {
+          return at_line(line_no, "unexpected token '" + tokens[i] + "'");
+        }
+      }
+      if (!s.has_fail) {
+        // Sense-appropriate default: a value that decisively fails any
+        // target in the sampling range, so a failed measurement can never
+        // read as satisfied.
+        s.fail_value = s.sense == DeckSpec::Sense::GreaterEq
+                           ? 0.0
+                           : 1e3 * std::max(std::abs(s.sample_hi), s.norm);
+      }
+      deck.specs.push_back(std::move(s));
+      continue;
+    }
+    if (head == ".measure") {
+      if (tokens.size() < 3) {
+        return at_line(line_no, ".measure needs spec_name and kind");
+      }
+      DeckMeasure m;
+      m.spec = lower(tokens[1]);
+      m.line_no = line_no;
+      auto kind = parse_measure_kind(tokens[2], line_no);
+      if (!kind.ok()) return kind.error();
+      m.kind = *kind;
+      if (m.kind == DeckMeasure::Kind::SupplyCurrent) {
+        if (tokens.size() < 4) {
+          return at_line(line_no,
+                         ".measure supply_current needs a V-source name");
+        }
+        m.source = lower(tokens[3]);
+      }
+      for (const DeckMeasure& existing : deck.measures) {
+        if (existing.spec == m.spec) {
+          return at_line(line_no,
+                         "duplicate .measure for spec '" + m.spec + "'");
+        }
+      }
+      deck.measures.push_back(std::move(m));
+      continue;
+    }
+
+    // Everything else — elements and simulation directives — is kept raw
+    // for (re-)instantiation at arbitrary design-variable values.
+    deck.lines.push_back(NetlistDeck::RawLine{line_no, tokens});
+  }
+
+  // Eager validation: instantiate at the default design point so malformed
+  // element lines and unknown {param} references fail at parse time with
+  // their line numbers, not at first evaluation.
+  auto inst = deck.instantiate_default();
+  if (!inst.ok()) return inst.error();
+
+  // Cross-validate the sizing declarations against the instantiated deck.
+  for (const DeckMeasure& m : deck.measures) {
+    bool known = false;
+    for (const DeckSpec& s : deck.specs) known = known || s.name == m.spec;
+    if (!known) {
+      return at_line(m.line_no,
+                     ".measure references undeclared spec '" + m.spec + "'");
+    }
+    switch (m.kind) {
+      case DeckMeasure::Kind::Gain:
+      case DeckMeasure::Kind::F3db:
+      case DeckMeasure::Kind::Ugbw:
+      case DeckMeasure::Kind::PhaseMargin:
+        if (inst->ac.empty()) {
+          return at_line(m.line_no, ".measure '" + m.spec +
+                                        "' needs a .ac analysis in the deck");
+        }
+        break;
+      case DeckMeasure::Kind::Settling:
+        if (inst->tran.empty()) {
+          return at_line(m.line_no,
+                         ".measure '" + m.spec +
+                             "' needs a .tran analysis in the deck");
+        }
+        break;
+      case DeckMeasure::Kind::Noise:
+        if (inst->noise.empty()) {
+          return at_line(m.line_no,
+                         ".measure '" + m.spec +
+                             "' needs a .noise analysis in the deck");
+        }
+        break;
+      case DeckMeasure::Kind::SupplyCurrent: {
+        const Device* dev = inst->circuit.find(m.source);
+        if (dev == nullptr) {
+          return at_line(m.line_no, ".measure supply_current: no device '" +
+                                        m.source + "' in the deck");
+        }
+        if (dev->branch_count() == 0) {
+          return at_line(m.line_no, ".measure supply_current: device '" +
+                                        m.source +
+                                        "' carries no branch current");
+        }
+        break;
+      }
+    }
+  }
+  for (const DeckSpec& s : deck.specs) {
+    bool measured = false;
+    for (const DeckMeasure& m : deck.measures) {
+      measured = measured || m.spec == s.name;
+    }
+    if (!measured) {
+      return at_line(s.line_no,
+                     ".spec '" + s.name + "' has no .measure binding");
+    }
+  }
+  return deck;
+}
+
+util::Expected<ParsedNetlist> parse_netlist(const std::string& text) {
+  auto deck = parse_deck(text);
+  if (!deck.ok()) return deck.error();
+  return deck->instantiate_default();
 }
 
 }  // namespace autockt::spice

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fmt.hpp"
+
 namespace autockt::util {
 
 namespace {
@@ -24,12 +26,9 @@ CsvWriter::CsvWriter(std::vector<std::string> header)
 void CsvWriter::add_row(const std::vector<double>& values) {
   std::vector<std::string> cells;
   cells.reserve(values.size());
-  for (double v : values) {
-    std::ostringstream os;
-    os.precision(10);
-    os << v;
-    cells.push_back(os.str());
-  }
+  // %.17g, locale-independent: SpecSuite (and anything replotting figure
+  // data) relies on strtod recovering the exact double from these cells.
+  for (double v : values) cells.push_back(format_g17(v));
   rows_.push_back(std::move(cells));
 }
 

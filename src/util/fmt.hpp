@@ -1,0 +1,26 @@
+#pragma once
+// Locale-independent numeric formatting shared by every serialization path
+// that promises bitwise double round-trips (SpecSuite CSVs, figure-data
+// CSVs). One definition so the "%.17g through strtod recovers the exact
+// bits" contract lives in exactly one place.
+
+#include <cstdio>
+#include <string>
+
+namespace autockt::util {
+
+/// Format `v` with enough digits that strtod recovers the identical double
+/// (17 significant digits are sufficient for IEEE binary64). The decimal
+/// separator is normalized to '.' so the OUTPUT does not depend on
+/// LC_NUMERIC; readers are expected to parse under the default "C" radix
+/// convention (this program never calls setlocale).
+inline std::string format_g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (char* p = buf; *p != '\0'; ++p) {
+    if (*p == ',') *p = '.';
+  }
+  return buf;
+}
+
+}  // namespace autockt::util

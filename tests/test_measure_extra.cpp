@@ -113,6 +113,145 @@ TEST(MeasureExtra, SettlingDetectsOvershootReentry) {
   EXPECT_LT(ts, 0.6);
 }
 
+// ---- settling trust flag (never-settled vs settled-at-the-end) ----------
+
+TEST(MeasureExtra, SettlingFlagsTruncatedWindowAsUnsettled) {
+  // A waveform still slewing at the window end: the legacy scalar reported a
+  // "settling time" near the window length (or shorter — the band is drawn
+  // around the truncated final sample), crediting a design that never
+  // settled. The flag must be false.
+  std::vector<double> time, wave;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i / 1000.0;
+    time.push_back(t);
+    wave.push_back(t);  // pure ramp: never reaches a final value
+  }
+  const auto r = measure_settling(time, wave, 0.02);
+  EXPECT_FALSE(r.settled);
+}
+
+TEST(MeasureExtra, SettlingFlagsLateRingingAsUnsettled) {
+  // Rings until (almost) the end: exits the 2% band in the final 2% of the
+  // window, so no dwell is demonstrated.
+  std::vector<double> time, wave;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i / 1000.0;
+    time.push_back(t);
+    wave.push_back(1.0 + 0.2 * std::cos(2.0 * kPi * 25.5 * t));
+  }
+  const auto r = measure_settling(time, wave, 0.02);
+  EXPECT_FALSE(r.settled);
+}
+
+TEST(MeasureExtra, SettlingAcceptsEarlySettleWithDwell) {
+  // Settles at 20% of the window and stays: flag true, instant preserved,
+  // and the legacy scalar agrees with the struct's time.
+  std::vector<double> time, wave;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i / 1000.0;
+    time.push_back(t);
+    wave.push_back(t < 0.2 ? t / 0.2 : 1.0);
+  }
+  const auto r = measure_settling(time, wave, 0.02);
+  EXPECT_TRUE(r.settled);
+  EXPECT_NEAR(r.time, 0.196, 0.005);
+  EXPECT_DOUBLE_EQ(settling_time(time, wave, 0.02), r.time);
+}
+
+TEST(MeasureExtra, FlatWaveIsTriviallySettled) {
+  std::vector<double> time{0.0, 1.0, 2.0};
+  std::vector<double> wave{1.0, 1.0, 1.0};
+  const auto r = measure_settling(time, wave, 0.02);
+  EXPECT_TRUE(r.settled);
+  EXPECT_DOUBLE_EQ(r.time, 0.0);
+}
+
+// ---- peak-referenced -3 dB and degenerate crossing interpolation --------
+
+namespace {
+
+/// Two-pole band-pass-ish response: |H| rises from a0 at DC to a resonant
+/// peak near f_res, then falls. Reproduces the "peak > DC gain" shape the
+/// DC-referenced -3 dB search mismeasured.
+std::vector<AcPoint> synth_peaked_sweep(double a0, double f_res, double q,
+                                        double f_start = 1e3,
+                                        double f_stop = 1e11, int ppd = 40) {
+  std::vector<AcPoint> sweep;
+  const double decades = std::log10(f_stop / f_start);
+  const int total = static_cast<int>(decades * ppd) + 1;
+  for (int i = 0; i < total; ++i) {
+    const double f = f_start * std::pow(10.0, decades * i / (total - 1));
+    const double s = f / f_res;  // normalized jw
+    // H = a0 / (1 + jw/(Q w0) - w^2/w0^2): classic resonant low-pass.
+    const std::complex<double> den(1.0 - s * s, s / q);
+    sweep.push_back({f, a0 / den});
+  }
+  return sweep;
+}
+
+}  // namespace
+
+TEST(MeasureExtra, PeakedResponseReferencesCutoffToPeak) {
+  // Q = 5 resonance: peak ~ 5x the DC gain. The -3 dB level must derive
+  // from the peak, and the crossing must sit just above the resonance —
+  // for Q >> 1 the peak band is narrow, f3db ~ f_res * (1 + 1/(2Q)).
+  const double a0 = 10.0, f_res = 1e7, q = 5.0;
+  const auto sweep = synth_peaked_sweep(a0, f_res, q);
+  const auto m = measure_ac(sweep);
+  EXPECT_NEAR(m.peak_gain, a0 * q, 0.05 * a0 * q);
+  ASSERT_TRUE(m.f3db_found);
+  EXPECT_GT(m.f3db, f_res);
+  EXPECT_LT(m.f3db, 1.3 * f_res);
+  // Regression: the DC-referenced level a0/sqrt(2) sits below the DC gain
+  // itself, so the old search reported the far roll-off skirt (several
+  // times f_res) as the "bandwidth".
+  EXPECT_LT(m.f3db, 2.0 * f_res);
+}
+
+TEST(MeasureExtra, MonotoneResponseUnchangedByPeakReference) {
+  // For a monotone-from-DC low-pass the peak IS the DC point, so the
+  // peak-referenced search must reproduce the classic result.
+  const auto sweep = synth_sweep(100.0, 1e6, 1, false);
+  const auto m = measure_ac(sweep);
+  EXPECT_DOUBLE_EQ(m.peak_gain, m.dc_gain);
+  ASSERT_TRUE(m.f3db_found);
+  EXPECT_NEAR(m.f3db, 1e6, 0.02e6);
+}
+
+TEST(MeasureExtra, NonMonotonicDipBeforePeakIgnored) {
+  // A dip below the -3 dB level BEFORE the peak is not the bandwidth edge;
+  // the search starts at the peak.
+  std::vector<AcPoint> sweep;
+  const double freqs[] = {1e3, 1e4, 1e5, 1e6, 1e7, 1e8};
+  const double mags[] = {8.0, 2.0, 9.0, 10.0, 9.0, 0.5};
+  for (int i = 0; i < 6; ++i) {
+    sweep.push_back({freqs[i], std::complex<double>(mags[i], 0.0)});
+  }
+  const auto m = measure_ac(sweep);
+  ASSERT_TRUE(m.f3db_found);
+  // Peak 10 at 1e6; level 7.07; crossing between 1e7 (9.0) and 1e8 (0.5),
+  // NOT at the early 8.0 -> 2.0 dip.
+  EXPECT_GT(m.f3db, 1e7);
+  EXPECT_LT(m.f3db, 1e8);
+}
+
+TEST(MeasureExtra, CrossingInterpolatesFlatInLogSegments) {
+  // Exactly flat segment at the level: no unique crossing exists; the
+  // geometric midpoint is the unbiased answer (the old code snapped to the
+  // left endpoint).
+  std::vector<AcPoint> flat{{1e6, {1.0, 0.0}}, {1e8, {1.0, 0.0}}};
+  EXPECT_DOUBLE_EQ(ac_crossing_freq(flat, 0, 1.0), 1e7);
+
+  // Magnitudes indistinguishable after the log clamp (both under 1e-30):
+  // linear-in-magnitude interpolation must still land between the samples
+  // according to the level, not at the left endpoint.
+  std::vector<AcPoint> tiny{{1e6, {8e-31, 0.0}}, {1e8, {2e-31, 0.0}}};
+  const double f = ac_crossing_freq(tiny, 0, 5e-31);
+  EXPECT_GT(f, 1e6);
+  EXPECT_LT(f, 1e8);
+  EXPECT_NEAR(std::log10(f), 7.0, 1.0);
+}
+
 // ---- environment observation normalization ------------------------------
 
 TEST(ObsNormalization, MatchesLookupFormula) {

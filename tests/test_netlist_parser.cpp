@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
 #include "spice/measure.hpp"
@@ -214,4 +217,192 @@ TEST(NetlistParser, GroundAliases) {
   ASSERT_TRUE(parsed.ok());
   // Only one non-ground node was created.
   EXPECT_EQ(parsed->circuit.num_nodes(), 2u);
+}
+
+// ---------------------------------------------------- sizing dialect
+
+namespace {
+
+constexpr const char* kSizingDeck = R"(
+.title param rc
+.param rr 1 5 5
+.param cc 1 10 4 log
+vs inp 0 dc 1 ac 1
+r1 inp out {rr}k
+c1 out 0 {cc}p
+.ac out 1k 1g
+.spec gain_vv geq 0.5 1 0.8
+.spec f3db_hz geq 1e6 1e8 1e7 fail=1e3
+.measure gain_vv gain
+.measure f3db_hz f3db
+)";
+
+}  // namespace
+
+TEST(DeckDialect, ParamSpecMeasureRoundTrip) {
+  const auto deck = parse_deck(kSizingDeck);
+  ASSERT_TRUE(deck.ok()) << deck.error().message;
+  ASSERT_EQ(deck->params.size(), 2u);
+  EXPECT_EQ(deck->params[0].name, "rr");
+  EXPECT_DOUBLE_EQ(deck->params[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(deck->params[0].hi, 5.0);
+  EXPECT_EQ(deck->params[0].steps, 5);
+  EXPECT_FALSE(deck->params[0].log_scale);
+  EXPECT_TRUE(deck->params[1].log_scale);
+
+  ASSERT_EQ(deck->specs.size(), 2u);
+  EXPECT_EQ(deck->specs[0].name, "gain_vv");
+  EXPECT_EQ(deck->specs[0].sense, DeckSpec::Sense::GreaterEq);
+  EXPECT_DOUBLE_EQ(deck->specs[0].sample_lo, 0.5);
+  EXPECT_DOUBLE_EQ(deck->specs[0].sample_hi, 1.0);
+  EXPECT_DOUBLE_EQ(deck->specs[0].norm, 0.8);
+  EXPECT_TRUE(deck->specs[1].has_fail);
+  EXPECT_DOUBLE_EQ(deck->specs[1].fail_value, 1e3);
+
+  ASSERT_EQ(deck->measures.size(), 2u);
+  EXPECT_EQ(deck->measures[0].kind, DeckMeasure::Kind::Gain);
+  EXPECT_EQ(deck->measures[1].kind, DeckMeasure::Kind::F3db);
+}
+
+TEST(DeckDialect, LinearAndLogGridValues) {
+  const auto deck = parse_deck(kSizingDeck);
+  ASSERT_TRUE(deck.ok());
+  // Linear: 1..5 over 5 steps.
+  EXPECT_DOUBLE_EQ(deck->params[0].value_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(deck->params[0].value_at(2), 3.0);
+  EXPECT_DOUBLE_EQ(deck->params[0].value_at(4), 5.0);
+  // Log: 1..10 over 4 steps, geometric.
+  EXPECT_DOUBLE_EQ(deck->params[1].value_at(0), 1.0);
+  EXPECT_NEAR(deck->params[1].value_at(1), std::pow(10.0, 1.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(deck->params[1].value_at(3), 10.0);
+}
+
+TEST(DeckDialect, SubstitutionScalesLikeLiterals) {
+  // {rr}k must behave exactly like the literal "3k" at the grid point where
+  // rr = 3 — including through the engineering-suffix path.
+  const auto deck = parse_deck(kSizingDeck);
+  ASSERT_TRUE(deck.ok());
+  auto inst = deck->instantiate({3.0, 2.0});
+  ASSERT_TRUE(inst.ok()) << inst.error().message;
+  const auto* r = inst->circuit.find("r1");
+  ASSERT_NE(r, nullptr);
+  // Indirect check through the physics: f3db of the RC = 1/(2 pi R C).
+  auto op = solve_op(inst->circuit);
+  ASSERT_TRUE(op.ok());
+  auto sweep = ac_sweep(inst->circuit, *op, inst->circuit.node("out"),
+                        kGround, inst->ac[0].options);
+  ASSERT_TRUE(sweep.ok());
+  const auto m = measure_ac(*sweep);
+  ASSERT_TRUE(m.f3db_found);
+  EXPECT_NEAR(m.f3db, 1.0 / (2.0 * kPi * 3e3 * 2e-12), 0.02 * m.f3db);
+}
+
+TEST(DeckDialect, DefaultInstantiationUsesGridCentre) {
+  const auto deck = parse_deck(kSizingDeck);
+  ASSERT_TRUE(deck.ok());
+  // rr default = value_at(5/2=2) = 3; cc default = value_at(4/2=2).
+  EXPECT_DOUBLE_EQ(deck->params[0].default_value(), 3.0);
+  EXPECT_NEAR(deck->params[1].default_value(), std::pow(10.0, 2.0 / 3.0),
+              1e-12);
+}
+
+TEST(DeckDialect, SenseDefaultFailValues) {
+  // leq/min specs without fail= get a decisively-failing default; geq gets 0.
+  const auto deck = parse_deck(R"(
+vs a 0 dc 1 ac 1
+r1 a out 1k
+c1 out 0 1p
+.ac out 1k 1g
+.spec hi_spec geq 1 2 1.5
+.spec lo_spec leq 1e-3 2e-3 1.5e-3
+.measure hi_spec gain
+.measure lo_spec f3db
+)");
+  ASSERT_TRUE(deck.ok()) << deck.error().message;
+  EXPECT_DOUBLE_EQ(deck->specs[0].fail_value, 0.0);
+  EXPECT_GT(deck->specs[1].fail_value, deck->specs[1].sample_hi * 100);
+}
+
+TEST(DeckDialect, ErrorsNameLineAndToken) {
+  // Truncated .param (line 2).
+  auto e1 = parse_deck("* c\n.param w 1\n");
+  ASSERT_FALSE(e1.ok());
+  EXPECT_NE(e1.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(e1.error().message.find(".param"), std::string::npos);
+
+  // Bad sense keyword, naming the token.
+  auto e2 = parse_deck("r1 a 0 1k\n.spec g above 1 2 1\n.measure g gain\n");
+  ASSERT_FALSE(e2.ok());
+  EXPECT_NE(e2.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(e2.error().message.find("above"), std::string::npos);
+
+  // Unknown design variable in an element value.
+  auto e3 = parse_deck("v1 a 0 dc 1\nr1 a 0 {nope}k\n");
+  ASSERT_FALSE(e3.ok());
+  EXPECT_NE(e3.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(e3.error().message.find("{nope}"), std::string::npos);
+
+  // Unknown measure kind.
+  auto e4 = parse_deck(
+      "r1 a 0 1k\n.spec g geq 1 2 1\n.measure g sparkle\n");
+  ASSERT_FALSE(e4.ok());
+  EXPECT_NE(e4.error().message.find("line 3"), std::string::npos);
+  EXPECT_NE(e4.error().message.find("sparkle"), std::string::npos);
+
+  // Duplicate param.
+  auto e5 = parse_deck(".param w 1 2 3\n.param w 1 2 3\nr1 a 0 1k\n");
+  ASSERT_FALSE(e5.ok());
+  EXPECT_NE(e5.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(e5.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(DeckDialect, CrossValidatesSpecMeasureBindings) {
+  // Spec without measure.
+  auto e1 = parse_deck("r1 a 0 1k\nv1 a 0 ac 1\n.ac a 1k 1g\n"
+                       ".spec g geq 1 2 1\n");
+  ASSERT_FALSE(e1.ok());
+  EXPECT_NE(e1.error().message.find("no .measure"), std::string::npos);
+
+  // Measure referencing an undeclared spec.
+  auto e2 = parse_deck("r1 a 0 1k\nv1 a 0 ac 1\n.ac a 1k 1g\n"
+                       ".measure ghost gain\n");
+  ASSERT_FALSE(e2.ok());
+  EXPECT_NE(e2.error().message.find("ghost"), std::string::npos);
+
+  // Measure whose analysis is missing from the deck.
+  auto e3 = parse_deck("r1 a 0 1k\nv1 a 0 ac 1\n"
+                       ".spec ts leq 1n 2n 1n\n.measure ts settling\n");
+  ASSERT_FALSE(e3.ok());
+  EXPECT_NE(e3.error().message.find(".tran"), std::string::npos);
+
+  // supply_current naming a device with no branch current.
+  auto e4 = parse_deck("r1 a 0 1k\nv1 a 0 dc 1\n"
+                       ".spec ib min 1u 2u 1u\n"
+                       ".measure ib supply_current r1\n");
+  ASSERT_FALSE(e4.ok());
+  EXPECT_NE(e4.error().message.find("r1"), std::string::npos);
+}
+
+TEST(DeckDialect, RejectsFractionalStepCounts) {
+  auto e = parse_deck(".param wn 1 8 15.7\nr1 a 0 1k\n");
+  ASSERT_FALSE(e.ok());
+  EXPECT_NE(e.error().message.find("line 1"), std::string::npos);
+  EXPECT_NE(e.error().message.find("15.7"), std::string::npos);
+}
+
+TEST(DeckDialect, LogParamRequiresPositiveLo) {
+  auto e = parse_deck(".param w 0 2 3 log\nr1 a 0 1k\n");
+  ASSERT_FALSE(e.ok());
+  EXPECT_NE(e.error().message.find("log"), std::string::npos);
+}
+
+TEST(DeckDialect, PlainDecksStillParse) {
+  // A deck with no sizing declarations round-trips through parse_deck with
+  // empty decl lists and instantiates with zero values.
+  const auto deck = parse_deck("v1 a 0 dc 1\nr1 a 0 1k\n");
+  ASSERT_TRUE(deck.ok());
+  EXPECT_FALSE(deck->has_sizing());
+  auto inst = deck->instantiate({});
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->circuit.num_nodes(), 2u);
 }

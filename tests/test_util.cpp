@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "util/cli.hpp"
@@ -209,6 +211,38 @@ TEST(Csv, EscapesSpecialCharacters) {
   CsvWriter csv({"name"});
   csv.add_row(std::vector<std::string>{"a,b \"quoted\""});
   EXPECT_NE(csv.to_string().find("\"a,b \"\"quoted\"\"\""), std::string::npos);
+}
+
+TEST(Csv, DoubleRowsRoundTripBitwise) {
+  // SpecSuite's CSV contract: every double cell recovers the identical bits
+  // through strtod. The old ostringstream-at-precision-10 formatting lost
+  // the low digits (and depended on the global locale).
+  const std::vector<double> values{0.1,
+                                   1.0 / 3.0,
+                                   6.62607015e-34,
+                                   -1.2345678901234567e18,
+                                   4.9406564584124654e-324,  // min denormal
+                                   2.2e-10};
+  CsvWriter csv({"a", "b", "c", "d", "e", "f"});
+  csv.add_row(values);
+  const std::string s = csv.to_string();
+
+  // Parse the data row back and compare bitwise.
+  const auto row_start = s.find('\n') + 1;
+  std::string row = s.substr(row_start, s.find('\n', row_start) - row_start);
+  std::size_t pos = 0;
+  for (double expected : values) {
+    const std::size_t comma = row.find(',', pos);
+    const std::string cell = row.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double parsed = std::strtod(cell.c_str(), &end);
+    EXPECT_EQ(end, cell.c_str() + cell.size()) << cell;
+    EXPECT_EQ(std::memcmp(&parsed, &expected, sizeof(double)), 0)
+        << cell << " != " << expected;
+    pos = comma == std::string::npos ? row.size() : comma + 1;
+  }
+  // Pin the %.17g shape (precision-10 would emit "0.1").
+  EXPECT_NE(s.find("0.10000000000000001"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- Cli
