@@ -1,0 +1,139 @@
+// netlist_lint: run the static-analysis subsystem (analysis/deck_lint.hpp)
+// over .cir decks from the command line — the same checks CircuitRegistry
+// and make_netlist_problem apply before any deck reaches the simulator.
+//
+//   netlist_lint [options] <deck.cir | dir>...
+//
+//   --json      emit a JSON array of per-deck reports (machine-readable;
+//               the CI deck-lint job uploads this as an artifact)
+//   --Werror    treat warnings as errors (non-zero exit)
+//   --ids       print the diagnostic catalog (id, severity, summary) and exit
+//
+// Exit codes: 0 all decks clean (warnings allowed unless --Werror),
+//             1 diagnostics at the gating severity were reported,
+//             2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/deck_lint.hpp"
+
+namespace {
+
+using autockt::analysis::count_severity;
+using autockt::analysis::Severity;
+
+int usage() {
+  std::cerr << "usage: netlist_lint [--json] [--Werror] [--ids] "
+               "<deck.cir | dir>...\n";
+  return 2;
+}
+
+/// Expand positional arguments into a flat, sorted list of deck files.
+bool collect_decks(const std::vector<std::string>& args,
+                   std::vector<std::string>& out) {
+  namespace fs = std::filesystem;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      std::vector<std::string> found;
+      for (const auto& entry : fs::directory_iterator(arg, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".cir") {
+          found.push_back(entry.path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      out.insert(out.end(), found.begin(), found.end());
+    } else if (fs::is_regular_file(arg, ec)) {
+      out.push_back(arg);
+    } else {
+      std::cerr << "netlist_lint: no such file or directory: '" << arg
+                << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Flags never take values here, so parse by hand — the shared CliArgs
+  // helper would swallow a deck path following a bare flag.
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--Werror") {
+      werror = true;
+    } else if (arg == "--ids") {
+      for (const auto& def : autockt::analysis::diagnostic_catalog()) {
+        std::cout << def.id << "  "
+                  << autockt::analysis::severity_name(def.severity) << "  "
+                  << def.summary << '\n';
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<std::string> decks;
+  if (!collect_decks(inputs, decks)) return 2;
+  if (decks.empty()) {
+    std::cerr << "netlist_lint: no .cir decks found\n";
+    return 2;
+  }
+
+  std::size_t total_errors = 0;
+  std::size_t total_warnings = 0;
+  std::ostringstream json_out;
+  json_out << "[";
+  bool first = true;
+
+  for (const std::string& path : decks) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "netlist_lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const auto diags = autockt::analysis::lint_deck_text(text.str());
+    total_errors += count_severity(diags, Severity::Error);
+    total_warnings += count_severity(diags, Severity::Warning);
+
+    if (json) {
+      std::string report =
+          autockt::analysis::render_diagnostics_json(diags, path);
+      if (!report.empty() && report.back() == '\n') report.pop_back();
+      json_out << (first ? "\n" : ",\n") << report;
+      first = false;
+    } else if (!diags.empty()) {
+      std::cout << autockt::analysis::render_diagnostics_text(diags, path);
+    }
+  }
+
+  if (json) {
+    json_out << (first ? "]" : "\n]") << '\n';
+    std::cout << json_out.str();
+  } else {
+    std::cout << decks.size() << " deck(s): " << total_errors
+              << " error(s), " << total_warnings << " warning(s)\n";
+  }
+
+  const bool failed = total_errors > 0 || (werror && total_warnings > 0);
+  return failed ? 1 : 0;
+}

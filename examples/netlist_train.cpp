@@ -7,6 +7,8 @@
 // Usage:
 //   netlist_train --problem <name|path.cir>  train + scorecard
 //   netlist_train --list                     show registered scenarios
+//   netlist_train --lint                     static-analysis report for the
+//                                            registered decks, then exit
 //   netlist_train --problem X --characterize evaluate the grid centre only
 //   netlist_train --problem X --sweep N      specs over N random designs
 //
@@ -116,6 +118,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.get_bool("lint")) {
+    // Decks with error-severity findings never registered — add_deck_dir
+    // already failed above with the rendered diagnostics. What remains is
+    // the warning report for everything that made it in.
+    if (registry.lint_reports().empty()) {
+      std::printf("all registered decks lint clean\n");
+      return 0;
+    }
+    for (const auto& [name, diags] : registry.lint_reports()) {
+      std::fputs(
+          analysis::render_diagnostics_text(diags, name).c_str(), stdout);
+    }
+    return 0;
+  }
+
   if (args.get_bool("list")) {
     std::printf("registered scenarios:\n");
     for (const std::string& name : registry.names()) {
@@ -129,7 +146,7 @@ int main(int argc, char** argv) {
   if (scenario.empty()) {
     std::fprintf(stderr,
                  "usage: netlist_train --problem <name|path.cir> "
-                 "[--list] [--characterize] [--sweep N]\n");
+                 "[--list] [--lint] [--characterize] [--sweep N]\n");
     return 1;
   }
 

@@ -1,0 +1,314 @@
+#include "analysis/circuit_lint.hpp"
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "spice/devices.hpp"
+#include "spice/mosfet.hpp"
+
+namespace autockt::analysis {
+
+namespace {
+
+using spice::Circuit;
+using spice::Device;
+using spice::DeviceTopology;
+using spice::kGround;
+using spice::NodeId;
+using Kind = DeviceTopology::Kind;
+
+/// Plain union-find over node ids.
+class NodeSets {
+ public:
+  explicit NodeSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t a) {
+    while (parent_[a] != a) {
+      parent_[a] = parent_[parent_[a]];
+      a = parent_[a];
+    }
+    return a;
+  }
+
+  /// Returns false when a and b were already connected.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[b] = a;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct Emitter {
+  std::vector<Diagnostic>& out;
+  const DeviceLocationLookup& location;
+
+  void add(const char* id, const std::string& device, std::string message,
+           std::string note = "") {
+    const DiagnosticDef* def = find_diagnostic_def(id);
+    Diagnostic d;
+    d.id = id;
+    d.severity = def != nullptr ? def->severity : Severity::Error;
+    if (location && !device.empty()) {
+      const auto [line, col] = location(device);
+      d.line = line;
+      d.col = col;
+    }
+    d.message = std::move(message);
+    d.note = std::move(note);
+    out.push_back(std::move(d));
+  }
+};
+
+/// One row of the analysis working set: the device plus its cached
+/// structural description.
+struct Element {
+  const Device* device = nullptr;
+  DeviceTopology topo;
+};
+
+void check_duplicate_names(const std::vector<Element>& elements,
+                           Emitter& emit) {
+  std::map<std::string, int> seen;
+  for (const Element& e : elements) {
+    if (++seen[e.device->name()] == 2) {
+      emit.add("AC106", e.device->name(),
+               "duplicate element name '" + e.device->name() + "'",
+               "find() resolves the first occurrence; measurements bound to "
+               "this name are ambiguous");
+    }
+  }
+}
+
+void check_parameter_ranges(const std::vector<Element>& elements,
+                            Emitter& emit) {
+  for (const Element& e : elements) {
+    const std::string& name = e.device->name();
+    switch (e.topo.kind) {
+      case Kind::Resistor: {
+        const auto* r = dynamic_cast<const spice::Resistor*>(e.device);
+        if (r != nullptr && !(r->resistance() > 0.0)) {
+          emit.add("AC107", name,
+                   "resistor '" + name + "' has non-positive resistance");
+        }
+        break;
+      }
+      case Kind::Capacitor: {
+        const auto* c = dynamic_cast<const spice::Capacitor*>(e.device);
+        if (c != nullptr && c->capacitance() < 0.0) {
+          emit.add("AC107", name,
+                   "capacitor '" + name + "' has negative capacitance");
+        }
+        break;
+      }
+      case Kind::Mosfet: {
+        const auto* m = dynamic_cast<const spice::Mosfet*>(e.device);
+        if (m == nullptr) break;
+        if (!(m->geom().width > 0.0)) {
+          emit.add("AC107", name,
+                   "mosfet '" + name + "' has non-positive width");
+        }
+        if (!(m->geom().length > 0.0)) {
+          emit.add("AC107", name,
+                   "mosfet '" + name + "' has non-positive length");
+        }
+        if (m->geom().mult < 1) {
+          emit.add("AC107", name, "mosfet '" + name + "' has mult < 1");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+/// AC101/AC102/AC104/AC105: DC-connectivity flood from ground plus the
+/// per-node classification of unreachable nodes.
+void check_dc_connectivity(const Circuit& circuit,
+                           const std::vector<Element>& elements,
+                           Emitter& emit) {
+  const std::size_t num_nodes = circuit.num_nodes();
+
+  bool touches_ground = false;
+  for (const Element& e : elements) {
+    for (const NodeId n : e.topo.nodes) touches_ground |= (n == kGround);
+  }
+  if (!elements.empty() && !touches_ground) {
+    emit.add("AC101", elements.front().device->name(),
+             "no element connects to ground (node 0)",
+             "every node voltage is relative to ground; add a supply or "
+             "reference to node 0/gnd");
+    // Every node would be "floating" now; the one diagnostic says it all.
+    return;
+  }
+
+  NodeSets sets(num_nodes);
+  for (const Element& e : elements) {
+    for (const auto& [a, b] : e.topo.dc_paths) sets.unite(a, b);
+  }
+
+  // Incident device kinds and a representative device per node.
+  std::vector<std::vector<const Element*>> incident(num_nodes);
+  for (const Element& e : elements) {
+    for (const NodeId n : e.topo.nodes) {
+      if (n < num_nodes) incident[n].push_back(&e);
+    }
+  }
+
+  const std::size_t ground_root = sets.find(kGround);
+  for (NodeId n = 1; n < num_nodes; ++n) {
+    if (sets.find(n) == ground_root) continue;
+    const std::string& node = circuit.node_name(n);
+    bool any_cap = false, any_cs = false, other = false;
+    for (const Element* e : incident[n]) {
+      switch (e->topo.kind) {
+        case Kind::Capacitor:
+          any_cap = true;
+          break;
+        case Kind::CurrentSource:
+          any_cs = true;
+          break;
+        default:
+          other = true;
+      }
+    }
+    const std::string device =
+        incident[n].empty() ? "" : incident[n].front()->device->name();
+    if (!incident[n].empty() && any_cap && !any_cs && !other) {
+      emit.add("AC105", device,
+               "node '" + node + "' connects only to capacitors",
+               "the node is open at DC; its voltage is undefined");
+    } else if (!incident[n].empty() && any_cs && !other) {
+      emit.add("AC104", device,
+               "node '" + node + "' is fed only by current sources",
+               "KCL cannot balance a fixed current into a node with no "
+               "DC-conductive exit");
+    } else {
+      emit.add("AC102", device,
+               "node '" + node + "' has no DC path to ground",
+               "voltages are only determined relative to ground through "
+               "resistors, sources, channels or bias probes");
+    }
+  }
+}
+
+void check_voltage_source_loops(const Circuit& circuit,
+                                const std::vector<Element>& elements,
+                                Emitter& emit) {
+  NodeSets sets(circuit.num_nodes());
+  for (const Element& e : elements) {
+    if (e.topo.kind != Kind::VoltageSource) continue;
+    for (const auto& [a, b] : e.topo.dc_paths) {
+      if (!sets.unite(a, b)) {
+        emit.add("AC103", e.device->name(),
+                 "voltage source '" + e.device->name() +
+                     "' closes a loop of voltage sources",
+                 "the loop fixes a cycle of node differences; the branch "
+                 "currents are underdetermined");
+      }
+    }
+  }
+}
+
+/// AC108: the exact structural preflight the sparse kernel would perform,
+/// minus the gmin-homotopy weak diagonals (which exist to nurse NUMERICALLY
+/// hard solves and would mask genuine structural defects here).
+void check_structural_singularity(const Circuit& circuit, Emitter& emit) {
+  const std::size_t n = circuit.num_unknowns();
+  if (n == 0) return;
+
+  linalg::PatternBuilder builder(n);
+  std::vector<double> rhs(n, 0.0);
+  const std::vector<double> zeros(circuit.num_nodes(), 0.0);
+  spice::RealStamp ctx{spice::MnaSink(builder), rhs, zeros};
+  ctx.num_nodes = circuit.num_nodes();
+  circuit.declare_real_pattern(ctx);
+  const linalg::SparsePattern pattern(std::move(builder));
+
+  // Name an MNA unknown: node rows first, then branch rows.
+  const auto unknown_name = [&](std::size_t k) -> std::string {
+    if (k < circuit.num_nodes() - 1) {
+      return "node '" + circuit.node_name(k + 1) + "'";
+    }
+    const std::size_t branch = k - (circuit.num_nodes() - 1);
+    for (const auto& dev : circuit.devices()) {
+      if (dev->branch_count() > 0 && branch >= dev->first_branch() &&
+          branch < dev->first_branch() + dev->branch_count()) {
+        return "branch of '" + dev->name() + "'";
+      }
+    }
+    return "branch " + std::to_string(branch);
+  };
+
+  // Empty rows/columns are the sharpest (and most explainable) form of
+  // structural singularity — report them by name before the generic check.
+  std::vector<char> row_nonempty(n, 0);
+  bool any_empty = false;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (pattern.col_ptr()[c + 1] == pattern.col_ptr()[c]) {
+      any_empty = true;
+      emit.add("AC108", "",
+               "MNA column of " + unknown_name(c) +
+                   " is structurally empty",
+               "nothing in the system depends on this unknown");
+    }
+  }
+  for (const int r : pattern.row_idx()) {
+    row_nonempty[static_cast<std::size_t>(r)] = 1;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!row_nonempty[r]) {
+      any_empty = true;
+      emit.add("AC108", "",
+               "MNA row of " + unknown_name(r) + " is structurally empty",
+               "no device contributes an equation for this unknown");
+    }
+  }
+  if (any_empty) return;
+
+  const linalg::SparseLuSymbolic symbolic(pattern, pattern.weak());
+  if (!symbolic.ok()) {
+    emit.add("AC108", "",
+             "MNA system is structurally singular: no complete pivot "
+             "sequence exists",
+             "the sparse LU symbolic analysis could not order " +
+                 std::to_string(n) + " unknowns");
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_circuit(const Circuit& circuit,
+                                     const DeviceLocationLookup& location) {
+  std::vector<Diagnostic> out;
+  Emitter emit{out, location};
+
+  std::vector<Element> elements;
+  elements.reserve(circuit.devices().size());
+  for (const auto& dev : circuit.devices()) {
+    Element e;
+    e.device = dev.get();
+    e.topo = dev->topology();
+    if (!e.topo.nodes.empty()) elements.push_back(std::move(e));
+  }
+
+  check_duplicate_names(elements, emit);
+  check_parameter_ranges(elements, emit);
+  check_dc_connectivity(circuit, elements, emit);
+  check_voltage_source_loops(circuit, elements, emit);
+  check_structural_singularity(circuit, emit);
+  return out;
+}
+
+}  // namespace autockt::analysis

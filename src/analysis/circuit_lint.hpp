@@ -1,0 +1,48 @@
+#pragma once
+// Topology analyzers over an instantiated spice::Circuit — every check runs
+// STATICALLY, before any Newton iteration, so a malformed netlist is
+// rejected with a named defect instead of producing a garbage operating
+// point the RL agent happily optimizes against.
+//
+// Checks (ids from analysis::diagnostic_catalog()):
+//   AC101  no element connects to ground at all
+//   AC102  floating node: no DC-conductive path to ground (conductive =
+//          resistor body, voltage source, MOSFET channel, bias-servo port;
+//          capacitors, current sources and VCCS ports do not conduct)
+//   AC103  voltage-source loop (a cycle of fixed node differences)
+//   AC104  current-source cutset: a node attached only to current sources
+//          (and capacitors) — KCL cannot balance a fixed current there
+//   AC105  capacitor-only node: open at DC in every direction
+//   AC106  duplicate element names
+//   AC107  out-of-range device parameters (non-positive R/W/L, negative C,
+//          mult < 1)
+//   AC108  structural-singularity preflight: the exact discovery pass the
+//          simulation kernel runs (Circuit::declare_real_pattern into a
+//          linalg::SparsePattern), minus the gmin-homotopy diagonals that
+//          paper over defects numerically, then empty row/column detection
+//          and the SparseLuSymbolic complete-pivot-sequence check.
+//
+// Devices report their structure through Device::topology(); unknown device
+// kinds are invisible to the graph checks (never a false positive).
+
+#include <functional>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "spice/circuit.hpp"
+
+namespace autockt::analysis {
+
+/// Optional source-location oracle: device name -> (1-based line, col) in
+/// the deck the circuit came from; return {0, 0} when unknown. Lets deck
+/// linting attribute circuit-level findings to deck lines.
+using DeviceLocationLookup =
+    std::function<std::pair<std::size_t, std::size_t>(const std::string&)>;
+
+/// Run every topology check. Diagnostics are ordered by check id, then by
+/// declaration order, so output is deterministic.
+std::vector<Diagnostic> lint_circuit(
+    const spice::Circuit& circuit,
+    const DeviceLocationLookup& location = nullptr);
+
+}  // namespace autockt::analysis

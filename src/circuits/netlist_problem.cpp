@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/deck_lint.hpp"
 #include "circuits/sim_hint.hpp"
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
@@ -88,6 +89,16 @@ util::Expected<SizingProblem> make_netlist_problem(
   }
   if (deck.specs.empty()) {
     return util::Error{"deck '" + name + "' declares no .spec targets"};
+  }
+
+  // Static-analysis preflight: a deck with error-severity findings (floating
+  // nodes, source loops, structural singularity, unsatisfiable measures...)
+  // never reaches the simulator — it would produce garbage measurements the
+  // RL agent happily optimizes against. Warnings are reported by the
+  // registry and the netlist_lint CLI, not here.
+  if (auto diags = analysis::lint_deck(deck); analysis::has_errors(diags)) {
+    return util::Error{"deck '" + name + "' fails static analysis:\n" +
+                       analysis::render_diagnostics_text(diags, name)};
   }
 
   SizingProblem prob;

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "analysis/deck_lint.hpp"
 #include "circuits/netlist_problem.hpp"
 
 namespace autockt::circuits {
@@ -60,6 +61,14 @@ util::Expected<std::string> CircuitRegistry::add_deck_file(
   if (!deck->has_sizing()) {
     return util::Error{path + ": deck declares no .param/.spec sizing"};
   }
+  // Static-analysis gate: errors reject the deck at registration (with
+  // every finding rendered, not just the first), warnings ride along under
+  // the scenario name for lint_reports().
+  auto diags = analysis::lint_deck(*deck);
+  if (analysis::has_errors(diags)) {
+    return util::Error{path + ": deck fails static analysis:\n" +
+                       analysis::render_diagnostics_text(diags, path)};
+  }
   if (name.empty()) name = deck_scenario_name(path);
   if (has(name)) {
     // A deck stem silently shadowing a builtin (or another deck) would
@@ -70,6 +79,7 @@ util::Expected<std::string> CircuitRegistry::add_deck_file(
   }
   const std::string description =
       deck->title.empty() ? "deck scenario (" + path + ")" : deck->title;
+  if (!diags.empty()) lint_reports_[name] = std::move(diags);
   auto shared = std::make_shared<const spice::NetlistDeck>(std::move(*deck));
   add(name,
       [shared, name](const ProblemOptions& o) {

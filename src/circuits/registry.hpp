@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "circuits/problems.hpp"
 #include "circuits/sizing_problem.hpp"
 #include "util/expected.hpp"
@@ -35,10 +36,12 @@ class CircuitRegistry {
 
   /// Register one deck file as a scenario named after its stem (or `name`
   /// when given). The deck is parsed eagerly so malformed files fail at
-  /// registration with their line numbers, and a name colliding with an
-  /// already-registered scenario (e.g. a deck stem shadowing a builtin) is
-  /// an error rather than a silent replacement. Returns the registered
-  /// name.
+  /// registration with their line numbers, then statically analyzed
+  /// (analysis::lint_deck): error-severity findings reject the deck with
+  /// the rendered diagnostics, warnings are collected under the scenario
+  /// name (see lint_reports()). A name colliding with an already-registered
+  /// scenario (e.g. a deck stem shadowing a builtin) is an error rather
+  /// than a silent replacement. Returns the registered name.
   util::Expected<std::string> add_deck_file(const std::string& path,
                                             std::string name = "");
 
@@ -51,6 +54,14 @@ class CircuitRegistry {
   bool has(const std::string& name) const;
   /// Registered names, sorted.
   std::vector<std::string> names() const;
+
+  /// Warning/note diagnostics collected while registering decks, keyed by
+  /// scenario name (decks with error-severity findings were rejected
+  /// outright). Empty for scenarios that linted clean.
+  const std::map<std::string, std::vector<analysis::Diagnostic>>&
+  lint_reports() const {
+    return lint_reports_;
+  }
   /// Description of a registered scenario ("" when unknown).
   std::string description(const std::string& name) const;
 
@@ -71,6 +82,7 @@ class CircuitRegistry {
     std::string description;
   };
   std::map<std::string, Entry> entries_;
+  std::map<std::string, std::vector<analysis::Diagnostic>> lint_reports_;
 };
 
 }  // namespace autockt::circuits

@@ -41,6 +41,9 @@ class Circuit {
     return node_ids_.count(name) > 0;
   }
 
+  /// Name of a node id ("0" for ground); ids come from add_node/node.
+  const std::string& node_name(NodeId n) const { return node_names_[n]; }
+
   std::size_t num_nodes() const { return node_names_.size(); }  // incl. ground
   std::size_t num_branches() const { return num_branches_; }
   std::size_t num_unknowns() const {

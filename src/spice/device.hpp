@@ -186,6 +186,28 @@ struct NoiseSource {
   std::string origin;    // device name, for reporting
 };
 
+/// Structural self-description used by the static analyzers
+/// (analysis/circuit_lint.hpp): what kind of element this is, every node it
+/// touches, and which node pairs it connects with a DC-conductive path
+/// (a path that lets the DC solution determine relative node voltages —
+/// resistor bodies, voltage sources, MOSFET channels, bias-servo ports;
+/// NOT capacitors, current sources or VCCS ports).
+struct DeviceTopology {
+  enum class Kind {
+    Resistor,
+    Capacitor,
+    VoltageSource,
+    CurrentSource,
+    Vccs,
+    BiasProbe,
+    Mosfet,
+    Other
+  };
+  Kind kind = Kind::Other;
+  std::vector<NodeId> nodes;                         // all terminals
+  std::vector<std::pair<NodeId, NodeId>> dc_paths;   // conductive pairs
+};
+
 class Device {
  public:
   explicit Device(std::string name) : name_(std::move(name)) {}
@@ -230,6 +252,11 @@ class Device {
   virtual void collect_noise(const std::vector<double>& /*op_voltages*/,
                              double /*freq*/, double /*temp_k*/,
                              std::vector<NoiseSource>& /*out*/) const {}
+
+  /// Structural description for the static analyzers. The default (no
+  /// nodes, Kind::Other) makes unknown devices invisible to the topology
+  /// checks — conservative: they can never cause a false positive.
+  virtual DeviceTopology topology() const { return {}; }
 
  private:
   std::string name_;

@@ -21,6 +21,9 @@ class Resistor : public Device {
   void collect_noise(const std::vector<double>& op_voltages, double freq,
                      double temp_k,
                      std::vector<NoiseSource>& out) const override;
+  DeviceTopology topology() const override {
+    return {DeviceTopology::Kind::Resistor, {n1_, n2_}, {{n1_, n2_}}};
+  }
 
  private:
   NodeId n1_, n2_;
@@ -37,6 +40,9 @@ class Capacitor : public Device {
   void stamp_real(RealStamp& ctx) const override;
   void stamp_complex(ComplexStamp& ctx) const override;
   void collect_caps(std::vector<CapElement>& out) const override;
+  DeviceTopology topology() const override {
+    return {DeviceTopology::Kind::Capacitor, {n1_, n2_}, {}};
+  }
 
  private:
   NodeId n1_, n2_;
@@ -58,6 +64,12 @@ class VoltageSource : public Device {
 
   double dc_value() const { return wave_.dc(); }
 
+  DeviceTopology topology() const override {
+    return {DeviceTopology::Kind::VoltageSource,
+            {plus_, minus_},
+            {{plus_, minus_}}};
+  }
+
  private:
   NodeId plus_, minus_;
   Waveform wave_;
@@ -73,6 +85,10 @@ class CurrentSource : public Device {
 
   void stamp_real(RealStamp& ctx) const override;
   void stamp_complex(ComplexStamp& ctx) const override;
+
+  DeviceTopology topology() const override {
+    return {DeviceTopology::Kind::CurrentSource, {plus_, minus_}, {}};
+  }
 
  private:
   NodeId plus_, minus_;
@@ -97,6 +113,14 @@ class BiasProbe : public Device {
   void stamp_real(RealStamp& ctx) const override;
   void stamp_complex(ComplexStamp& ctx) const override;
 
+  // The nullor determines the bias-node voltage through the sense-node
+  // constraint, so for DC-path purposes the two ports are connected.
+  DeviceTopology topology() const override {
+    return {DeviceTopology::Kind::BiasProbe,
+            {bias_node_, sense_node_},
+            {{bias_node_, sense_node_}}};
+  }
+
  private:
   NodeId bias_node_, sense_node_;
   double target_v_;
@@ -110,6 +134,12 @@ class Vccs : public Device {
 
   void stamp_real(RealStamp& ctx) const override;
   void stamp_complex(ComplexStamp& ctx) const override;
+
+  // Neither port conducts at DC: the output is an ideal current source and
+  // the input draws no current, so no dc_paths.
+  DeviceTopology topology() const override {
+    return {DeviceTopology::Kind::Vccs, {out_p_, out_m_, in_p_, in_m_}, {}};
+  }
 
  private:
   NodeId out_p_, out_m_, in_p_, in_m_;

@@ -96,6 +96,11 @@ class Mosfet : public Device {
   /// Evaluate the model at explicit terminal voltages (indexed by node).
   MosSmallSignal linearize(const std::vector<double>& voltages) const;
 
+  /// The channel conducts drain<->source; gate and bulk draw no DC current.
+  DeviceTopology topology() const override {
+    return {DeviceTopology::Kind::Mosfet, {d_, g_, s_, b_}, {{d_, s_}}};
+  }
+
   double cgs() const { return cgs_; }
   double cgd() const { return cgd_; }
   double cdb() const { return cdb_; }

@@ -19,19 +19,75 @@ std::string lower(std::string s) {
   return s;
 }
 
-std::vector<std::string> tokenize(const std::string& line) {
+/// One source line split into whitespace-separated tokens plus the 1-based
+/// column each token starts at (for located errors and diagnostics).
+struct TokenizedLine {
   std::vector<std::string> tokens;
-  std::istringstream stream(line);
-  std::string token;
-  while (stream >> token) {
-    if (token[0] == '*') break;  // trailing comment
-    tokens.push_back(token);
+  std::vector<std::size_t> cols;
+};
+
+TokenizedLine tokenize(const std::string& line) {
+  TokenizedLine out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '*') break;  // trailing comment
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out.tokens.push_back(line.substr(start, i - start));
+    out.cols.push_back(start + 1);
   }
-  return tokens;
+  return out;
 }
 
 util::Error at_line(std::size_t line_no, const std::string& message) {
-  return util::Error{"line " + std::to_string(line_no) + ": " + message, 10};
+  util::Error e;
+  e.message = "line " + std::to_string(line_no) + ": " + message;
+  e.code = 10;
+  e.line = line_no;
+  return e;
+}
+
+/// Located variant: names line AND column in the message, and carries both
+/// as structured fields (util::Error::line/col).
+util::Error at(std::size_t line_no, std::size_t col,
+               const std::string& message) {
+  util::Error e;
+  e.message = "line " + std::to_string(line_no) + ", col " +
+              std::to_string(col) + ": " + message;
+  e.code = 10;
+  e.line = line_no;
+  e.col = col;
+  return e;
+}
+
+/// If a line carries a comment ('*' opening a token), record any
+/// `* lint-disable <id>...` ids it names (uppercased, source order).
+void scan_lint_disable(const std::string& line,
+                       std::vector<std::string>& out) {
+  std::size_t pos = std::string::npos;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '*' &&
+        (i == 0 || std::isspace(static_cast<unsigned char>(line[i - 1])))) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == std::string::npos) return;
+  std::istringstream stream(line.substr(pos + 1));
+  std::string word;
+  if (!(stream >> word) || lower(word) != "lint-disable") return;
+  while (stream >> word) {
+    std::transform(word.begin(), word.end(), word.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    out.push_back(word);
+  }
 }
 
 /// Resolve a node token, creating the node on first use.
@@ -64,32 +120,37 @@ struct SourceSpec {
 };
 
 util::Expected<SourceSpec> parse_source_tail(
-    const std::vector<std::string>& tokens, std::size_t i,
+    const std::vector<std::string>& tokens,
+    const std::vector<std::size_t>& cols, std::size_t i,
     std::size_t line_no) {
   SourceSpec spec;
   while (i < tokens.size()) {
     const std::string key = lower(tokens[i]);
     if (key == "dc") {
-      if (i + 1 >= tokens.size()) return at_line(line_no, "dc needs a value");
+      if (i + 1 >= tokens.size()) {
+        return at(line_no, cols[i], "dc needs a value");
+      }
       auto v = parse_spice_number(tokens[i + 1]);
-      if (!v.ok()) return v.error();
+      if (!v.ok()) return at(line_no, cols[i + 1], v.error().message);
       spec.wave = Waveform::constant(*v);
       i += 2;
     } else if (key == "ac") {
-      if (i + 1 >= tokens.size()) return at_line(line_no, "ac needs a value");
+      if (i + 1 >= tokens.size()) {
+        return at(line_no, cols[i], "ac needs a value");
+      }
       auto v = parse_spice_number(tokens[i + 1]);
-      if (!v.ok()) return v.error();
+      if (!v.ok()) return at(line_no, cols[i + 1], v.error().message);
       spec.ac_mag = *v;
       i += 2;
     } else if (key == "step") {
       if (i + 4 >= tokens.size()) {
-        return at_line(line_no, "step needs v0 v1 t0 trise");
+        return at(line_no, cols[i], "step needs v0 v1 t0 trise");
       }
       double vals[4];
       for (int k = 0; k < 4; ++k) {
-        auto v =
-            parse_spice_number(tokens[i + 1 + static_cast<std::size_t>(k)]);
-        if (!v.ok()) return v.error();
+        const std::size_t j = i + 1 + static_cast<std::size_t>(k);
+        auto v = parse_spice_number(tokens[j]);
+        if (!v.ok()) return at(line_no, cols[j], v.error().message);
         vals[k] = *v;
       }
       spec.wave = Waveform::step(vals[0], vals[1], vals[2], vals[3]);
@@ -98,7 +159,7 @@ util::Expected<SourceSpec> parse_source_tail(
       // Bare number == dc value (SPICE shorthand "V1 a 0 1.2").
       auto v = parse_spice_number(tokens[i]);
       if (!v.ok()) {
-        return at_line(line_no, "unexpected token '" + tokens[i] + "'");
+        return at(line_no, cols[i], "unexpected token '" + tokens[i] + "'");
       }
       spec.wave = Waveform::constant(*v);
       ++i;
@@ -109,18 +170,20 @@ util::Expected<SourceSpec> parse_source_tail(
 
 /// Map a sense keyword of a .spec declaration.
 util::Expected<DeckSpec::Sense> parse_sense(const std::string& token,
-                                            std::size_t line_no) {
+                                            std::size_t line_no,
+                                            std::size_t col) {
   const std::string s = lower(token);
   if (s == "geq") return DeckSpec::Sense::GreaterEq;
   if (s == "leq") return DeckSpec::Sense::LessEq;
   if (s == "min") return DeckSpec::Sense::Minimize;
-  return at_line(line_no,
-                 "unknown spec sense '" + token + "' (want geq, leq or min)");
+  return at(line_no, col,
+            "unknown spec sense '" + token + "' (want geq, leq or min)");
 }
 
 /// Map a measurement keyword of a .measure declaration.
 util::Expected<DeckMeasure::Kind> parse_measure_kind(const std::string& token,
-                                                     std::size_t line_no) {
+                                                     std::size_t line_no,
+                                                     std::size_t col) {
   const std::string s = lower(token);
   if (s == "gain") return DeckMeasure::Kind::Gain;
   if (s == "f3db") return DeckMeasure::Kind::F3db;
@@ -129,9 +192,10 @@ util::Expected<DeckMeasure::Kind> parse_measure_kind(const std::string& token,
   if (s == "settling") return DeckMeasure::Kind::Settling;
   if (s == "noise") return DeckMeasure::Kind::Noise;
   if (s == "supply_current") return DeckMeasure::Kind::SupplyCurrent;
-  return at_line(line_no, "unknown measure kind '" + token +
-                              "' (want gain, f3db, ugbw, phase_margin, "
-                              "settling, noise or supply_current)");
+  return at(line_no, col,
+            "unknown measure kind '" + token +
+                "' (want gain, f3db, ugbw, phase_margin, "
+                "settling, noise or supply_current)");
 }
 
 }  // namespace
@@ -203,18 +267,19 @@ namespace {
 /// would a literal, so "w={wp}u" behaves like "w=3.2u").
 util::Expected<std::string> substitute_params(
     const std::string& token, const NetlistDeck& deck,
-    const std::vector<double>& values, std::size_t line_no) {
+    const std::vector<double>& values, std::size_t line_no,
+    std::size_t col) {
   std::string out = token;
   std::size_t open;
   while ((open = out.find('{')) != std::string::npos) {
     const std::size_t close = out.find('}', open);
     if (close == std::string::npos) {
-      return at_line(line_no, "unterminated '{' in '" + token + "'");
+      return at(line_no, col, "unterminated '{' in '" + token + "'");
     }
     const std::string name = lower(out.substr(open + 1, close - open - 1));
     const int p = deck.param_index(name);
     if (p < 0) {
-      return at_line(line_no, "unknown design variable '{" + name +
+      return at(line_no, col, "unknown design variable '{" + name +
                                   "}' in '" + token + "'");
     }
     out = out.substr(0, open) +
@@ -241,82 +306,93 @@ util::Expected<ParsedNetlist> NetlistDeck::instantiate(
   std::vector<std::string> tokens;
   for (const RawLine& raw : lines) {
     const std::size_t line_no = raw.no;
+    // 1-based column per token, padded with 0 ("unknown") for hand-built
+    // RawLines that predate column tracking.
+    std::vector<std::size_t> cols = raw.cols;
+    cols.resize(raw.tokens.size(), 0);
     tokens.clear();
     tokens.reserve(raw.tokens.size());
-    for (const std::string& t : raw.tokens) {
-      auto sub = substitute_params(t, *this, values, line_no);
+    for (std::size_t i = 0; i < raw.tokens.size(); ++i) {
+      auto sub = substitute_params(raw.tokens[i], *this, values, line_no,
+                                   cols[i]);
       if (!sub.ok()) return sub.error();
       tokens.push_back(std::move(*sub));
     }
     const std::string head = lower(tokens[0]);
+    // Located error for token i; falls back to line-only when the column is
+    // unknown (hand-built RawLines).
+    const auto err = [&](std::size_t i, const std::string& msg) {
+      return i < cols.size() && cols[i] > 0 ? at(line_no, cols[i], msg)
+                                            : at_line(line_no, msg);
+    };
 
     // ---- directives ------------------------------------------------------
     if (head[0] == '.') {
       if (head == ".card") {
-        if (tokens.size() < 2) return at_line(line_no, ".card needs a name");
+        if (tokens.size() < 2) return err(0, ".card needs a name");
         const std::string name = lower(tokens[1]);
         if (name == "ptm45") {
           default_card = TechCard::ptm45();
         } else if (name == "finfet16") {
           default_card = TechCard::finfet16();
         } else {
-          return at_line(line_no, "unknown card '" + tokens[1] + "'");
+          return err(1, "unknown card '" + tokens[1] + "'");
         }
       } else if (head == ".nodeset") {
         if (tokens.size() < 3) {
-          return at_line(line_no, ".nodeset needs node and voltage");
+          return err(0, ".nodeset needs node and voltage");
         }
         auto v = parse_spice_number(tokens[2]);
-        if (!v.ok()) return v.error();
+        if (!v.ok()) return err(2, v.error().message);
         out.nodesets.emplace_back(node_of(out.circuit, tokens[1]), *v);
       } else if (head == ".op") {
         out.want_op = true;
       } else if (head == ".ac") {
         if (tokens.size() < 4) {
-          return at_line(line_no, ".ac needs probe f_start f_stop");
+          return err(0, ".ac needs probe f_start f_stop");
         }
         AcRequest req;
         req.probe = lower(tokens[1]);
         auto f0 = parse_spice_number(tokens[2]);
         auto f1 = parse_spice_number(tokens[3]);
-        if (!f0.ok()) return f0.error();
-        if (!f1.ok()) return f1.error();
+        if (!f0.ok()) return err(2, f0.error().message);
+        if (!f1.ok()) return err(3, f1.error().message);
         req.options.f_start = *f0;
         req.options.f_stop = *f1;
         if (tokens.size() > 4) {
           auto ppd = parse_spice_number(tokens[4]);
-          if (!ppd.ok()) return ppd.error();
+          if (!ppd.ok()) return err(4, ppd.error().message);
           req.options.points_per_decade = static_cast<int>(*ppd);
         }
         out.ac.push_back(std::move(req));
       } else if (head == ".tran") {
         if (tokens.size() < 4) {
-          return at_line(line_no, ".tran needs probe t_stop dt");
+          return err(0, ".tran needs probe t_stop dt");
         }
         TranRequest req;
         req.probe = lower(tokens[1]);
         auto ts = parse_spice_number(tokens[2]);
         auto dt = parse_spice_number(tokens[3]);
-        if (!ts.ok()) return ts.error();
-        if (!dt.ok()) return dt.error();
+        if (!ts.ok()) return err(2, ts.error().message);
+        if (!dt.ok()) return err(3, dt.error().message);
         req.options.t_stop = *ts;
         req.options.dt = *dt;
         out.tran.push_back(std::move(req));
       } else if (head == ".noise") {
         if (tokens.size() < 4) {
-          return at_line(line_no, ".noise needs probe f_start f_stop");
+          return err(0, ".noise needs probe f_start f_stop");
         }
         NoiseRequest req;
         req.probe = lower(tokens[1]);
         auto f0 = parse_spice_number(tokens[2]);
         auto f1 = parse_spice_number(tokens[3]);
-        if (!f0.ok()) return f0.error();
-        if (!f1.ok()) return f1.error();
+        if (!f0.ok()) return err(2, f0.error().message);
+        if (!f1.ok()) return err(3, f1.error().message);
         req.options.f_start = *f0;
         req.options.f_stop = *f1;
         out.noise.push_back(std::move(req));
       } else {
-        return at_line(line_no, "unknown directive '" + tokens[0] + "'");
+        return err(0, "unknown directive '" + tokens[0] + "'");
       }
       continue;
     }
@@ -327,30 +403,30 @@ util::Expected<ParsedNetlist> NetlistDeck::instantiate(
     switch (kind) {
       case 'r': {
         if (tokens.size() < 4) {
-          return at_line(line_no, "R needs 2 nodes + value");
+          return err(0, "R needs 2 nodes + value");
         }
         auto v = parse_spice_number(tokens[3]);
-        if (!v.ok()) return at_line(line_no, v.error().message);
-        if (*v <= 0.0) return at_line(line_no, "resistance must be positive");
+        if (!v.ok()) return err(3, v.error().message);
+        if (*v <= 0.0) return err(3, "resistance must be positive");
         out.circuit.add<Resistor>(name, node_of(out.circuit, tokens[1]),
                                   node_of(out.circuit, tokens[2]), *v);
         break;
       }
       case 'c': {
         if (tokens.size() < 4) {
-          return at_line(line_no, "C needs 2 nodes + value");
+          return err(0, "C needs 2 nodes + value");
         }
         auto v = parse_spice_number(tokens[3]);
-        if (!v.ok()) return at_line(line_no, v.error().message);
-        if (*v < 0.0) return at_line(line_no, "capacitance must be >= 0");
+        if (!v.ok()) return err(3, v.error().message);
+        if (*v < 0.0) return err(3, "capacitance must be >= 0");
         out.circuit.add<Capacitor>(name, node_of(out.circuit, tokens[1]),
                                    node_of(out.circuit, tokens[2]), *v);
         break;
       }
       case 'v':
       case 'i': {
-        if (tokens.size() < 3) return at_line(line_no, "source needs 2 nodes");
-        auto spec = parse_source_tail(tokens, 3, line_no);
+        if (tokens.size() < 3) return err(0, "source needs 2 nodes");
+        auto spec = parse_source_tail(tokens, cols, 3, line_no);
         if (!spec.ok()) return spec.error();
         const NodeId np = node_of(out.circuit, tokens[1]);
         const NodeId nm = node_of(out.circuit, tokens[2]);
@@ -365,10 +441,10 @@ util::Expected<ParsedNetlist> NetlistDeck::instantiate(
       }
       case 'g': {
         if (tokens.size() < 6) {
-          return at_line(line_no, "G needs 4 nodes + transconductance");
+          return err(0, "G needs 4 nodes + transconductance");
         }
         auto gm = parse_spice_number(tokens[5]);
-        if (!gm.ok()) return at_line(line_no, gm.error().message);
+        if (!gm.ok()) return err(5, gm.error().message);
         out.circuit.add<Vccs>(name, node_of(out.circuit, tokens[1]),
                               node_of(out.circuit, tokens[2]),
                               node_of(out.circuit, tokens[3]),
@@ -377,23 +453,31 @@ util::Expected<ParsedNetlist> NetlistDeck::instantiate(
       }
       case 'b': {
         if (tokens.size() < 4) {
-          return at_line(line_no, "B needs bias node, sense node, target");
+          return err(0, "B needs bias node, sense node, target");
         }
         auto v = parse_spice_number(tokens[3]);
-        if (!v.ok()) return at_line(line_no, v.error().message);
+        if (!v.ok()) return err(3, v.error().message);
         out.circuit.add<BiasProbe>(name, node_of(out.circuit, tokens[1]),
                                    node_of(out.circuit, tokens[2]), *v);
         break;
       }
       case 'm': {
         if (tokens.size() < 6) {
-          return at_line(line_no, "M needs d g s b + nmos|pmos [+ options]");
+          return err(0, "M needs d g s b + nmos|pmos [+ options]");
         }
         const std::string type = lower(tokens[5]);
         if (type != "nmos" && type != "pmos") {
-          return at_line(line_no, "device type must be nmos or pmos");
+          return err(5, "device type must be nmos or pmos");
         }
         const auto options = options_from(tokens, 6);
+        // Token index of a key=value option, for located errors (0 = the
+        // element name when the key is absent).
+        const auto opt_index = [&](const std::string& key) -> std::size_t {
+          for (std::size_t i = 6; i < tokens.size(); ++i) {
+            if (lower(tokens[i]).rfind(key + "=", 0) == 0) return i;
+          }
+          return 0;
+        };
         MosGeom geom;
         geom.length = 2.0 * default_card.l_min;
         TechCard card = default_card;
@@ -403,24 +487,24 @@ util::Expected<ParsedNetlist> NetlistDeck::instantiate(
           } else if (it->second == "finfet16") {
             card = TechCard::finfet16();
           } else {
-            return at_line(line_no, "unknown card '" + it->second + "'");
+            return err(opt_index("card"), "unknown card '" + it->second + "'");
           }
         }
         if (auto it = options.find("w"); it != options.end()) {
           auto v = parse_spice_number(it->second);
-          if (!v.ok()) return at_line(line_no, v.error().message);
+          if (!v.ok()) return err(opt_index("w"), v.error().message);
           geom.width = *v;
         } else {
-          return at_line(line_no, "M device needs w=<width>");
+          return err(0, "M device needs w=<width>");
         }
         if (auto it = options.find("l"); it != options.end()) {
           auto v = parse_spice_number(it->second);
-          if (!v.ok()) return at_line(line_no, v.error().message);
+          if (!v.ok()) return err(opt_index("l"), v.error().message);
           geom.length = *v;
         }
         if (auto it = options.find("mult"); it != options.end()) {
           auto v = parse_spice_number(it->second);
-          if (!v.ok()) return at_line(line_no, v.error().message);
+          if (!v.ok()) return err(opt_index("mult"), v.error().message);
           geom.mult = static_cast<int>(*v);
         }
         out.circuit.add<Mosfet>(
@@ -431,7 +515,7 @@ util::Expected<ParsedNetlist> NetlistDeck::instantiate(
         break;
       }
       default:
-        return at_line(line_no, "unknown element '" + tokens[0] + "'");
+        return err(0, "unknown element '" + tokens[0] + "'");
     }
   }
 
@@ -467,7 +551,7 @@ util::Expected<ParsedNetlist> NetlistDeck::instantiate_default() const {
   return instantiate(values);
 }
 
-util::Expected<NetlistDeck> parse_deck(const std::string& text) {
+util::Expected<NetlistDeck> parse_deck_syntax(const std::string& text) {
   NetlistDeck deck;
 
   std::istringstream stream(text);
@@ -478,7 +562,9 @@ util::Expected<NetlistDeck> parse_deck(const std::string& text) {
   while (std::getline(stream, line)) {
     ++line_no;
     if (ended) break;
-    const auto tokens = tokenize(line);
+    scan_lint_disable(line, deck.lint_disables);
+    const TokenizedLine tl = tokenize(line);
+    const auto& tokens = tl.tokens;
     if (tokens.empty()) continue;
     const std::string head = lower(tokens[0]);
 
@@ -499,85 +585,88 @@ util::Expected<NetlistDeck> parse_deck(const std::string& text) {
     // ---- sizing declarations --------------------------------------------
     if (head == ".param") {
       if (tokens.size() < 5) {
-        return at_line(line_no, ".param needs name lo hi steps [log]");
+        return at(line_no, tl.cols[0], ".param needs name lo hi steps [log]");
       }
       DeckParam p;
       p.name = lower(tokens[1]);
+      p.line_no = line_no;
       if (deck.param_index(p.name) >= 0) {
-        return at_line(line_no, "duplicate .param '" + p.name + "'");
+        return at(line_no, tl.cols[1], "duplicate .param '" + p.name + "'");
       }
       auto lo = parse_spice_number(tokens[2]);
       auto hi = parse_spice_number(tokens[3]);
       auto steps = parse_spice_number(tokens[4]);
-      if (!lo.ok()) return at_line(line_no, lo.error().message);
-      if (!hi.ok()) return at_line(line_no, hi.error().message);
-      if (!steps.ok()) return at_line(line_no, steps.error().message);
+      if (!lo.ok()) return at(line_no, tl.cols[2], lo.error().message);
+      if (!hi.ok()) return at(line_no, tl.cols[3], hi.error().message);
+      if (!steps.ok()) return at(line_no, tl.cols[4], steps.error().message);
       p.lo = *lo;
       p.hi = *hi;
       if (*steps < 1.0 || *steps != std::floor(*steps)) {
-        return at_line(line_no, ".param '" + p.name + "': steps must be a " +
-                                    "positive integer, got '" + tokens[4] +
-                                    "'");
+        return at(line_no, tl.cols[4],
+                  ".param '" + p.name + "': steps must be a " +
+                      "positive integer, got '" + tokens[4] + "'");
       }
       p.steps = static_cast<int>(*steps);
       if (p.hi < p.lo) {
-        return at_line(line_no, ".param '" + p.name + "': hi < lo");
+        return at(line_no, tl.cols[3], ".param '" + p.name + "': hi < lo");
       }
       if (tokens.size() > 5) {
         if (lower(tokens[5]) != "log") {
-          return at_line(line_no, "unexpected token '" + tokens[5] +
-                                      "' (only 'log' may follow steps)");
+          return at(line_no, tl.cols[5],
+                    "unexpected token '" + tokens[5] +
+                        "' (only 'log' may follow steps)");
         }
         p.log_scale = true;
-        if (p.lo <= 0.0) {
-          return at_line(line_no,
-                         ".param '" + p.name + "': log grid needs lo > 0");
-        }
+        // NOTE: the lo > 0 requirement of log grids is enforced by
+        // parse_deck (and reported as AC203 by the linter), not here —
+        // parse_deck_syntax keeps such decks inspectable.
       }
       deck.params.push_back(std::move(p));
       continue;
     }
     if (head == ".spec") {
       if (tokens.size() < 6) {
-        return at_line(line_no,
-                       ".spec needs name sense sample_lo sample_hi norm");
+        return at(line_no, tl.cols[0],
+                  ".spec needs name sense sample_lo sample_hi norm");
       }
       DeckSpec s;
       s.name = lower(tokens[1]);
       s.line_no = line_no;
       for (const DeckSpec& existing : deck.specs) {
         if (existing.name == s.name) {
-          return at_line(line_no, "duplicate .spec '" + s.name + "'");
+          return at(line_no, tl.cols[1], "duplicate .spec '" + s.name + "'");
         }
       }
-      auto sense = parse_sense(tokens[2], line_no);
+      auto sense = parse_sense(tokens[2], line_no, tl.cols[2]);
       if (!sense.ok()) return sense.error();
       s.sense = *sense;
       auto lo = parse_spice_number(tokens[3]);
       auto hi = parse_spice_number(tokens[4]);
       auto norm = parse_spice_number(tokens[5]);
-      if (!lo.ok()) return at_line(line_no, lo.error().message);
-      if (!hi.ok()) return at_line(line_no, hi.error().message);
-      if (!norm.ok()) return at_line(line_no, norm.error().message);
+      if (!lo.ok()) return at(line_no, tl.cols[3], lo.error().message);
+      if (!hi.ok()) return at(line_no, tl.cols[4], hi.error().message);
+      if (!norm.ok()) return at(line_no, tl.cols[5], norm.error().message);
       s.sample_lo = *lo;
       s.sample_hi = *hi;
       s.norm = *norm;
       if (s.sample_hi < s.sample_lo) {
-        return at_line(line_no,
-                       ".spec '" + s.name + "': sample_hi < sample_lo");
+        return at(line_no, tl.cols[4],
+                  ".spec '" + s.name + "': sample_hi < sample_lo");
       }
       if (s.norm <= 0.0) {
-        return at_line(line_no, ".spec '" + s.name + "': norm must be > 0");
+        return at(line_no, tl.cols[5],
+                  ".spec '" + s.name + "': norm must be > 0");
       }
       for (std::size_t i = 6; i < tokens.size(); ++i) {
         const std::string opt = lower(tokens[i]);
         if (opt.rfind("fail=", 0) == 0) {
           auto fv = parse_spice_number(opt.substr(5));
-          if (!fv.ok()) return at_line(line_no, fv.error().message);
+          if (!fv.ok()) return at(line_no, tl.cols[i], fv.error().message);
           s.fail_value = *fv;
           s.has_fail = true;
         } else {
-          return at_line(line_no, "unexpected token '" + tokens[i] + "'");
+          return at(line_no, tl.cols[i],
+                    "unexpected token '" + tokens[i] + "'");
         }
       }
       if (!s.has_fail) {
@@ -593,25 +682,25 @@ util::Expected<NetlistDeck> parse_deck(const std::string& text) {
     }
     if (head == ".measure") {
       if (tokens.size() < 3) {
-        return at_line(line_no, ".measure needs spec_name and kind");
+        return at(line_no, tl.cols[0], ".measure needs spec_name and kind");
       }
       DeckMeasure m;
       m.spec = lower(tokens[1]);
       m.line_no = line_no;
-      auto kind = parse_measure_kind(tokens[2], line_no);
+      auto kind = parse_measure_kind(tokens[2], line_no, tl.cols[2]);
       if (!kind.ok()) return kind.error();
       m.kind = *kind;
       if (m.kind == DeckMeasure::Kind::SupplyCurrent) {
         if (tokens.size() < 4) {
-          return at_line(line_no,
-                         ".measure supply_current needs a V-source name");
+          return at(line_no, tl.cols[2],
+                    ".measure supply_current needs a V-source name");
         }
         m.source = lower(tokens[3]);
       }
       for (const DeckMeasure& existing : deck.measures) {
         if (existing.spec == m.spec) {
-          return at_line(line_no,
-                         "duplicate .measure for spec '" + m.spec + "'");
+          return at(line_no, tl.cols[1],
+                    "duplicate .measure for spec '" + m.spec + "'");
         }
       }
       deck.measures.push_back(std::move(m));
@@ -620,7 +709,24 @@ util::Expected<NetlistDeck> parse_deck(const std::string& text) {
 
     // Everything else — elements and simulation directives — is kept raw
     // for (re-)instantiation at arbitrary design-variable values.
-    deck.lines.push_back(NetlistDeck::RawLine{line_no, tokens});
+    deck.lines.push_back(NetlistDeck::RawLine{line_no, tokens, tl.cols});
+  }
+
+  return deck;
+}
+
+util::Expected<NetlistDeck> parse_deck(const std::string& text) {
+  auto parsed = parse_deck_syntax(text);
+  if (!parsed.ok()) return parsed.error();
+  NetlistDeck deck = std::move(*parsed);
+
+  // Grid-bound validation deferred from the syntax pass (the linter reports
+  // this as AC203 instead of stopping at the first defect).
+  for (const DeckParam& p : deck.params) {
+    if (p.log_scale && p.lo <= 0.0) {
+      return at_line(p.line_no,
+                     ".param '" + p.name + "': log grid needs lo > 0");
+    }
   }
 
   // Eager validation: instantiate at the default design point so malformed

@@ -97,6 +97,7 @@ struct DeckParam {
   double hi = 0.0;
   int steps = 1;
   bool log_scale = false;
+  std::size_t line_no = 0;
 
   /// Physical value at grid index idx in [0, steps).
   double value_at(int idx) const;
@@ -146,13 +147,19 @@ struct NetlistDeck {
   std::vector<DeckMeasure> measures;
 
   /// Raw tokenized line retained for instantiation; `no` is the 1-based
-  /// line number in the original text, kept so instantiation errors name
-  /// the offending line.
+  /// line number in the original text and `cols` the 1-based column of each
+  /// token, kept so instantiation errors name the offending position.
   struct RawLine {
     std::size_t no = 0;
     std::vector<std::string> tokens;
+    std::vector<std::size_t> cols;
   };
   std::vector<RawLine> lines;
+
+  /// Diagnostic ids named by `* lint-disable <id>...` comments, uppercased
+  /// in source order (see analysis::apply_suppressions; error-severity
+  /// diagnostics are never suppressible).
+  std::vector<std::string> lint_disables;
 
   bool has_sizing() const { return !params.empty() || !specs.empty(); }
   /// Index of a param by name; -1 when absent.
@@ -175,6 +182,14 @@ util::Expected<double> parse_spice_number(const std::string& token);
 /// line number and offending text. The default instantiation is validated
 /// eagerly, so a malformed element line fails here, not at first use.
 util::Expected<NetlistDeck> parse_deck(const std::string& text);
+
+/// Syntax-only variant of parse_deck: tokenizes, collects declarations and
+/// raw lines but skips the eager default instantiation, the sizing
+/// cross-validation and the log-grid bound check. This is the entry point
+/// for static analysis (analysis::lint_deck_text), which must be able to
+/// inspect decks parse_deck would reject and report EVERY defect instead of
+/// the first. Errors are limited to genuinely unreadable lines.
+util::Expected<NetlistDeck> parse_deck_syntax(const std::string& text);
 
 /// Compatibility wrapper: parse and instantiate at default param values.
 util::Expected<ParsedNetlist> parse_netlist(const std::string& text);

@@ -11,9 +11,14 @@
 namespace autockt::util {
 
 /// Error payload: a human-readable message plus an optional machine code.
+/// Errors raised while parsing text (netlist decks) also carry a structured
+/// 1-based source location, so downstream diagnostics don't have to scrape
+/// the rendered message; 0 means "no location".
 struct Error {
   std::string message;
   int code = 0;
+  std::size_t line = 0;
+  std::size_t col = 0;
 };
 
 template <typename T>
