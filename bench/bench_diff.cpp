@@ -1,0 +1,207 @@
+// bench_diff: compare two BENCH_*.json snapshots written by bench_snapshot
+// and fail loudly on a perf-trajectory regression.
+//
+//   bench_diff <baseline.json> <candidate.json>
+//             [--time-tol=2.0] [--counter-tol=0.25] [--rate-tol=0.35]
+//
+// Timings: each bench's ns/op is divided by its own snapshot's
+// calibration_ns_per_op before comparing, so baseline and candidate need
+// not come from the same machine. A bench regresses when
+//   (cand_ns / cand_calib) > time-tol * (base_ns / base_calib);
+// improvements always pass. The default 2x band is deliberately wide:
+// these are low-rep self-timed numbers on shared CI runners, and the
+// snapshot exists to catch order-of-magnitude trajectory breaks (a kernel
+// silently falling back to dense), not 10% drift.
+//
+// Counters: relative band (default +-25%, denominator max(|base|, 1)),
+// failing in BOTH directions — a counter that drops (e.g. fewer cache hits
+// because a workload silently shrank) invalidates the baseline just as
+// much as one that grows, and the fix is to refresh BENCH_seed.json per
+// docs/EXPERIMENTS.md. Names ending in "_rate" compare as absolute
+// differences (default 0.35) since goal rates hover near 0/1 where
+// relative bands are meaningless.
+//
+// A bench or counter present in the baseline but missing from the
+// candidate is a failure (lost coverage must be loud); extra candidate
+// entries are reported but pass (new benches land before the baseline
+// refresh).
+//
+// Exit codes: 0 within tolerance, 1 regression (or unreadable snapshot),
+// 2 usage error.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+using autockt::util::JsonValue;
+
+namespace {
+
+bool load_snapshot(const std::string& path, JsonValue& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = JsonValue::parse(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                 parsed.error().message.c_str());
+    return false;
+  }
+  const JsonValue* schema = parsed->find("schema");
+  if (!schema || schema->as_string() != "autockt-bench-v1") {
+    std::fprintf(stderr, "bench_diff: %s is not an autockt-bench-v1 snapshot\n",
+                 path.c_str());
+    return false;
+  }
+  out = std::move(*parsed);
+  return true;
+}
+
+bool is_rate(const std::string& name) {
+  const std::string suffix = "_rate";
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  autockt::util::CliArgs args(argc, argv);
+  if (args.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <candidate.json> "
+                 "[--time-tol=2.0] [--counter-tol=0.25] [--rate-tol=0.35]\n");
+    return 2;
+  }
+  const double time_tol = args.get_double("time-tol", 2.0);
+  const double counter_tol = args.get_double("counter-tol", 0.25);
+  const double rate_tol = args.get_double("rate-tol", 0.35);
+  if (time_tol <= 0.0 || counter_tol <= 0.0 || rate_tol <= 0.0) {
+    std::fprintf(stderr, "bench_diff: tolerances must be positive\n");
+    return 2;
+  }
+
+  JsonValue base, cand;
+  if (!load_snapshot(args.positional()[0], base) ||
+      !load_snapshot(args.positional()[1], cand)) {
+    return 1;
+  }
+
+  const double base_calib =
+      base.find("calibration_ns_per_op")
+          ? base.find("calibration_ns_per_op")->as_number()
+          : 0.0;
+  const double cand_calib =
+      cand.find("calibration_ns_per_op")
+          ? cand.find("calibration_ns_per_op")->as_number()
+          : 0.0;
+  if (base_calib <= 0.0 || cand_calib <= 0.0) {
+    std::fprintf(stderr, "bench_diff: missing or zero calibration_ns_per_op\n");
+    return 1;
+  }
+
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "FAIL %s\n", what.c_str());
+    ++failures;
+  };
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return std::string(buf);
+  };
+
+  // ---- benches: calibration-normalized timing ratios -----------------------
+  const JsonValue* base_benches = base.find("benches");
+  const JsonValue* cand_benches = cand.find("benches");
+  if (!base_benches || !cand_benches) {
+    std::fprintf(stderr, "bench_diff: snapshot missing \"benches\"\n");
+    return 1;
+  }
+  std::printf("%-34s %14s %14s %8s\n", "bench", "base(norm)", "cand(norm)",
+              "ratio");
+  for (const auto& [name, entry] : base_benches->members()) {
+    const JsonValue* cand_entry = cand_benches->find(name);
+    if (!cand_entry) {
+      fail("bench " + name + ": missing from candidate");
+      continue;
+    }
+    const JsonValue* base_ns = entry.find("ns_per_op");
+    const JsonValue* cand_ns = cand_entry->find("ns_per_op");
+    if (!base_ns || !cand_ns) {
+      fail("bench " + name + ": malformed entry (no ns_per_op)");
+      continue;
+    }
+    const double b = base_ns->as_number() / base_calib;
+    const double c = cand_ns->as_number() / cand_calib;
+    const double ratio = b > 0.0 ? c / b : 0.0;
+    std::printf("%-34s %14.3f %14.3f %7.2fx%s\n", name.c_str(), b, c, ratio,
+                ratio > time_tol ? "  << REGRESSION" : "");
+    if (ratio > time_tol) {
+      fail("bench " + name + ": normalized time " + num(c) + " vs baseline " +
+           num(b));
+    }
+  }
+  for (const auto& [name, entry] : cand_benches->members()) {
+    (void)entry;
+    if (!base_benches->find(name)) {
+      std::printf("note: bench %s is new in the candidate (not compared)\n",
+                  name.c_str());
+    }
+  }
+
+  // ---- counters: tolerance bands, both directions --------------------------
+  const JsonValue* base_counters = base.find("counters");
+  const JsonValue* cand_counters = cand.find("counters");
+  if (!base_counters || !cand_counters) {
+    std::fprintf(stderr, "bench_diff: snapshot missing \"counters\"\n");
+    return 1;
+  }
+  for (const auto& [name, entry] : base_counters->members()) {
+    const JsonValue* cand_entry = cand_counters->find(name);
+    if (!cand_entry) {
+      fail("counter " + name + ": missing from candidate");
+      continue;
+    }
+    const double b = entry.as_number();
+    const double c = cand_entry->as_number();
+    bool ok;
+    if (is_rate(name)) {
+      ok = std::fabs(c - b) <= rate_tol;
+    } else {
+      const double denom = std::fabs(b) > 1.0 ? std::fabs(b) : 1.0;
+      ok = std::fabs(c - b) / denom <= counter_tol;
+    }
+    if (!ok) {
+      fail("counter " + name + ": " + num(c) + " vs baseline " + num(b));
+    }
+  }
+  for (const auto& [name, entry] : cand_counters->members()) {
+    (void)entry;
+    if (!base_counters->find(name)) {
+      std::printf("note: counter %s is new in the candidate (not compared)\n",
+                  name.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %d regression(s); if intentional, refresh the "
+                 "baseline (docs/EXPERIMENTS.md, \"Refreshing "
+                 "BENCH_seed.json\")\n",
+                 failures);
+    return 1;
+  }
+  std::printf("bench_diff: OK (%zu benches, %zu counters within tolerance)\n",
+              base_benches->members().size(), base_counters->members().size());
+  return 0;
+}

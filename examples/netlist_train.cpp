@@ -14,7 +14,12 @@
 //
 // Options: --decks <dir> (extra scenario directory, default examples/decks
 // when present), --iterations --steps --horizon --seed --train-targets
-// --holdout --curriculum --stochastic.
+// --holdout --curriculum --stochastic, --trace <path.jsonl> (record the
+// run's spans/counters and write a JSONL trace — see docs/OBSERVABILITY.md).
+//
+// Exit codes: 0 success; 1 failure (unknown scenario, simulation error, or
+// — under --lint — a deck with error-severity findings refused
+// registration, with the rendered diagnostics on stderr).
 
 #include <algorithm>
 #include <cstdint>
@@ -26,6 +31,7 @@
 
 #include "autockt/autockt.hpp"
 #include "circuits/registry.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -157,10 +163,37 @@ int main(int argc, char** argv) {
   }
   print_problem(**problem);
 
-  if (args.get_bool("characterize")) return characterize(**problem);
+  // --trace: record the whole run and flush a JSONL trace on the way out,
+  // whichever mode ran (docs/OBSERVABILITY.md describes the schema).
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    if (!trace::compiled_in()) {
+      std::fprintf(stderr,
+                   "--trace: recorder compiled out (-DAUTOCKT_TRACE=OFF); "
+                   "the trace will contain no records\n");
+    }
+    trace::recorder().reset();
+    trace::recorder().set_enabled(true);
+  }
+  auto finish = [&](int rc) {
+    std::printf("eval stats: %s\n",
+                (*problem)->eval_stats().summary().c_str());
+    if (trace_path.empty()) return rc;
+    trace::recorder().set_enabled(false);
+    if (!trace::recorder().write_jsonl_file(trace_path)) {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (%zu records)\n", trace_path.c_str(),
+                trace::recorder().snapshot().size());
+    return rc;
+  };
+
+  if (args.get_bool("characterize")) return finish(characterize(**problem));
   if (args.has("sweep")) {
-    return sweep(**problem, static_cast<int>(args.get_int("sweep", 64)),
-                 static_cast<std::uint64_t>(args.get_int("seed", 7)));
+    return finish(sweep(**problem,
+                        static_cast<int>(args.get_int("sweep", 64)),
+                        static_cast<std::uint64_t>(args.get_int("seed", 7))));
   }
 
   core::AutoCktConfig config;
@@ -208,5 +241,5 @@ int main(int argc, char** argv) {
               report.holdout.reached_count(), report.holdout.total(),
               report.holdout.avg_steps_reached());
   std::printf("  generalization gap %.2f\n", report.gap());
-  return 0;
+  return finish(0);
 }

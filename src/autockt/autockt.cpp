@@ -4,6 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
+
 namespace autockt::core {
 
 using circuits::SpecVector;
@@ -122,6 +125,7 @@ DeployStats deploy_agent(const rl::PpoAgent& agent,
                          const env::EnvConfig& env_config, bool stochastic,
                          std::uint64_t seed, int stochastic_retries,
                          int lanes) {
+  trace::TraceSpan span(trace::names::kDeployRun);
   DeployStats stats;
   stats.records.resize(targets.size());
   const eval::EvalStats eval_baseline = problem->eval_stats();

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
+
 namespace autockt::env {
 
 using circuits::ParamVector;
@@ -88,6 +91,7 @@ std::vector<std::vector<double>> VectorSizingEnv::reset_lanes(
 
 std::vector<std::vector<double>> VectorSizingEnv::do_reset(
     const std::vector<int>& lanes) {
+  trace::TraceSpan span(trace::names::kEnvReset);
   std::vector<ParamVector> points;
   std::vector<eval::SimHint*> hints;
   points.reserve(lanes.size());
@@ -117,6 +121,9 @@ std::vector<VectorSizingEnv::LaneStep> VectorSizingEnv::step_all(
   if (actions.size() != static_cast<std::size_t>(num_lanes())) {
     throw std::invalid_argument("VectorSizingEnv: actions size mismatch");
   }
+  // Covers all three phases, so phase-3 auto-resets appear as nested
+  // env/reset spans under the tick.
+  trace::TraceSpan span(trace::names::kEnvTick);
   // Phase 1: apply actions on running lanes and gather pending points
   // (and each lane's warm-start slot — distinct objects, so a fan-out
   // backend may write them concurrently).

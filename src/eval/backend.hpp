@@ -24,6 +24,8 @@
 
 #include "eval/stats.hpp"
 #include "eval/types.hpp"
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
 
 namespace autockt::eval {
 
@@ -37,6 +39,10 @@ class EvalBackend {
   /// caller's warm-start state (see eval/types.hpp); backends thread it
   /// down to the simulator leaf and may ignore it (cache hits do).
   EvalResult evaluate(const ParamVector& params, SimHint* hint = nullptr) {
+    // One span per decorator layer: a Cached(ThreadPool(Function)) stack
+    // nests three eval/evaluate spans, so a trace shows where each lookup
+    // stopped descending.
+    trace::TraceSpan span(trace::names::kEvalEvaluate);
     return do_evaluate(params, hint);
   }
 
@@ -52,6 +58,11 @@ class EvalBackend {
   std::vector<EvalResult> evaluate_batch(
       const std::vector<ParamVector>& points,
       const std::vector<SimHint*>& hints = {}) {
+    // Decorators forward via dispatch_batch(), so exactly one span and one
+    // batch_points counter per caller-visible batch.
+    trace::TraceSpan span(trace::names::kEvalEvaluateBatch);
+    trace::counter(trace::names::kEvalBatchPoints,
+                   static_cast<std::int64_t>(points.size()));
     counters_.record_batch(static_cast<long>(points.size()));
     counters_.begin_pending_batch();
     struct PendingGuard {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
+
 namespace autockt::eval {
 
 std::size_t CachedBackend::VectorHash::operator()(const ParamVector& v) const {
@@ -53,6 +56,7 @@ EvalResult CachedBackend::do_evaluate(const ParamVector& params,
     auto it = shard.map.find(params);
     if (it != shard.map.end()) {
       counters_.add_cache_hit();
+      trace::counter(trace::names::kEvalCacheHit);
       return it->second;
     }
   }
@@ -60,6 +64,7 @@ EvalResult CachedBackend::do_evaluate(const ParamVector& params,
   // both simulate, but the evaluator is a pure function so either insert
   // wins with the same value.
   counters_.add_cache_miss();
+  trace::counter(trace::names::kEvalCacheMiss);
   EvalResult result = inner_->evaluate(params, hint);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -92,16 +97,19 @@ std::vector<EvalResult> CachedBackend::do_evaluate_batch(
     }
     if (hit) {
       counters_.add_cache_hit();
+      trace::counter(trace::names::kEvalCacheHit);
       continue;
     }
     auto [slot_it, inserted] = miss_slots.try_emplace(points[i]);
     if (inserted) {
       counters_.add_cache_miss();
+      trace::counter(trace::names::kEvalCacheMiss);
       misses.push_back(points[i]);
       miss_hints.push_back(hint_at(hints, i));
     } else {
       // A duplicate of an in-flight miss: costs no extra simulation.
       counters_.add_cache_hit();
+      trace::counter(trace::names::kEvalCacheHit);
     }
     slot_it->second.push_back(i);
   }

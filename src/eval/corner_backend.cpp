@@ -4,6 +4,9 @@
 #include <exception>
 #include <optional>
 
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
+
 namespace autockt::eval {
 
 CornerBackend::CornerBackend(std::size_t num_corners, CornerFn corner_eval,
@@ -26,6 +29,7 @@ void CornerBackend::for_each(
 
 EvalResult CornerBackend::run_one(const ParamVector& params,
                                   std::size_t corner, OpHint* hint) const {
+  trace::TraceSpan span(trace::names::kEvalCorner);
   const auto t0 = std::chrono::steady_clock::now();
   EvalResult result = [&]() -> EvalResult {
     try {

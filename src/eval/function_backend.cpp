@@ -3,10 +3,14 @@
 #include <chrono>
 #include <exception>
 
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
+
 namespace autockt::eval {
 
 EvalResult FunctionBackend::do_evaluate(const ParamVector& params,
                                         SimHint* hint) {
+  trace::TraceSpan span(trace::names::kEvalSimulate);
   const auto t0 = std::chrono::steady_clock::now();
   EvalResult result = [&]() -> EvalResult {
     try {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 
 namespace autockt::eval {
 
@@ -70,20 +71,46 @@ double EvalStats::warm_start_hit_rate() const {
                    static_cast<double>(warm_start_attempts);
 }
 
+std::vector<std::pair<const char*, double>> EvalStats::fields() const {
+  return {
+      {"simulations", static_cast<double>(simulations)},
+      {"cache_hits", static_cast<double>(cache_hits)},
+      {"cache_misses", static_cast<double>(cache_misses)},
+      {"batch_calls", static_cast<double>(batch_calls)},
+      {"batch_points", static_cast<double>(batch_points)},
+      {"max_batch", static_cast<double>(max_batch)},
+      {"pending_batches", static_cast<double>(pending_batches)},
+      {"sim_seconds", sim_seconds},
+      {"newton_iterations", static_cast<double>(newton_iterations)},
+      {"symbolic_factorizations", static_cast<double>(symbolic_factorizations)},
+      {"numeric_factorizations", static_cast<double>(numeric_factorizations)},
+      {"dense_fallbacks", static_cast<double>(dense_fallbacks)},
+      {"warm_start_attempts", static_cast<double>(warm_start_attempts)},
+      {"warm_start_hits", static_cast<double>(warm_start_hits)},
+  };
+}
+
 std::string EvalStats::summary() const {
-  char buf[384];
+  // Rendered from fields() so a new counter can never be silently missing
+  // from the dump (the format is pinned by tests/test_eval.cpp).
+  std::string out;
+  out.reserve(384);
+  char buf[64];
+  for (const auto& [name, value] : fields()) {
+    if (!out.empty()) out.push_back(' ');
+    if (std::string_view(name) == "sim_seconds") {
+      std::snprintf(buf, sizeof(buf), "%s=%.3f", name, value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s=%ld", name,
+                    static_cast<long>(value));
+    }
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
-                "sims=%ld cache_hits=%ld cache_misses=%ld hit_rate=%.1f%% "
-                "batches=%ld mean_batch=%.1f max_batch=%ld sim_time=%.3fs "
-                "newton=%ld factor_sym=%ld factor_num=%ld dense_fb=%ld "
-                "warm=%ld/%ld (%.1f%%)",
-                simulations, cache_hits, cache_misses,
-                100.0 * cache_hit_rate(), batch_calls, mean_batch_size(),
-                max_batch, sim_seconds, newton_iterations,
-                symbolic_factorizations, numeric_factorizations,
-                dense_fallbacks, warm_start_hits, warm_start_attempts,
-                100.0 * warm_start_hit_rate());
-  return std::string(buf);
+                " cache_hit_rate=%.1f%% warm_start_hit_rate=%.1f%%",
+                100.0 * cache_hit_rate(), 100.0 * warm_start_hit_rate());
+  out += buf;
+  return out;
 }
 
 EvalStats StatsCollector::snapshot() const {

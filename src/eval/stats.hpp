@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace autockt::eval {
 
@@ -58,7 +60,15 @@ struct EvalStats {
   /// Warm-start hits over attempts; 0 when warm starting never ran.
   double warm_start_hit_rate() const;
 
-  /// One-line human-readable summary for logs and example binaries.
+  /// Every public field as a (canonical name, value) row, in declaration
+  /// order. The single source of truth for dumps: summary() renders it,
+  /// bench_snapshot emits it, and the OBSERVABILITY.md glossary test
+  /// cross-checks it — adding a field here keeps all three in sync.
+  std::vector<std::pair<const char*, double>> fields() const;
+
+  /// One-line human-readable summary for logs and example binaries. Names
+  /// every public field (pinned by tests/test_eval.cpp) plus the derived
+  /// cache_hit_rate / warm_start_hit_rate percentages.
   std::string summary() const;
 };
 

@@ -5,6 +5,7 @@
 #include <istream>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -12,6 +13,8 @@
 #include <utility>
 
 #include "nn/categorical.hpp"
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
 
 namespace autockt::rl {
 
@@ -164,6 +167,7 @@ double PpoAgent::evaluate_goal_rate(
     const std::vector<circuits::SpecVector>& targets,
     int holdout_lanes) const {
   if (targets.empty()) return -1.0;
+  trace::TraceSpan span(trace::names::kRlHoldoutProbe);
   env::SizingEnv probe = env_factory();
   // Cold-start every evaluation: holdout probes interleave with training
   // collection on the shared backend cache, and pinning warm-start off
@@ -276,6 +280,7 @@ TrainHistory PpoAgent::train(
   int patience_hits = 0;
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    trace::TraceSpan iteration_span(trace::names::kRlIteration);
     // ---- 1. Vectorized rollout collection -------------------------------
     // Each worker thread drives one VectorSizingEnv of lanes_per_worker
     // lockstep lanes: every tick is one batched policy forward plus one
@@ -398,13 +403,18 @@ TrainHistory PpoAgent::train(
       }
     };
 
-    if (workers == 1) {
-      collect(0);
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) threads.emplace_back(collect, w);
-      for (auto& t : threads) t.join();
+    {
+      // Main-thread view of the collection phase; worker threads' env
+      // ticks land in their own per-thread trace buffers.
+      trace::TraceSpan collect_span(trace::names::kRlCollect);
+      if (workers == 1) {
+        collect(0);
+      } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w) threads.emplace_back(collect, w);
+        for (auto& t : threads) t.join();
+      }
     }
 
     // Replay buffered episode outcomes into the sampler in global lane
@@ -472,6 +482,10 @@ TrainHistory PpoAgent::train(
     std::vector<std::size_t> order(batch.size());
     std::iota(order.begin(), order.end(), 0);
 
+    // Scoped via optional: the update span must close before the holdout
+    // probe below opens its own top-level span.
+    std::optional<trace::TraceSpan> update_span;
+    update_span.emplace(trace::names::kRlUpdate);
     for (int epoch = 0; epoch < config_.epochs; ++epoch) {
       // Fisher-Yates shuffle with the master stream.
       for (std::size_t i = order.size(); i-- > 1;) {
@@ -552,6 +566,7 @@ TrainHistory PpoAgent::train(
         opt_value.step(value_.params(), value_.grads());
       }
     }
+    update_span.reset();
 
     // ---- 4. Bookkeeping and early stop -----------------------------------
     IterationStats stats;

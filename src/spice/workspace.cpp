@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
+
 namespace autockt::spice {
 
 namespace {
@@ -43,14 +46,20 @@ void reset_kernel_stats() {
 }
 
 namespace kernel_counters {
+// These are the single choke points for Newton/warm-start accounting, so
+// the trace counters mirror the atomics here rather than at every solver
+// call site.
 void add_newton_iterations(long n) {
   g_newton.fetch_add(n, std::memory_order_relaxed);
+  trace::counter(trace::names::kSimNewtonIterations, n);
 }
 void add_warm_start_attempt() {
   g_warm_attempts.fetch_add(1, std::memory_order_relaxed);
+  trace::counter(trace::names::kSimWarmStartAttempt);
 }
 void add_warm_start_hit() {
   g_warm_hits.fetch_add(1, std::memory_order_relaxed);
+  trace::counter(trace::names::kSimWarmStartHit);
 }
 }  // namespace kernel_counters
 
@@ -60,6 +69,7 @@ SimWorkspace::SimWorkspace(const Circuit& circuit, Sides sides)
       num_branches_(circuit.num_branches()),
       num_devices_(circuit.devices().size()),
       zero_voltages_(circuit.num_nodes(), 0.0) {
+  trace::TraceSpan span(trace::names::kSimBuildWorkspace);
   if (sides != Sides::Complex) build_real(circuit);
   if (sides != Sides::Real) build_complex(circuit);
 }
@@ -144,6 +154,7 @@ bool SimWorkspace::compatible(const Circuit& circuit) const {
 }
 
 RealStamp SimWorkspace::begin_real(const std::vector<double>& node_v) {
+  trace::counter(trace::names::kSimRestampReal);
   std::fill(vals_real_.begin(), vals_real_.end(), 0.0);
   std::fill(rhs_real_.begin(), rhs_real_.end(), 0.0);
   RealStamp ctx{MnaSink(pattern_real_, vals_real_.data()), rhs_real_,
@@ -153,6 +164,7 @@ RealStamp SimWorkspace::begin_real(const std::vector<double>& node_v) {
 }
 
 bool SimWorkspace::factor_real() {
+  trace::TraceSpan span(trace::names::kSimFactorReal);
   g_numeric.fetch_add(1, std::memory_order_relaxed);
   if (sym_real_.ok() && lu_real_.refactor(vals_real_.data())) {
     real_sparse_ok_ = true;
@@ -162,6 +174,7 @@ bool SimWorkspace::factor_real() {
   // deterministic dense partial-pivot fallback on the same values.
   real_sparse_ok_ = false;
   g_dense_fallback.fetch_add(1, std::memory_order_relaxed);
+  trace::counter(trace::names::kSimDenseFallback);
   dense_real_.fill(0.0);
   for (std::size_t s = 0; s < vals_real_.size(); ++s) {
     dense_real_(static_cast<std::size_t>(real_slot_row_[s]),
@@ -172,6 +185,7 @@ bool SimWorkspace::factor_real() {
 }
 
 const std::vector<double>& SimWorkspace::solve_real() {
+  trace::TraceSpan span(trace::names::kSimSolveReal);
   if (real_sparse_ok_) {
     lu_real_.solve(rhs_real_.data(), x_real_.data());
   } else {
@@ -182,6 +196,7 @@ const std::vector<double>& SimWorkspace::solve_real() {
 
 ComplexStamp SimWorkspace::begin_complex(
     const std::vector<double>& op_voltages) {
+  trace::counter(trace::names::kSimRestampComplex);
   std::fill(g_vals_.begin(), g_vals_.end(), 0.0);
   std::fill(c_vals_.begin(), c_vals_.end(), 0.0);
   std::fill(rhs_cplx_.begin(), rhs_cplx_.end(),
@@ -194,6 +209,7 @@ ComplexStamp SimWorkspace::begin_complex(
 }
 
 bool SimWorkspace::factor_complex(double omega) {
+  trace::TraceSpan span(trace::names::kSimFactorComplex);
   g_numeric.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t s = 0; s < y_vals_.size(); ++s) {
     y_vals_[s] = {g_vals_[s], omega * c_vals_[s]};
@@ -204,6 +220,7 @@ bool SimWorkspace::factor_complex(double omega) {
   }
   cplx_sparse_ok_ = false;
   g_dense_fallback.fetch_add(1, std::memory_order_relaxed);
+  trace::counter(trace::names::kSimDenseFallback);
   dense_cplx_.fill({0.0, 0.0});
   for (std::size_t s = 0; s < y_vals_.size(); ++s) {
     dense_cplx_(static_cast<std::size_t>(cplx_slot_row_[s]),
@@ -214,6 +231,7 @@ bool SimWorkspace::factor_complex(double omega) {
 }
 
 const std::vector<std::complex<double>>& SimWorkspace::solve_complex() {
+  trace::TraceSpan span(trace::names::kSimSolveComplex);
   if (cplx_sparse_ok_) {
     lu_cplx_.solve(rhs_cplx_.data(), x_cplx_.data());
   } else {
@@ -225,6 +243,7 @@ const std::vector<std::complex<double>>& SimWorkspace::solve_complex() {
 const std::vector<std::complex<double>>&
 SimWorkspace::solve_complex_transposed(
     const std::vector<std::complex<double>>& rhs) {
+  trace::TraceSpan span(trace::names::kSimSolveComplex);
   if (cplx_sparse_ok_) {
     lu_cplx_.solve_transposed(rhs.data(), x_cplx_.data());
   } else {

@@ -1,0 +1,185 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace autockt::util {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Expected<JsonValue> run() {
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Error fail(const std::string& what) const {
+    return Error{"json: " + what + " at offset " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Expected<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return s.error();
+      JsonValue v;
+      v.type_ = JsonValue::Type::String;
+      v.string_ = std::move(*s);
+      return v;
+    }
+    if (literal("true")) {
+      JsonValue v;
+      v.type_ = JsonValue::Type::Bool;
+      v.bool_ = true;
+      return v;
+    }
+    if (literal("false")) {
+      JsonValue v;
+      v.type_ = JsonValue::Type::Bool;
+      return v;
+    }
+    if (literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  Expected<JsonValue> parse_object() {
+    eat('{');
+    JsonValue out;
+    out.type_ = JsonValue::Type::Object;
+    if (eat('}')) return out;
+    while (true) {
+      auto key = parse_string_token();
+      if (!key.ok()) return key.error();
+      if (!eat(':')) return fail("expected ':' after object key");
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      out.members_.emplace_back(std::move(*key), std::move(*value));
+      if (eat(',')) continue;
+      if (eat('}')) return out;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<JsonValue> parse_array() {
+    eat('[');
+    JsonValue out;
+    out.type_ = JsonValue::Type::Array;
+    if (eat(']')) return out;
+    while (true) {
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      out.items_.push_back(std::move(*value));
+      if (eat(',')) continue;
+      if (eat(']')) return out;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<std::string> parse_string_token() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    return parse_string();
+  }
+
+  Expected<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          case 'b':
+            c = '\b';
+            break;
+          case 'f':
+            c = '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            // Only BMP escapes below 0x80 round-trip into a single byte;
+            // higher code points are not produced by this repo's writers.
+            c = static_cast<char>(
+                std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default:
+            c = esc;  // \" \\ \/
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Expected<JsonValue> parse_number() {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) return fail("expected a JSON value");
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type_ = JsonValue::Type::Number;
+    v.number_ = value;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Expected<JsonValue> JsonValue::parse(const std::string& text) {
+  return JsonParser(text).run();
+}
+
+}  // namespace autockt::util

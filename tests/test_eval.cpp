@@ -7,7 +7,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -361,4 +363,58 @@ TEST(Problems, PexCornerBackendMatchesSerialLoop) {
     }
   }
   EXPECT_GT(parallel_prob.eval_stats().simulations, 0);
+}
+
+/// Pin the stat-dump surface: fields() must name every public EvalStats
+/// field (in declaration order) and summary() must print every one of
+/// them. A new field that is added to the struct but forgotten in fields()
+/// — and therefore missing from trainer/deploy dumps, bench snapshots and
+/// the OBSERVABILITY.md glossary — fails here.
+TEST(EvalStats, FieldsAndSummaryNameEveryPublicField) {
+  const std::vector<std::string> expected = {
+      "simulations",
+      "cache_hits",
+      "cache_misses",
+      "batch_calls",
+      "batch_points",
+      "max_batch",
+      "pending_batches",
+      "sim_seconds",
+      "newton_iterations",
+      "symbolic_factorizations",
+      "numeric_factorizations",
+      "dense_fallbacks",
+      "warm_start_attempts",
+      "warm_start_hits",
+  };
+  const eval::EvalStats stats;
+  const auto fields = stats.fields();
+  ASSERT_EQ(fields.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fields[i].first, expected[i]) << "fields()[" << i << "]";
+  }
+  const std::string summary = stats.summary();
+  for (const auto& name : expected) {
+    EXPECT_NE(summary.find(name + "="), std::string::npos)
+        << "summary() does not print " << name;
+  }
+  // The derived ratios ride along in every dump.
+  EXPECT_NE(summary.find("cache_hit_rate="), std::string::npos);
+  EXPECT_NE(summary.find("warm_start_hit_rate="), std::string::npos);
+}
+
+TEST(EvalStats, FieldsReflectValues) {
+  eval::EvalStats stats;
+  stats.simulations = 7;
+  stats.pending_batches = 2;
+  stats.dense_fallbacks = 3;
+  stats.warm_start_attempts = 5;
+  stats.sim_seconds = 1.5;
+  std::map<std::string, double> by_name;
+  for (const auto& [name, value] : stats.fields()) by_name[name] = value;
+  EXPECT_DOUBLE_EQ(by_name["simulations"], 7.0);
+  EXPECT_DOUBLE_EQ(by_name["pending_batches"], 2.0);
+  EXPECT_DOUBLE_EQ(by_name["dense_fallbacks"], 3.0);
+  EXPECT_DOUBLE_EQ(by_name["warm_start_attempts"], 5.0);
+  EXPECT_DOUBLE_EQ(by_name["sim_seconds"], 1.5);
 }

@@ -461,7 +461,8 @@ TEST(KernelStats, SurfaceThroughEvalStats) {
   EXPECT_EQ(stats.warm_start_hits, 3);
   EXPECT_NEAR(stats.warm_start_hit_rate(), 1.0, 1e-12);
   // The one-line summary carries the kernel columns.
-  EXPECT_NE(stats.summary().find("warm=3/3"), std::string::npos);
+  EXPECT_NE(stats.summary().find("warm_start_attempts=3"), std::string::npos);
+  EXPECT_NE(stats.summary().find("warm_start_hits=3"), std::string::npos);
 
   prob.reset_eval_stats();
   const eval::EvalStats cleared = prob.eval_stats();
