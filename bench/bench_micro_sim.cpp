@@ -135,6 +135,54 @@ static void BM_TiaCharacterize_Kernel(benchmark::State& state) {
 }
 BENCHMARK(BM_TiaCharacterize_Kernel)->Arg(0)->Arg(1)->Arg(2);
 
+// ---- batched characterization: K lanes through SparseLuNumericBatch --------
+// Items/sec counts DESIGNS, so these read directly against the scalar
+// sparse-warm rows above: the batch win is the items/sec ratio. Arg is the
+// lane count.
+
+static void BM_TwoStageCharacterize_Batch(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  const spice::TechCard card = spice::TechCard::ptm45();
+  std::vector<eval::OpHint> hints(static_cast<std::size_t>(lanes));
+  std::vector<eval::OpHint*> hint_ptrs;
+  for (auto& h : hints) hint_ptrs.push_back(&h);
+  std::vector<circuits::TwoStageParams> params(
+      static_cast<std::size_t>(lanes));
+  int i = 0;
+  for (auto _ : state) {
+    for (int l = 0; l < lanes; ++l) {
+      params[static_cast<std::size_t>(l)].w12 =
+          (10.0 + 0.25 * ((i + l) % 8)) * 1e-6;
+    }
+    ++i;
+    benchmark::DoNotOptimize(
+        circuits::simulate_two_stage_batch(params, card, {}, hint_ptrs)
+            .data());
+  }
+  state.SetItemsProcessed(state.iterations() * lanes);
+}
+BENCHMARK(BM_TwoStageCharacterize_Batch)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_TiaCharacterize_Batch(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  const spice::TechCard card = spice::TechCard::ptm45();
+  std::vector<eval::OpHint> hints(static_cast<std::size_t>(lanes));
+  std::vector<eval::OpHint*> hint_ptrs;
+  for (auto& h : hints) hint_ptrs.push_back(&h);
+  std::vector<circuits::TiaParams> params(static_cast<std::size_t>(lanes));
+  int i = 0;
+  for (auto _ : state) {
+    for (int l = 0; l < lanes; ++l) {
+      params[static_cast<std::size_t>(l)].mn = 8 + ((i + l) % 4);
+    }
+    ++i;
+    benchmark::DoNotOptimize(
+        circuits::simulate_tia_batch(params, card, {}, hint_ptrs).data());
+  }
+  state.SetItemsProcessed(state.iterations() * lanes);
+}
+BENCHMARK(BM_TiaCharacterize_Batch)->Arg(4)->Arg(16)->Arg(64);
+
 static void BM_FullEval_Tia(benchmark::State& state) {
   const auto prob = circuits::make_tia_problem(raw_options());
   const auto center = prob.center_params();

@@ -21,12 +21,18 @@ using namespace autockt;
 
 namespace {
 
-enum class Stack { Cached, ThreadPool };
+enum class Stack { Cached, ThreadPool, ScalarKernel };
 
 std::shared_ptr<const circuits::SizingProblem> tia(Stack stack) {
   circuits::ProblemOptions options;
   if (stack == Stack::ThreadPool) {
     options.cache = false;  // isolate fan-out gain from cache effects
+  } else if (stack == Stack::ScalarKernel) {
+    // The A/B reference for the batched numeric kernel: same stack as
+    // ThreadPool but evaluate_batch() loops the scalar simulator instead
+    // of running lanes through SparseLuNumericBatch.
+    options.cache = false;
+    options.batch_kernel = false;
   }
   return std::make_shared<const circuits::SizingProblem>(
       circuits::make_tia_problem(options));
@@ -119,6 +125,11 @@ BENCHMARK_CAPTURE(BM_VectorEnvSteps, cached, Stack::Cached)
     ->Arg(16)
     ->Arg(64);
 BENCHMARK_CAPTURE(BM_VectorEnvSteps, pool, Stack::ThreadPool)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_VectorEnvSteps, scalar_kernel, Stack::ScalarKernel)
     ->Arg(1)
     ->Arg(4)
     ->Arg(16)

@@ -152,6 +152,58 @@ BenchRow tia_characterize_warm(int reps) {
   });
 }
 
+/// Batched characterization at `lanes` lanes, reported as ns PER DESIGN so
+/// the row reads directly against its scalar `..._sparse_warm` counterpart:
+/// the batch-kernel speedup is the ratio of the two rows.
+BenchRow two_stage_characterize_batch(int lanes, int reps) {
+  const auto card = spice::TechCard::ptm45();
+  std::vector<eval::OpHint> hints(static_cast<std::size_t>(lanes));
+  std::vector<eval::OpHint*> hint_ptrs;
+  for (auto& h : hints) hint_ptrs.push_back(&h);
+  std::vector<circuits::TwoStageParams> params(
+      static_cast<std::size_t>(lanes));
+  BenchRow row = time_bench(
+      "two_stage_characterize_batch" + std::to_string(lanes), reps,
+      [&](int i) {
+        for (int l = 0; l < lanes; ++l) {
+          params[static_cast<std::size_t>(l)].w12 =
+              (10.0 + 0.25 * ((i + l) % 8)) * 1e-6;
+        }
+        for (const auto& r :
+             circuits::simulate_two_stage_batch(params, card, {}, hint_ptrs)) {
+          if (!r.ok()) {
+            std::fprintf(stderr, "[bench] batched two-stage failed\n");
+            std::exit(2);
+          }
+        }
+      });
+  row.ns_per_op /= static_cast<double>(lanes);  // per design, not per batch
+  return row;
+}
+
+BenchRow tia_characterize_batch(int lanes, int reps) {
+  const auto card = spice::TechCard::ptm45();
+  std::vector<eval::OpHint> hints(static_cast<std::size_t>(lanes));
+  std::vector<eval::OpHint*> hint_ptrs;
+  for (auto& h : hints) hint_ptrs.push_back(&h);
+  std::vector<circuits::TiaParams> params(static_cast<std::size_t>(lanes));
+  BenchRow row = time_bench(
+      "tia_characterize_batch" + std::to_string(lanes), reps, [&](int i) {
+        for (int l = 0; l < lanes; ++l) {
+          params[static_cast<std::size_t>(l)].mn = 8 + ((i + l) % 4);
+        }
+        for (const auto& r :
+             circuits::simulate_tia_batch(params, card, {}, hint_ptrs)) {
+          if (!r.ok()) {
+            std::fprintf(stderr, "[bench] batched tia failed\n");
+            std::exit(2);
+          }
+        }
+      });
+  row.ns_per_op /= static_cast<double>(lanes);
+  return row;
+}
+
 // ---- deterministic counter workloads ---------------------------------------
 // Everything below runs with fixed seeds and single-threaded evaluation so
 // that the emitted counters are reproducible run-to-run on one machine.
@@ -315,6 +367,10 @@ int main(int argc, char** argv) {
   benches.push_back(two_stage_characterize("two_stage_characterize_warm",
                                            KernelMode::SparseWarm, reps(12)));
   benches.push_back(tia_characterize_warm(reps(24)));
+  // Per-design rows; compare against the *_sparse_warm rows above for the
+  // batched-kernel speedup (the PR 9 acceptance bar is >= 2x at 16 lanes).
+  benches.push_back(two_stage_characterize_batch(16, reps(4)));
+  benches.push_back(tia_characterize_batch(16, reps(4)));
 
   {
     const auto prob = circuits::make_tia_problem(raw_options());

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -263,8 +264,174 @@ util::Expected<SizingProblem> make_netlist_problem(
     return out;
   };
 
-  prob.backend = make_standard_backend(std::move(eval), name + "_sim",
-                                       options);
+  // Batched evaluator: all instantiations of one deck share a topology, so
+  // K grid points become K lanes of the batched kernel — one lockstep DC
+  // Newton and (when the plan needs it) one batched AC / noise sweep.
+  // Transient measures stay scalar per lane. Per-lane results are exactly
+  // what the scalar evaluator returns.
+  auto eval_batch = [deck_copy, plan, ws_key](
+                        const std::vector<ParamVector>& points,
+                        const std::vector<eval::OpHint*>& hints)
+      -> std::vector<util::Expected<SpecVector>> {
+    using namespace spice;
+    const std::size_t K = points.size();
+    std::vector<util::Expected<SpecVector>> results(K, SpecVector{});
+    if (K == 0) return results;
+    const auto hint_of = [&](std::size_t l) -> eval::OpHint* {
+      return l < hints.size() ? hints[l] : nullptr;
+    };
+
+    std::vector<std::optional<spice::ParsedNetlist>> insts(K);
+    std::vector<std::size_t> live;
+    for (std::size_t l = 0; l < K; ++l) {
+      std::vector<double> values(deck_copy->params.size());
+      for (std::size_t p = 0; p < values.size(); ++p) {
+        values[p] = deck_copy->params[p].value_at(points[l][p]);
+      }
+      auto inst = deck_copy->instantiate(values);
+      if (!inst.ok()) {
+        results[l] = inst.error();
+        continue;
+      }
+      insts[l].emplace(std::move(*inst));
+      live.push_back(l);
+    }
+    if (live.empty()) return results;
+    SimWorkspace& ws =
+        workspace_for(insts[live.front()]->circuit, ws_key);
+
+    std::vector<const Circuit*> dc_ckts;
+    std::vector<DcOptions> dc_opts;
+    std::vector<OpPoint> warm(K);
+    dc_ckts.reserve(live.size());
+    dc_opts.reserve(live.size());
+    for (const std::size_t l : live) {
+      dc_ckts.push_back(&insts[l]->circuit);
+      DcOptions dc_opt;
+      dc_opt.workspace = &ws;
+      apply_warm_start(hint_of(l), warm[l], dc_opt);
+      dc_opt.initial_node_v = insts[l]->initial_node_voltages();
+      dc_opts.push_back(std::move(dc_opt));
+    }
+    std::vector<util::Expected<OpPoint>> ops =
+        solve_op_batch(dc_ckts, dc_opts, ws);
+
+    // Compact the DC-converged lanes into the batched sweeps.
+    std::vector<std::size_t> ok_lanes;
+    std::vector<const Circuit*> ok_ckts;
+    std::vector<const OpPoint*> ok_ops;
+    std::vector<OpPoint> op_store(live.size());
+    for (std::size_t s = 0; s < live.size(); ++s) {
+      const std::size_t l = live[s];
+      if (!ops[s].ok()) {
+        results[l] = ops[s].error();
+        continue;
+      }
+      refresh_hint(hint_of(l), *ops[s]);
+      op_store[ok_lanes.size()] = std::move(*ops[s]);
+      ok_ckts.push_back(&insts[l]->circuit);
+      ok_lanes.push_back(l);
+    }
+    if (ok_lanes.empty()) return results;
+    ok_ops.reserve(ok_lanes.size());
+    for (std::size_t s = 0; s < ok_lanes.size(); ++s) {
+      ok_ops.push_back(&op_store[s]);
+    }
+
+    std::vector<util::Expected<std::vector<AcPoint>>> sweeps;
+    if (plan.need_ac) {
+      AcOptions o = insts[ok_lanes.front()]->ac.front().options;
+      o.workspace = &ws;
+      const NodeId probe = probe_node(
+          *ok_ckts.front(), insts[ok_lanes.front()]->ac.front().probe);
+      sweeps = ac_sweep_batch(ok_ckts, ok_ops, probe, kGround, o, ws);
+    }
+    std::vector<util::Expected<NoiseResult>> noises;
+    if (plan.need_noise) {
+      NoiseOptions o = insts[ok_lanes.front()]->noise.front().options;
+      o.workspace = &ws;
+      const NodeId probe = probe_node(
+          *ok_ckts.front(), insts[ok_lanes.front()]->noise.front().probe);
+      noises = noise_sweep_batch(ok_ckts, ok_ops, probe, kGround, o, ws);
+    }
+
+    for (std::size_t s = 0; s < ok_lanes.size(); ++s) {
+      const std::size_t l = ok_lanes[s];
+      Circuit& ckt = insts[l]->circuit;
+      const OpPoint& op = op_store[s];
+
+      AcMeasurements acm;
+      if (plan.need_ac) {
+        if (!sweeps[s].ok()) {
+          results[l] = sweeps[s].error();
+          continue;
+        }
+        acm = measure_ac(*sweeps[s]);
+      }
+      SettlingResult settle;
+      if (plan.need_tran) {
+        TranOptions o = insts[l]->tran.front().options;
+        o.workspace = &ws;
+        auto tran = transient(
+            ckt, op, {probe_node(ckt, insts[l]->tran.front().probe)}, o);
+        if (!tran.ok()) {
+          results[l] = tran.error();
+          continue;
+        }
+        settle = measure_settling(tran->time, tran->waveforms[0]);
+      }
+      double noise_vrms = 0.0;
+      if (plan.need_noise) {
+        if (!noises[s].ok()) {
+          results[l] = noises[s].error();
+          continue;
+        }
+        noise_vrms = noises[s]->total_output_vrms();
+      }
+
+      SpecVector out(plan.per_spec.size(), 0.0);
+      bool lane_ok = true;
+      for (std::size_t i = 0; i < plan.per_spec.size() && lane_ok; ++i) {
+        const MeasurePlan::Extraction& ex = plan.per_spec[i];
+        switch (ex.kind) {
+          case DeckMeasure::Kind::Gain:
+            out[i] = acm.dc_gain;
+            break;
+          case DeckMeasure::Kind::F3db:
+            out[i] = acm.f3db_found ? acm.f3db : ex.fail_value;
+            break;
+          case DeckMeasure::Kind::Ugbw:
+            out[i] = acm.ugbw_found ? acm.ugbw : ex.fail_value;
+            break;
+          case DeckMeasure::Kind::PhaseMargin:
+            out[i] = acm.ugbw_found ? acm.phase_margin_deg : ex.fail_value;
+            break;
+          case DeckMeasure::Kind::Settling:
+            out[i] = settle.settled ? settle.time : ex.fail_value;
+            break;
+          case DeckMeasure::Kind::Noise:
+            out[i] = noise_vrms;
+            break;
+          case DeckMeasure::Kind::SupplyCurrent: {
+            const Device* dev = ckt.find(ex.source);
+            if (dev == nullptr || dev->branch_count() == 0) {
+              results[l] = util::Error{"supply_current: no branch device '" +
+                                       ex.source + "'"};
+              lane_ok = false;
+              break;
+            }
+            out[i] = std::fabs(op.branch_i[dev->first_branch()]);
+            break;
+          }
+        }
+      }
+      if (lane_ok) results[l] = std::move(out);
+    }
+    return results;
+  };
+
+  prob.backend = make_standard_backend(std::move(eval), std::move(eval_batch),
+                                       name + "_sim", options);
   try {
     prob.validate();
   } catch (const std::invalid_argument& e) {

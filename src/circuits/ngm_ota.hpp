@@ -60,6 +60,16 @@ util::Expected<NgmResult> simulate_ngm_ota(const NgmParams& params,
                                            const spice::TechCard& card,
                                            const NgmBuildOptions& options = {});
 
+/// Batched characterization: K design points run as lanes of the batched
+/// kernel (lockstep DC Newton + batched AC sweep); per-lane results are
+/// identical to simulate_ngm_ota(). `hints` may be empty or hold one
+/// (possibly null) hint per design; `options.hint` is ignored. The Dense
+/// kernel falls back to a scalar loop.
+std::vector<util::Expected<NgmResult>> simulate_ngm_ota_batch(
+    const std::vector<NgmParams>& params, const spice::TechCard& card,
+    const NgmBuildOptions& options = {},
+    const std::vector<eval::OpHint*>& hints = {});
+
 NgmParams ngm_params_from_grid(const std::vector<ParamDef>& defs,
                                const ParamVector& idx);
 

@@ -40,8 +40,18 @@ std::shared_ptr<eval::EvalBackend> wrap_cache(
 std::shared_ptr<eval::EvalBackend> make_standard_backend(
     eval::HintedEvalFn fn, const std::string& name,
     const ProblemOptions& options) {
+  return make_standard_backend(std::move(fn), nullptr, name, options);
+}
+
+std::shared_ptr<eval::EvalBackend> make_standard_backend(
+    eval::HintedEvalFn fn, eval::BatchEvalFn batch_fn, const std::string& name,
+    const ProblemOptions& options) {
+  if (!options.batch_kernel) batch_fn = nullptr;
   std::shared_ptr<eval::EvalBackend> backend =
-      std::make_shared<eval::FunctionBackend>(std::move(fn), name);
+      batch_fn != nullptr
+          ? std::make_shared<eval::FunctionBackend>(std::move(fn),
+                                                    std::move(batch_fn), name)
+          : std::make_shared<eval::FunctionBackend>(std::move(fn), name);
   if (options.parallel_batch) {
     backend =
         std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
@@ -84,6 +94,27 @@ SizingProblem make_tia_problem(const ProblemOptions& options) {
         if (!res.ok()) return res.error();
         return SpecVector{res->settling_time, res->cutoff_freq,
                           res->input_noise};
+      },
+      [card, param_defs](const std::vector<ParamVector>& points,
+                         const std::vector<eval::OpHint*>& hints)
+          -> std::vector<util::Expected<SpecVector>> {
+        std::vector<TiaParams> params;
+        params.reserve(points.size());
+        for (const ParamVector& idx : points) {
+          params.push_back(tia_params_from_grid(param_defs, idx));
+        }
+        auto sims = simulate_tia_batch(params, card, {}, hints);
+        std::vector<util::Expected<SpecVector>> out;
+        out.reserve(sims.size());
+        for (auto& res : sims) {
+          if (!res.ok()) {
+            out.push_back(res.error());
+          } else {
+            out.push_back(SpecVector{res->settling_time, res->cutoff_freq,
+                                     res->input_noise});
+          }
+        }
+        return out;
       },
       "tia_sim", options);
   prob.validate();
@@ -141,6 +172,27 @@ SizingProblem make_two_stage_problem(const ProblemOptions& options) {
         if (!res.ok()) return res.error();
         return SpecVector{res->gain, res->ugbw, res->phase_margin,
                           res->bias_current};
+      },
+      [card, param_defs](const std::vector<ParamVector>& points,
+                         const std::vector<eval::OpHint*>& hints)
+          -> std::vector<util::Expected<SpecVector>> {
+        std::vector<TwoStageParams> params;
+        params.reserve(points.size());
+        for (const ParamVector& idx : points) {
+          params.push_back(two_stage_params_from_grid(param_defs, idx));
+        }
+        auto sims = simulate_two_stage_batch(params, card, {}, hints);
+        std::vector<util::Expected<SpecVector>> out;
+        out.reserve(sims.size());
+        for (auto& res : sims) {
+          if (!res.ok()) {
+            out.push_back(res.error());
+          } else {
+            out.push_back(SpecVector{res->gain, res->ugbw, res->phase_margin,
+                                     res->bias_current});
+          }
+        }
+        return out;
       },
       "two_stage_sim", options);
   prob.validate();
@@ -202,6 +254,26 @@ SizingProblem make_ngm_problem(const ProblemOptions& options) {
         auto res = simulate_ngm_ota(p, card, build);
         if (!res.ok()) return res.error();
         return SpecVector{res->gain, res->ugbw, res->phase_margin};
+      },
+      [card, param_defs](const std::vector<ParamVector>& points,
+                         const std::vector<eval::OpHint*>& hints)
+          -> std::vector<util::Expected<SpecVector>> {
+        std::vector<NgmParams> params;
+        params.reserve(points.size());
+        for (const ParamVector& idx : points) {
+          params.push_back(ngm_params_from_grid(param_defs, idx));
+        }
+        auto sims = simulate_ngm_ota_batch(params, card, {}, hints);
+        std::vector<util::Expected<SpecVector>> out;
+        out.reserve(sims.size());
+        for (auto& res : sims) {
+          if (!res.ok()) {
+            out.push_back(res.error());
+          } else {
+            out.push_back(SpecVector{res->gain, res->ugbw, res->phase_margin});
+          }
+        }
+        return out;
       },
       "ngm_sim", options);
   prob.validate();

@@ -29,6 +29,12 @@ struct ProblemOptions {
   std::size_t cache_shards = 16;
   bool parallel_batch = true;   // evaluate_batch() over the worker pool
   bool parallel_corners = true; // PEX only: PVT corners fanned out
+  /// evaluate_batch() runs K grid points as lanes of the batched sparse
+  /// kernel (SparseLuNumericBatch) instead of looping the scalar
+  /// simulator: lockstep DC Newton, batched AC/noise sweeps. Per-point
+  /// results are identical; only throughput changes. Ignored by the PEX
+  /// factory (its leaf is the corner fan-out) and by the Dense kernel.
+  bool batch_kernel = true;
   /// Worker pool for batch/corner fan-out; null uses the process-wide
   /// shared pool.
   std::shared_ptr<eval::ThreadPool> pool;
@@ -40,6 +46,14 @@ struct ProblemOptions {
 /// deck-compiled problems (circuits/netlist_problem.hpp).
 std::shared_ptr<eval::EvalBackend> make_standard_backend(
     eval::HintedEvalFn fn, const std::string& name,
+    const ProblemOptions& options);
+
+/// Batch-aware variant: when `options.batch_kernel` is set and `batch_fn`
+/// is non-null, the FunctionBackend leaf routes whole batches through
+/// `batch_fn` (one batched-kernel invocation) and the thread-pool layer
+/// forwards rather than splits them.
+std::shared_ptr<eval::EvalBackend> make_standard_backend(
+    eval::HintedEvalFn fn, eval::BatchEvalFn batch_fn, const std::string& name,
     const ProblemOptions& options);
 
 /// Transimpedance amplifier (Table I / Fig. 5). ptm45 card.

@@ -22,6 +22,86 @@ constexpr double kChannelLengthFactor = 2.0;  // drawn L = 2 * l_min
 // demonstrably settles. Equal to the maximum window (and the spec's fail
 // value), so a still-ringing design can never out-score one that settled.
 constexpr double kUnsettledPenalty = 3e-8;  // s
+
+spice::DcOptions tia_dc_options(const spice::Circuit& ckt,
+                                const spice::TechCard& card,
+                                spice::SimKernel kernel,
+                                spice::SimWorkspace* ws) {
+  spice::DcOptions dc_opt;
+  dc_opt.kernel = kernel;
+  dc_opt.workspace = ws;
+  dc_opt.initial_node_v.assign(ckt.num_nodes(), 0.0);
+  dc_opt.initial_node_v[ckt.node("vdd")] = card.vdd;
+  dc_opt.initial_node_v[ckt.node("in")] = card.vdd / 2.0;
+  dc_opt.initial_node_v[ckt.node("out")] = card.vdd / 2.0;
+  return dc_opt;
+}
+
+spice::AcOptions tia_ac_options(spice::SimKernel kernel,
+                                spice::SimWorkspace* ws) {
+  spice::AcOptions ac_opt;
+  ac_opt.kernel = kernel;
+  ac_opt.workspace = ws;
+  ac_opt.f_start = 1e5;
+  ac_opt.f_stop = 1e11;
+  ac_opt.points_per_decade = 10;
+  return ac_opt;
+}
+
+spice::NoiseOptions tia_noise_options(spice::SimKernel kernel,
+                                      spice::SimWorkspace* ws) {
+  spice::NoiseOptions n_opt;
+  n_opt.kernel = kernel;
+  n_opt.workspace = ws;
+  n_opt.f_start = 1e3;
+  n_opt.f_stop = 1e10;
+  n_opt.points_per_decade = 4;
+  return n_opt;
+}
+
+/// Transient step-response settling measurement around the converged op
+/// point; window scaled from the lane's own small-signal bandwidth (which
+/// is why this stage stays scalar in the batched path).
+util::Expected<double> tia_settling_time(const TiaParams& params,
+                                         const spice::TechCard& card,
+                                         const TiaBuildOptions& options,
+                                         spice::SimWorkspace* ws,
+                                         const spice::OpPoint& op,
+                                         double cutoff_freq) {
+  using namespace spice;
+  // Window scaled from the small-signal bandwidth so slow and fast designs
+  // are both resolved with ~0.25% time granularity.
+  const double f_bw = std::clamp(cutoff_freq, 1e7, 1e11);
+  const double t_window = std::clamp(10.0 / f_bw, 2e-10, 3e-8);
+  const double t_edge = 0.1 * t_window;
+
+  // Same netlist rebuilt with the stepped input source (devices are
+  // immutable, so the transient stimulus needs its own build). Because it
+  // is the same build function, the structure — and hence the workspace's
+  // frozen pattern — matches by construction.
+  const Waveform step_wave =
+      Waveform::step(0.0, kStepCurrent, t_edge, t_window / 2000.0);
+  TiaBuildOptions step_options = options;
+  step_options.input_stimulus = &step_wave;
+  Circuit step_ckt = build_tia(params, card, step_options);
+
+  TranOptions tr_opt;
+  tr_opt.kernel = options.kernel;
+  tr_opt.workspace = ws;  // step_ckt shares the topology (and pattern)
+  tr_opt.t_stop = t_window;
+  tr_opt.dt = t_window / 400.0;
+  auto tran = transient(step_ckt, op, {step_ckt.node("out")}, tr_opt);
+  if (!tran.ok()) return tran.error();
+  const SettlingResult settle =
+      measure_settling(tran->time, tran->waveforms[0], 0.02);
+  if (settle.settled) {
+    return std::max(settle.time - t_edge, tr_opt.dt);
+  }
+  // The output was still moving at the window end: the measured instant is
+  // only a lower bound. Report the penalty instead of crediting the design
+  // with a (possibly tiny) truncated window length.
+  return kUnsettledPenalty;
+}
 }  // namespace
 
 spice::Circuit build_tia(const TiaParams& params, const spice::TechCard& card,
@@ -86,26 +166,15 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
                         options.parasitics != nullptr ? "tia_pex" : "tia");
   }
 
-  DcOptions dc_opt;
-  dc_opt.kernel = options.kernel;
-  dc_opt.workspace = ws;
+  DcOptions dc_opt = tia_dc_options(ckt, card, options.kernel, ws);
   OpPoint warm;
   apply_warm_start(options.hint, warm, dc_opt);
-  dc_opt.initial_node_v.assign(ckt.num_nodes(), 0.0);
-  dc_opt.initial_node_v[ckt.node("vdd")] = card.vdd;
-  dc_opt.initial_node_v[ckt.node("in")] = card.vdd / 2.0;
-  dc_opt.initial_node_v[ckt.node("out")] = card.vdd / 2.0;
   auto op = solve_op(ckt, dc_opt);
   if (!op.ok()) return op.error();
   refresh_hint(options.hint, *op);
 
   // ---- AC: transimpedance magnitude and cutoff --------------------------
-  AcOptions ac_opt;
-  ac_opt.kernel = options.kernel;
-  ac_opt.workspace = ws;
-  ac_opt.f_start = 1e5;
-  ac_opt.f_stop = 1e11;
-  ac_opt.points_per_decade = 10;
+  const AcOptions ac_opt = tia_ac_options(options.kernel, ws);
   auto sweep = ac_sweep(ckt, *op, out, kGround, ac_opt);
   if (!sweep.ok()) return sweep.error();
   const AcMeasurements acm = measure_ac(*sweep);
@@ -115,12 +184,7 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
   const double z_dc = std::max(acm.dc_gain, 1.0);  // Ohms (1 A AC stimulus)
 
   // ---- Noise: output-referred, then referred to the input ----------------
-  NoiseOptions n_opt;
-  n_opt.kernel = options.kernel;
-  n_opt.workspace = ws;
-  n_opt.f_start = 1e3;
-  n_opt.f_stop = 1e10;
-  n_opt.points_per_decade = 4;
+  const NoiseOptions n_opt = tia_noise_options(options.kernel, ws);
   auto noise = noise_sweep(ckt, *op, out, kGround, n_opt);
   if (!noise.ok()) return noise.error();
   // Input-referred current noise times the feedback resistance gives the
@@ -129,42 +193,108 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
                        params.feedback_resistance() / z_dc;
 
   // ---- Transient: step-response settling ---------------------------------
-  // Window scaled from the small-signal bandwidth so slow and fast designs
-  // are both resolved with ~0.25% time granularity.
-  const double f_bw = std::clamp(result.cutoff_freq, 1e7, 1e11);
-  const double t_window = std::clamp(10.0 / f_bw, 2e-10, 3e-8);
-  const double t_edge = 0.1 * t_window;
-
-  // Same netlist rebuilt with the stepped input source (devices are
-  // immutable, so the transient stimulus needs its own build). Because it
-  // is the same build function, the structure — and hence the workspace's
-  // frozen pattern — matches by construction.
-  const Waveform step_wave =
-      Waveform::step(0.0, kStepCurrent, t_edge, t_window / 2000.0);
-  TiaBuildOptions step_options = options;
-  step_options.input_stimulus = &step_wave;
-  Circuit step_ckt = build_tia(params, card, step_options);
-
-  TranOptions tr_opt;
-  tr_opt.kernel = options.kernel;
-  tr_opt.workspace = ws;  // step_ckt shares the topology (and pattern)
-  tr_opt.t_stop = t_window;
-  tr_opt.dt = t_window / 400.0;
-  auto tran = transient(step_ckt, *op, {step_ckt.node("out")}, tr_opt);
-  if (!tran.ok()) return tran.error();
-  const SettlingResult settle =
-      measure_settling(tran->time, tran->waveforms[0], 0.02);
-  if (settle.settled) {
-    result.settling_time = std::max(settle.time - t_edge, tr_opt.dt);
-  } else {
-    // The output was still moving at the window end: the measured instant is
-    // only a lower bound. Report the penalty instead of crediting the design
-    // with a (possibly tiny) truncated window length.
-    result.settling_time = kUnsettledPenalty;
-  }
+  auto settling = tia_settling_time(params, card, options, ws, *op,
+                                    result.cutoff_freq);
+  if (!settling.ok()) return settling.error();
+  result.settling_time = *settling;
 
   result.supply_current = -op->branch_i[0];
   return result;
+}
+
+std::vector<util::Expected<TiaResult>> simulate_tia_batch(
+    const std::vector<TiaParams>& params, const spice::TechCard& card,
+    const TiaBuildOptions& options, const std::vector<eval::OpHint*>& hints) {
+  using namespace spice;
+  const std::size_t K = params.size();
+  std::vector<util::Expected<TiaResult>> results(K, TiaResult{});
+  if (K == 0) return results;
+  const auto hint_of = [&](std::size_t l) -> eval::OpHint* {
+    return l < hints.size() ? hints[l] : nullptr;
+  };
+  if (options.kernel == SimKernel::Dense) {
+    for (std::size_t l = 0; l < K; ++l) {
+      TiaBuildOptions lane_options = options;
+      lane_options.hint = hint_of(l);
+      results[l] = simulate_tia(params[l], card, lane_options);
+    }
+    return results;
+  }
+
+  std::vector<Circuit> circuits;
+  circuits.reserve(K);
+  for (const TiaParams& p : params) {
+    circuits.push_back(build_tia(p, card, options));
+  }
+  SimWorkspace& ws = workspace_for(
+      circuits.front(), options.parasitics != nullptr ? "tia_pex" : "tia");
+  const NodeId out = circuits.front().node("out");
+
+  std::vector<const Circuit*> ckt_ptrs(K);
+  std::vector<DcOptions> dc_opts(K);
+  std::vector<OpPoint> warm(K);
+  for (std::size_t l = 0; l < K; ++l) {
+    ckt_ptrs[l] = &circuits[l];
+    dc_opts[l] = tia_dc_options(circuits[l], card, SimKernel::Sparse, &ws);
+    TiaBuildOptions lane_options = options;
+    lane_options.hint = hint_of(l);
+    apply_warm_start(lane_options.hint, warm[l], dc_opts[l]);
+  }
+  std::vector<util::Expected<OpPoint>> ops =
+      solve_op_batch(ckt_ptrs, dc_opts, ws);
+
+  // Compact the converged lanes into the batched AC and noise sweeps.
+  std::vector<std::size_t> live;
+  std::vector<const Circuit*> live_ckts;
+  std::vector<const OpPoint*> live_ops;
+  for (std::size_t l = 0; l < K; ++l) {
+    if (!ops[l].ok()) {
+      results[l] = ops[l].error();
+      continue;
+    }
+    refresh_hint(hint_of(l), *ops[l]);
+    live.push_back(l);
+    live_ckts.push_back(&circuits[l]);
+    live_ops.push_back(&*ops[l]);
+  }
+  if (live.empty()) return results;
+
+  const AcOptions ac_opt = tia_ac_options(SimKernel::Sparse, &ws);
+  std::vector<util::Expected<std::vector<AcPoint>>> sweeps =
+      ac_sweep_batch(live_ckts, live_ops, out, kGround, ac_opt, ws);
+  const NoiseOptions n_opt = tia_noise_options(SimKernel::Sparse, &ws);
+  std::vector<util::Expected<NoiseResult>> noises =
+      noise_sweep_batch(live_ckts, live_ops, out, kGround, n_opt, ws);
+
+  TiaBuildOptions lane_options = options;
+  lane_options.kernel = SimKernel::Sparse;
+  for (std::size_t s = 0; s < live.size(); ++s) {
+    const std::size_t l = live[s];
+    if (!sweeps[s].ok()) {
+      results[l] = sweeps[s].error();
+      continue;
+    }
+    if (!noises[s].ok()) {
+      results[l] = noises[s].error();
+      continue;
+    }
+    const AcMeasurements acm = measure_ac(*sweeps[s]);
+    TiaResult result;
+    result.cutoff_freq = acm.f3db_found ? acm.f3db : ac_opt.f_stop;
+    const double z_dc = std::max(acm.dc_gain, 1.0);
+    result.input_noise = noises[s]->total_output_vrms() *
+                         params[l].feedback_resistance() / z_dc;
+    auto settling = tia_settling_time(params[l], card, lane_options, &ws,
+                                      *ops[l], result.cutoff_freq);
+    if (!settling.ok()) {
+      results[l] = settling.error();
+      continue;
+    }
+    result.settling_time = *settling;
+    result.supply_current = -ops[l]->branch_i[0];
+    results[l] = result;
+  }
+  return results;
 }
 
 TiaParams tia_params_from_grid(const std::vector<ParamDef>& defs,

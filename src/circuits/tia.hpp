@@ -66,6 +66,18 @@ util::Expected<TiaResult> simulate_tia(const TiaParams& params,
                                        const spice::TechCard& card,
                                        const TiaBuildOptions& options = {});
 
+/// Batched characterization: K design points run as lanes of the batched
+/// kernel — lockstep DC Newton, batched AC and noise sweeps. The transient
+/// settling run stays scalar per lane (each lane's window and step size
+/// depend on its own measured bandwidth). Per-lane results are identical
+/// to simulate_tia(). `hints` may be empty or hold one (possibly null)
+/// hint per design; `options.hint` is ignored. The Dense kernel falls back
+/// to a scalar loop.
+std::vector<util::Expected<TiaResult>> simulate_tia_batch(
+    const std::vector<TiaParams>& params, const spice::TechCard& card,
+    const TiaBuildOptions& options = {},
+    const std::vector<eval::OpHint*>& hints = {});
+
 /// Map a SizingProblem grid point to physical TIA parameters.
 TiaParams tia_params_from_grid(const std::vector<ParamDef>& defs,
                                const ParamVector& idx);

@@ -63,6 +63,16 @@ util::Expected<OpampResult> simulate_two_stage(
     const TwoStageParams& params, const spice::TechCard& card,
     const OpampBuildOptions& options = {});
 
+/// Batched characterization: K design points of the same topology run as
+/// lanes of the batched kernel (lockstep DC Newton + batched AC sweep).
+/// Per-lane results are identical to simulate_two_stage(). `hints` may be
+/// empty (no warm starts) or hold one (possibly null) hint per design;
+/// `options.hint` is ignored. The Dense kernel falls back to a scalar loop.
+std::vector<util::Expected<OpampResult>> simulate_two_stage_batch(
+    const std::vector<TwoStageParams>& params, const spice::TechCard& card,
+    const OpampBuildOptions& options = {},
+    const std::vector<eval::OpHint*>& hints = {});
+
 TwoStageParams two_stage_params_from_grid(const std::vector<ParamDef>& defs,
                                           const ParamVector& idx);
 

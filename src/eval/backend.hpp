@@ -80,6 +80,12 @@ class EvalBackend {
     reset_inner_stats();
   }
 
+  /// True when this backend (or its leaf) turns evaluate_batch() into one
+  /// batched-kernel invocation rather than a loop over evaluate(). Fan-out
+  /// decorators consult this to forward whole batches instead of splitting
+  /// them into per-point tasks.
+  virtual bool prefers_batch() const { return false; }
+
  protected:
   virtual EvalResult do_evaluate(const ParamVector& params, SimHint* hint) = 0;
 

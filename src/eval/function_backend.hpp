@@ -26,13 +26,29 @@ class FunctionBackend : public EvalBackend {
   explicit FunctionBackend(HintedEvalFn fn, std::string name = "function")
       : fn_(std::move(fn)), name_(std::move(name)) {}
 
+  /// Batch-aware leaf: scalar calls go through `fn`, whole batches through
+  /// `batch_fn` as ONE batched-kernel invocation (lanes of the SoA numeric
+  /// kernel). Both callables must agree point-for-point.
+  FunctionBackend(HintedEvalFn fn, BatchEvalFn batch_fn,
+                  std::string name = "function")
+      : fn_(std::move(fn)),
+        batch_fn_(std::move(batch_fn)),
+        name_(std::move(name)) {}
+
   std::string name() const override { return name_; }
+
+  bool prefers_batch() const override { return batch_fn_ != nullptr; }
 
  protected:
   EvalResult do_evaluate(const ParamVector& params, SimHint* hint) override;
 
+  std::vector<EvalResult> do_evaluate_batch(
+      const std::vector<ParamVector>& points,
+      const std::vector<SimHint*>& hints) override;
+
  private:
   HintedEvalFn fn_;
+  BatchEvalFn batch_fn_;
   std::string name_;
 };
 

@@ -21,6 +21,9 @@ EvalStats& EvalStats::operator+=(const EvalStats& other) {
   dense_fallbacks += other.dense_fallbacks;
   warm_start_attempts += other.warm_start_attempts;
   warm_start_hits += other.warm_start_hits;
+  batch_refactorizations += other.batch_refactorizations;
+  batch_lanes += other.batch_lanes;
+  batch_lane_fallbacks += other.batch_lane_fallbacks;
   return *this;
 }
 
@@ -48,6 +51,11 @@ EvalStats EvalStats::since(const EvalStats& before) const {
   out.dense_fallbacks = dense_fallbacks - before.dense_fallbacks;
   out.warm_start_attempts = warm_start_attempts - before.warm_start_attempts;
   out.warm_start_hits = warm_start_hits - before.warm_start_hits;
+  out.batch_refactorizations =
+      batch_refactorizations - before.batch_refactorizations;
+  out.batch_lanes = batch_lanes - before.batch_lanes;
+  out.batch_lane_fallbacks =
+      batch_lane_fallbacks - before.batch_lane_fallbacks;
   return out;
 }
 
@@ -87,6 +95,9 @@ std::vector<std::pair<const char*, double>> EvalStats::fields() const {
       {"dense_fallbacks", static_cast<double>(dense_fallbacks)},
       {"warm_start_attempts", static_cast<double>(warm_start_attempts)},
       {"warm_start_hits", static_cast<double>(warm_start_hits)},
+      {"batch_refactorizations", static_cast<double>(batch_refactorizations)},
+      {"batch_lanes", static_cast<double>(batch_lanes)},
+      {"batch_lane_fallbacks", static_cast<double>(batch_lane_fallbacks)},
   };
 }
 

@@ -44,6 +44,14 @@ struct EvalStats {
   long dense_fallbacks = 0;       // scale-aware pivot check bailouts
   long warm_start_attempts = 0;
   long warm_start_hits = 0;
+  // Batched numeric kernel (SparseLuNumericBatch): each batched
+  // refactorization factors `batch_lanes / batch_refactorizations` value
+  // lanes over one shared elimination program; lane fallbacks count lanes
+  // that failed the per-lane pivot check and retired to the dense LU
+  // (every lane fallback also counts in dense_fallbacks).
+  long batch_refactorizations = 0;
+  long batch_lanes = 0;
+  long batch_lane_fallbacks = 0;
 
   EvalStats& operator+=(const EvalStats& other);
   EvalStats operator+(const EvalStats& other) const;

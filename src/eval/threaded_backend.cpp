@@ -13,6 +13,12 @@ ThreadPoolBackend::ThreadPoolBackend(std::shared_ptr<EvalBackend> inner,
 std::vector<EvalResult> ThreadPoolBackend::do_evaluate_batch(
     const std::vector<ParamVector>& points,
     const std::vector<SimHint*>& hints) {
+  if (inner_->prefers_batch()) {
+    // The leaf runs the whole batch as lanes of one batched-kernel
+    // invocation; splitting it into per-point pool tasks would forfeit the
+    // SoA vectorization that batching exists to buy.
+    return dispatch_batch(*inner_, points, hints);
+  }
   std::vector<std::optional<EvalResult>> scratch(points.size());
   pool_->parallel_for(points.size(), [&](std::size_t i) {
     scratch[i].emplace(inner_->evaluate(points[i], hint_at(hints, i)));

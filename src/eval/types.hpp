@@ -57,4 +57,12 @@ struct SimHint {
 using EvalFn = std::function<EvalResult(const ParamVector&)>;
 using HintedEvalFn = std::function<EvalResult(const ParamVector&, OpHint*)>;
 
+/// Batched simulator callable: evaluates K design points as lanes of one
+/// batched kernel invocation (lockstep DC Newton, batched AC/noise sweeps).
+/// `hints` is either empty or aligned with `points` (entries may be null).
+/// Contract: result[i] is exactly what the scalar callable would return for
+/// points[i] — batching is a throughput optimization, never a semantic one.
+using BatchEvalFn = std::function<std::vector<EvalResult>(
+    const std::vector<ParamVector>&, const std::vector<OpHint*>&)>;
+
 }  // namespace autockt::eval

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <istream>
 #include <memory>
 #include <numeric>
@@ -357,7 +358,6 @@ TrainHistory PpoAgent::train(
         const int n = static_cast<int>(act_lanes.size());
         const std::vector<int> acts =
             act_sample_batch(rows, n, rngs, &logps);
-        const std::vector<double> values = value_batch(rows, n);
 
         for (int k = 0; k < n; ++k) {
           const std::size_t li = static_cast<std::size_t>(act_lanes[k]);
@@ -369,9 +369,25 @@ TrainHistory PpoAgent::train(
           ++lane_steps[li];
         }
 
-        const auto results = venv.step_all(actions, [&](int i) {
+        // The value estimates are consumed only after the env step (GAE
+        // needs them with the step's reward), and value_batch() is a pure
+        // read of frozen weights with no RNG — so with pipelining on, it
+        // overlaps the simulator instead of serializing in front of it.
+        std::vector<double> values;
+        std::vector<env::VectorSizingEnv::LaneStep> results;
+        const auto continue_lane = [&](int i) {
           return lane_steps[static_cast<std::size_t>(i)] < lane_quota;
-        });
+        };
+        if (config_.pipeline_inference) {
+          trace::TraceSpan overlap_span(trace::names::kRlPipelineOverlap);
+          std::future<std::vector<double>> pending_values = std::async(
+              std::launch::async, [&] { return value_batch(rows, n); });
+          results = venv.step_all(actions, continue_lane);
+          values = pending_values.get();
+        } else {
+          values = value_batch(rows, n);
+          results = venv.step_all(actions, continue_lane);
+        }
 
         for (int k = 0; k < n; ++k) {
           const std::size_t li = static_cast<std::size_t>(act_lanes[k]);

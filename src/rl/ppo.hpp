@@ -66,6 +66,14 @@ struct PpoConfig {
   int envs_per_worker = 4;
   std::uint64_t seed = 1;
 
+  /// Overlap value-network inference with env simulation during collection:
+  /// each tick's value_batch() (needed only after the env step, for GAE)
+  /// runs on a helper thread while step_all() drives the simulator. The
+  /// value net is read-only during collection and uses no RNG, so the
+  /// overlap is bitwise-deterministic; it pipelines the two dominant
+  /// per-tick costs instead of serializing them.
+  bool pipeline_inference = true;
+
   /// Throws std::invalid_argument on nonpositive worker/lane counts or
   /// other settings that would hang or divide by zero instead of training.
   void validate() const;

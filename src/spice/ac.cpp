@@ -71,6 +71,55 @@ util::Expected<std::vector<AcPoint>> ac_sweep(const Circuit& circuit,
   return sweep;
 }
 
+std::vector<util::Expected<std::vector<AcPoint>>> ac_sweep_batch(
+    const std::vector<const Circuit*>& circuits,
+    const std::vector<const OpPoint*>& ops, NodeId probe_p, NodeId probe_m,
+    const AcOptions& options, SimWorkspace& ws) {
+  const std::size_t K = circuits.size();
+  std::vector<util::Expected<std::vector<AcPoint>>> results(
+      K, std::vector<AcPoint>{});
+  if (K == 0) return results;
+  const int total =
+      sweep_points(options.f_start, options.f_stop, options.points_per_decade);
+
+  ws.ensure_complex_batch(K);
+  std::vector<char> live(K, 1);
+  std::vector<std::vector<AcPoint>> sweeps(K);
+  for (std::size_t l = 0; l < K; ++l) {
+    if (!ws.compatible(*circuits[l]) || !ws.has_complex()) {
+      results[l] =
+          util::Error{"AC sweep: workspace does not match the circuit", 2};
+      live[l] = 0;
+      continue;
+    }
+    ComplexStamp ctx = ws.begin_complex(ops[l]->node_v);
+    circuits[l]->stamp_complex(ctx);
+    ws.commit_complex_batch_lane(l);
+    sweeps[l].reserve(static_cast<std::size_t>(total));
+  }
+
+  std::vector<std::complex<double>> x_lane;
+  for (int i = 0; i < total; ++i) {
+    const double freq = sweep_freq(options.f_start, options.f_stop, i, total);
+    ws.factor_complex_batch(2.0 * kPi * freq);
+    ws.solve_complex_batch();
+    for (std::size_t l = 0; l < K; ++l) {
+      if (live[l] == 0) continue;
+      if (!ws.complex_lane_solvable(l)) {
+        results[l] = singular_error(freq);
+        live[l] = 0;
+        continue;
+      }
+      ws.complex_lane_solution(l, x_lane);
+      sweeps[l].push_back({freq, probe_of(x_lane, probe_p, probe_m)});
+    }
+  }
+  for (std::size_t l = 0; l < K; ++l) {
+    if (live[l] != 0) results[l] = std::move(sweeps[l]);
+  }
+  return results;
+}
+
 util::Expected<std::vector<std::complex<double>>> ac_solve_at(
     const Circuit& circuit, const OpPoint& op, double freq,
     const AcOptions& options) {

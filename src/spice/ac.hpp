@@ -42,4 +42,15 @@ util::Expected<std::vector<std::complex<double>>> ac_solve_at(
     const Circuit& circuit, const OpPoint& op, double freq,
     const AcOptions& options = {});
 
+/// Batched sweep over K circuits sharing one topology (all compatible with
+/// `ws`): each lane stamps G/C once, then every frequency point is one
+/// batched refactorization + solve across all lanes. Per-lane results are
+/// identical to ac_sweep() — a lane whose matrix goes singular gets that
+/// lane's singular error while the other lanes complete. `options.kernel`
+/// and `options.workspace` are ignored (the shared sparse `ws` is used).
+std::vector<util::Expected<std::vector<AcPoint>>> ac_sweep_batch(
+    const std::vector<const Circuit*>& circuits,
+    const std::vector<const OpPoint*>& ops, NodeId probe_p, NodeId probe_m,
+    const AcOptions& options, SimWorkspace& ws);
+
 }  // namespace autockt::spice

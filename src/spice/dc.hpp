@@ -37,4 +37,19 @@ struct DcOptions {
 util::Expected<OpPoint> solve_op(const Circuit& circuit,
                                  const DcOptions& options = {});
 
+/// Batched DC operating points for K circuits sharing one topology (the
+/// same frozen stamp pattern, i.e. `ws.compatible()` for every lane). The
+/// warm and cold Newton stages run in lockstep over the batched kernel —
+/// one restamp sweep per iteration, one SoA factor/solve for all still-
+/// active lanes — and lanes retire independently the moment they converge.
+/// Lanes that exhaust the cold stage fall back to the scalar homotopy chain
+/// (gmin stepping, then source stepping), exactly as solve_op() would.
+/// Per-lane results, convergence outcomes and Newton iteration counts are
+/// identical to calling solve_op() per lane with `options[lane]`.
+/// `options[lane].kernel`/`workspace` are ignored (the shared `ws` is
+/// used); `warm_start` and `initial_node_v` are honoured per lane.
+std::vector<util::Expected<OpPoint>> solve_op_batch(
+    const std::vector<const Circuit*>& circuits,
+    const std::vector<DcOptions>& options, SimWorkspace& ws);
+
 }  // namespace autockt::spice

@@ -35,4 +35,14 @@ util::Expected<NoiseResult> noise_sweep(const Circuit& circuit,
                                         NodeId probe_m,
                                         const NoiseOptions& options = {});
 
+/// Batched noise sweeps over K circuits sharing one topology: the adjoint
+/// stimulus is common to all lanes, so every frequency point is one batched
+/// refactorization + one batched transposed solve. Per-lane results are
+/// identical to noise_sweep(). `options.kernel`/`workspace` are ignored
+/// (the shared sparse `ws` is used).
+std::vector<util::Expected<NoiseResult>> noise_sweep_batch(
+    const std::vector<const Circuit*>& circuits,
+    const std::vector<const OpPoint*>& ops, NodeId probe_p, NodeId probe_m,
+    const NoiseOptions& options, SimWorkspace& ws);
+
 }  // namespace autockt::spice

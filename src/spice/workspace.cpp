@@ -22,6 +22,9 @@ std::atomic<long> g_numeric{0};
 std::atomic<long> g_dense_fallback{0};
 std::atomic<long> g_warm_attempts{0};
 std::atomic<long> g_warm_hits{0};
+std::atomic<long> g_batch_refactor{0};
+std::atomic<long> g_batch_lanes{0};
+std::atomic<long> g_batch_lane_fallback{0};
 
 }  // namespace
 
@@ -33,6 +36,10 @@ KernelStats kernel_stats_snapshot() {
   s.dense_fallbacks = g_dense_fallback.load(std::memory_order_relaxed);
   s.warm_start_attempts = g_warm_attempts.load(std::memory_order_relaxed);
   s.warm_start_hits = g_warm_hits.load(std::memory_order_relaxed);
+  s.batch_refactorizations = g_batch_refactor.load(std::memory_order_relaxed);
+  s.batch_lanes = g_batch_lanes.load(std::memory_order_relaxed);
+  s.batch_lane_fallbacks =
+      g_batch_lane_fallback.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -43,6 +50,9 @@ void reset_kernel_stats() {
   g_dense_fallback.store(0, std::memory_order_relaxed);
   g_warm_attempts.store(0, std::memory_order_relaxed);
   g_warm_hits.store(0, std::memory_order_relaxed);
+  g_batch_refactor.store(0, std::memory_order_relaxed);
+  g_batch_lanes.store(0, std::memory_order_relaxed);
+  g_batch_lane_fallback.store(0, std::memory_order_relaxed);
 }
 
 namespace kernel_counters {
@@ -250,6 +260,214 @@ SimWorkspace::solve_complex_transposed(
     x_cplx_ = dense_lu_cplx_->solve_transposed(rhs);
   }
   return x_cplx_;
+}
+
+void SimWorkspace::ensure_real_batch(std::size_t lanes) {
+  if (lanes == batch_lanes_real_) return;
+  batch_lanes_real_ = lanes;
+  lu_real_batch_.reset(sym_real_, lanes);
+  batch_vals_real_.assign(pattern_real_.nnz() * lanes, 0.0);
+  batch_rhs_real_.assign(n_ * lanes, 0.0);
+  batch_x_real_.assign(n_ * lanes, 0.0);
+  real_lane_ok_.assign(lanes, 0);
+  real_lane_solvable_.assign(lanes, 0);
+  dense_lu_real_lanes_.assign(lanes, std::nullopt);
+}
+
+void SimWorkspace::commit_real_batch_lane(std::size_t lane) {
+  const std::size_t K = batch_lanes_real_;
+  for (std::size_t s = 0; s < vals_real_.size(); ++s) {
+    batch_vals_real_[s * K + lane] = vals_real_[s];
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    batch_rhs_real_[i * K + lane] = rhs_real_[i];
+  }
+}
+
+bool SimWorkspace::factor_real_batch() {
+  trace::TraceSpan span(trace::names::kSimFactorRealBatch);
+  const std::size_t K = batch_lanes_real_;
+  g_numeric.fetch_add(static_cast<long>(K), std::memory_order_relaxed);
+  g_batch_refactor.fetch_add(1, std::memory_order_relaxed);
+  g_batch_lanes.fetch_add(static_cast<long>(K), std::memory_order_relaxed);
+  trace::counter(trace::names::kSimBatchRefactor);
+  trace::counter(trace::names::kSimBatchLanes, static_cast<std::int64_t>(K));
+  if (sym_real_.ok()) {
+    lu_real_batch_.refactor(batch_vals_real_.data(), real_lane_ok_.data());
+  } else {
+    std::fill(real_lane_ok_.begin(), real_lane_ok_.end(), 0);
+  }
+  bool all_ok = true;
+  for (std::size_t l = 0; l < K; ++l) {
+    if (real_lane_ok_[l] != 0) {
+      real_lane_solvable_[l] = 1;
+      dense_lu_real_lanes_[l].reset();
+      continue;
+    }
+    // Same deterministic fallback as the scalar kernel, applied per lane:
+    // dense partial-pivot LU over exactly this lane's stamped values.
+    g_dense_fallback.fetch_add(1, std::memory_order_relaxed);
+    g_batch_lane_fallback.fetch_add(1, std::memory_order_relaxed);
+    trace::counter(trace::names::kSimDenseFallback);
+    trace::counter(trace::names::kSimBatchLaneFallback);
+    dense_real_.fill(0.0);
+    for (std::size_t s = 0; s < vals_real_.size(); ++s) {
+      dense_real_(static_cast<std::size_t>(real_slot_row_[s]),
+                  static_cast<std::size_t>(real_slot_col_[s])) +=
+          batch_vals_real_[s * K + l];
+    }
+    dense_lu_real_lanes_[l].emplace(dense_real_);
+    real_lane_solvable_[l] =
+        static_cast<unsigned char>(dense_lu_real_lanes_[l]->ok() ? 1 : 0);
+    all_ok = all_ok && real_lane_solvable_[l] != 0;
+  }
+  return all_ok;
+}
+
+bool SimWorkspace::real_lane_solvable(std::size_t lane) const {
+  return real_lane_solvable_[lane] != 0;
+}
+
+const std::vector<double>& SimWorkspace::solve_real_batch() {
+  trace::TraceSpan span(trace::names::kSimSolveRealBatch);
+  const std::size_t K = batch_lanes_real_;
+  lu_real_batch_.solve(batch_rhs_real_.data(), batch_x_real_.data());
+  for (std::size_t l = 0; l < K; ++l) {
+    if (real_lane_ok_[l] != 0 || !dense_lu_real_lanes_[l].has_value() ||
+        !dense_lu_real_lanes_[l]->ok()) {
+      continue;
+    }
+    std::vector<double> b(n_);
+    for (std::size_t i = 0; i < n_; ++i) b[i] = batch_rhs_real_[i * K + l];
+    const std::vector<double> x = dense_lu_real_lanes_[l]->solve(b);
+    for (std::size_t i = 0; i < n_; ++i) batch_x_real_[i * K + l] = x[i];
+  }
+  return batch_x_real_;
+}
+
+void SimWorkspace::real_lane_solution(std::size_t lane,
+                                      std::vector<double>& out) const {
+  const std::size_t K = batch_lanes_real_;
+  out.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = batch_x_real_[i * K + lane];
+}
+
+void SimWorkspace::ensure_complex_batch(std::size_t lanes) {
+  if (lanes == batch_lanes_cplx_) return;
+  batch_lanes_cplx_ = lanes;
+  lu_cplx_batch_.reset(sym_cplx_, lanes);
+  batch_g_vals_.assign(pattern_cplx_.nnz() * lanes, 0.0);
+  batch_c_vals_.assign(pattern_cplx_.nnz() * lanes, 0.0);
+  batch_rhs_cplx_.assign(n_ * lanes, {0.0, 0.0});
+  batch_x_cplx_.assign(n_ * lanes, {0.0, 0.0});
+  batch_bcast_cplx_.assign(n_ * lanes, {0.0, 0.0});
+  cplx_lane_ok_.assign(lanes, 0);
+  cplx_lane_solvable_.assign(lanes, 0);
+  dense_lu_cplx_lanes_.assign(lanes, std::nullopt);
+}
+
+void SimWorkspace::commit_complex_batch_lane(std::size_t lane) {
+  const std::size_t K = batch_lanes_cplx_;
+  for (std::size_t s = 0; s < g_vals_.size(); ++s) {
+    batch_g_vals_[s * K + lane] = g_vals_[s];
+    batch_c_vals_[s * K + lane] = c_vals_[s];
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    batch_rhs_cplx_[i * K + lane] = rhs_cplx_[i];
+  }
+}
+
+bool SimWorkspace::factor_complex_batch(double omega) {
+  trace::TraceSpan span(trace::names::kSimFactorComplexBatch);
+  const std::size_t K = batch_lanes_cplx_;
+  g_numeric.fetch_add(static_cast<long>(K), std::memory_order_relaxed);
+  g_batch_refactor.fetch_add(1, std::memory_order_relaxed);
+  g_batch_lanes.fetch_add(static_cast<long>(K), std::memory_order_relaxed);
+  trace::counter(trace::names::kSimBatchRefactor);
+  trace::counter(trace::names::kSimBatchLanes, static_cast<std::int64_t>(K));
+  if (sym_cplx_.ok()) {
+    // Fused y = g + i*omega*c formation inside the kernel's scatter pass:
+    // no interleaved complex array is materialized per frequency point.
+    lu_cplx_batch_.refactor_gc(batch_g_vals_.data(), batch_c_vals_.data(),
+                               omega, cplx_lane_ok_.data());
+  } else {
+    std::fill(cplx_lane_ok_.begin(), cplx_lane_ok_.end(), 0);
+  }
+  bool all_ok = true;
+  for (std::size_t l = 0; l < K; ++l) {
+    if (cplx_lane_ok_[l] != 0) {
+      cplx_lane_solvable_[l] = 1;
+      dense_lu_cplx_lanes_[l].reset();
+      continue;
+    }
+    g_dense_fallback.fetch_add(1, std::memory_order_relaxed);
+    g_batch_lane_fallback.fetch_add(1, std::memory_order_relaxed);
+    trace::counter(trace::names::kSimDenseFallback);
+    trace::counter(trace::names::kSimBatchLaneFallback);
+    dense_cplx_.fill({0.0, 0.0});
+    for (std::size_t s = 0; s < g_vals_.size(); ++s) {
+      dense_cplx_(static_cast<std::size_t>(cplx_slot_row_[s]),
+                  static_cast<std::size_t>(cplx_slot_col_[s])) +=
+          std::complex<double>(batch_g_vals_[s * K + l],
+                               omega * batch_c_vals_[s * K + l]);
+    }
+    dense_lu_cplx_lanes_[l].emplace(dense_cplx_);
+    cplx_lane_solvable_[l] =
+        static_cast<unsigned char>(dense_lu_cplx_lanes_[l]->ok() ? 1 : 0);
+    all_ok = all_ok && cplx_lane_solvable_[l] != 0;
+  }
+  return all_ok;
+}
+
+bool SimWorkspace::complex_lane_solvable(std::size_t lane) const {
+  return cplx_lane_solvable_[lane] != 0;
+}
+
+const std::vector<std::complex<double>>& SimWorkspace::solve_complex_batch() {
+  trace::TraceSpan span(trace::names::kSimSolveComplexBatch);
+  const std::size_t K = batch_lanes_cplx_;
+  lu_cplx_batch_.solve(batch_rhs_cplx_.data(), batch_x_cplx_.data());
+  for (std::size_t l = 0; l < K; ++l) {
+    if (cplx_lane_ok_[l] != 0 || !dense_lu_cplx_lanes_[l].has_value() ||
+        !dense_lu_cplx_lanes_[l]->ok()) {
+      continue;
+    }
+    std::vector<std::complex<double>> b(n_);
+    for (std::size_t i = 0; i < n_; ++i) b[i] = batch_rhs_cplx_[i * K + l];
+    const std::vector<std::complex<double>> x =
+        dense_lu_cplx_lanes_[l]->solve(b);
+    for (std::size_t i = 0; i < n_; ++i) batch_x_cplx_[i * K + l] = x[i];
+  }
+  return batch_x_cplx_;
+}
+
+const std::vector<std::complex<double>>&
+SimWorkspace::solve_complex_transposed_batch(
+    const std::vector<std::complex<double>>& rhs) {
+  trace::TraceSpan span(trace::names::kSimSolveComplexBatch);
+  const std::size_t K = batch_lanes_cplx_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t l = 0; l < K; ++l) batch_bcast_cplx_[i * K + l] = rhs[i];
+  }
+  lu_cplx_batch_.solve_transposed(batch_bcast_cplx_.data(),
+                                  batch_x_cplx_.data());
+  for (std::size_t l = 0; l < K; ++l) {
+    if (cplx_lane_ok_[l] != 0 || !dense_lu_cplx_lanes_[l].has_value() ||
+        !dense_lu_cplx_lanes_[l]->ok()) {
+      continue;
+    }
+    const std::vector<std::complex<double>> x =
+        dense_lu_cplx_lanes_[l]->solve_transposed(rhs);
+    for (std::size_t i = 0; i < n_; ++i) batch_x_cplx_[i * K + l] = x[i];
+  }
+  return batch_x_cplx_;
+}
+
+void SimWorkspace::complex_lane_solution(
+    std::size_t lane, std::vector<std::complex<double>>& out) const {
+  const std::size_t K = batch_lanes_cplx_;
+  out.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = batch_x_cplx_[i * K + lane];
 }
 
 SimWorkspace& workspace_for(const Circuit& circuit,

@@ -50,6 +50,9 @@ struct KernelStats {
   long dense_fallbacks = 0;         // scale-aware pivot check failures
   long warm_start_attempts = 0;     // DC solves offered a previous op point
   long warm_start_hits = 0;         // ... that converged from it directly
+  long batch_refactorizations = 0;  // batched SoA refactorization passes
+  long batch_lanes = 0;             // lanes factored across batched passes
+  long batch_lane_fallbacks = 0;    // single lanes that went dense in a batch
 };
 
 KernelStats kernel_stats_snapshot();
@@ -104,6 +107,45 @@ class SimWorkspace {
   const std::vector<std::complex<double>>& solve_complex_transposed(
       const std::vector<std::complex<double>>& rhs);
 
+  // ---- batched lanes (struct-of-arrays, K designs per kernel pass) --------
+  // Staging protocol: ensure_*_batch(K) sizes the lane buffers, then for
+  // each lane the caller runs the ordinary scalar staging (begin_real +
+  // stamp) and commit_*_batch_lane(lane) snapshots the scalar value/RHS
+  // arrays into that lane's SoA column. Factor/solve then run all K lanes
+  // per elimination-program pass. Per-lane results are bitwise identical to
+  // the scalar path, including the per-lane dense fallback on a failed
+  // scale-aware pivot check.
+  /// Size (or resize) the real-side batch to `lanes` lanes.
+  void ensure_real_batch(std::size_t lanes);
+  std::size_t real_batch_lanes() const { return batch_lanes_real_; }
+  /// Snapshot the scalar staging arrays (vals + RHS) into lane `lane`.
+  void commit_real_batch_lane(std::size_t lane);
+  /// Batched numeric refactorization of every lane; failed lanes fall back
+  /// to dense partial-pivot LU individually. Returns true when every lane
+  /// has a usable factorization under either kernel.
+  bool factor_real_batch();
+  /// Lane factorization usable (sparse or dense fallback succeeded)?
+  bool real_lane_solvable(std::size_t lane) const;
+  /// Solve every lane against its committed RHS; layout [i*lanes + lane].
+  const std::vector<double>& solve_real_batch();
+  /// Copy lane `lane` of the batch solution into `out` (resized to n).
+  void real_lane_solution(std::size_t lane, std::vector<double>& out) const;
+
+  /// Complex-side batch mirror (AC / noise sweeps over K designs).
+  void ensure_complex_batch(std::size_t lanes);
+  std::size_t complex_batch_lanes() const { return batch_lanes_cplx_; }
+  void commit_complex_batch_lane(std::size_t lane);
+  /// Form Y(omega) per lane over the union pattern and batch-refactor.
+  bool factor_complex_batch(double omega);
+  bool complex_lane_solvable(std::size_t lane) const;
+  /// Solve every lane against its committed AC stimulus RHS.
+  const std::vector<std::complex<double>>& solve_complex_batch();
+  /// Adjoint solve with one shared stimulus broadcast across all lanes.
+  const std::vector<std::complex<double>>& solve_complex_transposed_batch(
+      const std::vector<std::complex<double>>& rhs);
+  void complex_lane_solution(std::size_t lane,
+                             std::vector<std::complex<double>>& out) const;
+
  private:
   void build_real(const Circuit& circuit);
   void build_complex(const Circuit& circuit);
@@ -126,6 +168,16 @@ class SimWorkspace {
   linalg::RealMatrix dense_real_;
   std::optional<linalg::LuFactorization<double>> dense_lu_real_;
   bool real_sparse_ok_ = false;
+  // Real batch lanes (lane-contiguous SoA: slot s of lane l at [s*K + l]).
+  std::size_t batch_lanes_real_ = 0;
+  linalg::SparseLuNumericBatch<double> lu_real_batch_;
+  std::vector<double> batch_vals_real_;   // [a_slot*K + lane]
+  std::vector<double> batch_rhs_real_;    // [i*K + lane]
+  std::vector<double> batch_x_real_;      // [i*K + lane]
+  std::vector<unsigned char> real_lane_ok_;        // sparse pivot checks
+  std::vector<unsigned char> real_lane_solvable_;  // sparse or dense ok
+  std::vector<std::optional<linalg::LuFactorization<double>>>
+      dense_lu_real_lanes_;
 
   // Complex side (one union pattern, separate G and C value arrays).
   linalg::SparsePattern pattern_cplx_;
@@ -140,6 +192,18 @@ class SimWorkspace {
   linalg::ComplexMatrix dense_cplx_;
   std::optional<linalg::LuFactorization<std::complex<double>>> dense_lu_cplx_;
   bool cplx_sparse_ok_ = false;
+  // Complex batch lanes.
+  std::size_t batch_lanes_cplx_ = 0;
+  linalg::SparseLuNumericBatch<std::complex<double>> lu_cplx_batch_;
+  std::vector<double> batch_g_vals_;               // [slot*K + lane]
+  std::vector<double> batch_c_vals_;               // [slot*K + lane]
+  std::vector<std::complex<double>> batch_rhs_cplx_;
+  std::vector<std::complex<double>> batch_x_cplx_;
+  std::vector<std::complex<double>> batch_bcast_cplx_;  // broadcast scratch
+  std::vector<unsigned char> cplx_lane_ok_;
+  std::vector<unsigned char> cplx_lane_solvable_;
+  std::vector<std::optional<linalg::LuFactorization<std::complex<double>>>>
+      dense_lu_cplx_lanes_;
 
   std::vector<double> zero_voltages_;  // discovery-pass scratch
 };

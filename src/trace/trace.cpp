@@ -29,6 +29,15 @@ const std::vector<NameInfo>& registry() {
       {kSimSolveReal, "span", "real-valued triangular solve"},
       {kSimFactorComplex, "span", "complex G + jwC numeric LU (re)factorization"},
       {kSimSolveComplex, "span", "complex triangular solve"},
+      {kSimFactorRealBatch, "span",
+       "real batched numeric LU over all lanes of one SoA pass"},
+      {kSimSolveRealBatch, "span", "real batched triangular solve (all lanes)"},
+      {kSimFactorComplexBatch, "span",
+       "complex batched G + jwC numeric LU over all lanes"},
+      {kSimSolveComplexBatch, "span",
+       "complex batched triangular solve (all lanes)"},
+      {kRlPipelineOverlap, "span",
+       "policy inference overlapped with env simulation during collection"},
       {kEnvTick, "span", "one VectorSizingEnv::step_all lockstep tick"},
       {kEnvReset, "span", "one batched VectorSizingEnv reset"},
       {kRlIteration, "span", "one PPO training iteration (collect + update)"},
@@ -51,6 +60,12 @@ const std::vector<NameInfo>& registry() {
        "warm-started DC solve converged from the hint directly"},
       {kSimDenseFallback, "counter",
        "sparse pivot check failed; dense partial-pivot fallback ran"},
+      {kSimBatchRefactor, "counter",
+       "one batched refactorization pass (all lanes of one matrix)"},
+      {kSimBatchLanes, "counter",
+       "lanes factored by a batched refactorization (value = lane count)"},
+      {kSimBatchLaneFallback, "counter",
+       "single lane of a batched refactorization fell back to dense LU"},
   };
   return kRegistry;
 }

@@ -386,6 +386,9 @@ TEST(EvalStats, FieldsAndSummaryNameEveryPublicField) {
       "dense_fallbacks",
       "warm_start_attempts",
       "warm_start_hits",
+      "batch_refactorizations",
+      "batch_lanes",
+      "batch_lane_fallbacks",
   };
   const eval::EvalStats stats;
   const auto fields = stats.fields();

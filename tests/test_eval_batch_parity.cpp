@@ -1,0 +1,455 @@
+// Batch-vs-scalar parity: the batched numeric kernel and everything built
+// on it (lockstep DC Newton, batched AC/noise sweeps, batched problem
+// evaluators, the VectorSizingEnv path) must return results identical to
+// the scalar path — batching changes wall-clock, never values. These tests
+// pin the serial-exact contract at every layer, including ragged batch
+// sizes and lanes that fail the per-lane pivot check.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/netlist_problem.hpp"
+#include "circuits/ngm_ota.hpp"
+#include "circuits/problems.hpp"
+#include "circuits/tia.hpp"
+#include "circuits/two_stage_opamp.hpp"
+#include "env/vector_env.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "util/rng.hpp"
+
+using namespace autockt;
+using autockt::util::Rng;
+
+namespace {
+
+// ---- linalg-level helpers (mirrors test_linalg.cpp's generator) -----------
+
+struct SparseSystem {
+  linalg::SparsePattern pattern;
+  std::vector<std::pair<int, int>> coords;  // by slot
+};
+
+SparseSystem make_sparse_system(int n, double density, Rng& rng) {
+  linalg::PatternBuilder b(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    b.add(static_cast<std::size_t>(r), static_cast<std::size_t>(r));
+    for (int c = 0; c < n; ++c) {
+      if (c != r && rng.uniform(0.0, 1.0) < density) {
+        b.add(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+      }
+    }
+  }
+  SparseSystem sys{linalg::SparsePattern(std::move(b)), {}};
+  sys.coords.resize(sys.pattern.nnz());
+  for (std::size_t s = 0; s < sys.pattern.nnz(); ++s) {
+    sys.coords[s] = {sys.pattern.row_of_slot(s), sys.pattern.col_of_slot(s)};
+  }
+  return sys;
+}
+
+template <typename T>
+std::vector<T> random_values(const SparseSystem& sys, int n, Rng& rng) {
+  std::vector<T> vals(sys.pattern.nnz());
+  for (std::size_t s = 0; s < sys.pattern.nnz(); ++s) {
+    const auto [r, c] = sys.coords[s];
+    double v = rng.uniform(-1.0, 1.0);
+    if (r == c) v += static_cast<double>(n);
+    if constexpr (std::is_same_v<T, std::complex<double>>) {
+      vals[s] = {v, rng.uniform(-1.0, 1.0)};
+    } else {
+      vals[s] = v;
+    }
+  }
+  return vals;
+}
+
+}  // namespace
+
+// ---- SparseLuNumericBatch vs SparseLuNumeric: bitwise -----------------------
+
+class BatchLuParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchLuParity, RefactorAndSolvesMatchScalarBitwise) {
+  const int K = GetParam();  // ragged lane counts, incl. non-powers-of-2
+  const int n = 17;
+  Rng rng(9000 + static_cast<std::uint64_t>(K));
+  SparseSystem sys = make_sparse_system(n, 0.3, rng);
+  linalg::SparseLuSymbolic symbolic(sys.pattern, sys.pattern.weak());
+  ASSERT_TRUE(symbolic.ok());
+
+  const std::size_t nnz = sys.pattern.nnz();
+  const std::size_t N = static_cast<std::size_t>(n);
+  const std::size_t lanes = static_cast<std::size_t>(K);
+
+  // Per-lane value sets, interleaved into the SoA layout the batch expects.
+  std::vector<std::vector<double>> lane_vals;
+  std::vector<double> soa_vals(nnz * lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    lane_vals.push_back(random_values<double>(sys, n, rng));
+    for (std::size_t s = 0; s < nnz; ++s) {
+      soa_vals[s * lanes + l] = lane_vals[l][s];
+    }
+  }
+  std::vector<double> rhs(N), soa_rhs(N * lanes);
+  for (std::size_t i = 0; i < N; ++i) {
+    rhs[i] = rng.uniform(-2.0, 2.0);
+    for (std::size_t l = 0; l < lanes; ++l) soa_rhs[i * lanes + l] = rhs[i];
+  }
+
+  linalg::SparseLuNumericBatch<double> batch(symbolic, lanes);
+  std::vector<unsigned char> lane_ok(lanes, 0);
+  batch.refactor(soa_vals.data(), lane_ok.data());
+
+  linalg::SparseLuNumeric<double> scalar(symbolic);
+  std::vector<double> x(N), xt(N), bx(N * lanes), bxt(N * lanes);
+  batch.solve(soa_rhs.data(), bx.data());
+  batch.solve_transposed(soa_rhs.data(), bxt.data());
+  for (std::size_t l = 0; l < lanes; ++l) {
+    ASSERT_TRUE(scalar.refactor(lane_vals[l].data())) << "lane " << l;
+    EXPECT_EQ(lane_ok[l], 1) << "lane " << l;
+    scalar.solve(rhs.data(), x.data());
+    scalar.solve_transposed(rhs.data(), xt.data());
+    for (std::size_t i = 0; i < N; ++i) {
+      // Bitwise: the batch replays the same elimination program with the
+      // same per-lane operand order the scalar kernel uses.
+      EXPECT_EQ(bx[i * lanes + l], x[i]) << "lane " << l << " row " << i;
+      EXPECT_EQ(bxt[i * lanes + l], xt[i]) << "lane " << l << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, BatchLuParity,
+                         ::testing::Values(1, 3, 7, 16));
+
+TEST(BatchLuParity, ComplexLanesMatchScalarBitwise) {
+  using C = std::complex<double>;
+  const int n = 11;
+  const std::size_t lanes = 5;
+  Rng rng(9100);
+  SparseSystem sys = make_sparse_system(n, 0.35, rng);
+  linalg::SparseLuSymbolic symbolic(sys.pattern, sys.pattern.weak());
+  ASSERT_TRUE(symbolic.ok());
+  const std::size_t nnz = sys.pattern.nnz();
+  const std::size_t N = static_cast<std::size_t>(n);
+
+  std::vector<std::vector<C>> lane_vals;
+  std::vector<C> soa_vals(nnz * lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    lane_vals.push_back(random_values<C>(sys, n, rng));
+    for (std::size_t s = 0; s < nnz; ++s) {
+      soa_vals[s * lanes + l] = lane_vals[l][s];
+    }
+  }
+  std::vector<C> rhs(N), soa_rhs(N * lanes);
+  for (std::size_t i = 0; i < N; ++i) {
+    rhs[i] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    for (std::size_t l = 0; l < lanes; ++l) soa_rhs[i * lanes + l] = rhs[i];
+  }
+
+  linalg::SparseLuNumericBatch<C> batch(symbolic, lanes);
+  std::vector<unsigned char> lane_ok(lanes, 0);
+  batch.refactor(soa_vals.data(), lane_ok.data());
+  std::vector<C> bx(N * lanes), bxt(N * lanes);
+  batch.solve(soa_rhs.data(), bx.data());
+  batch.solve_transposed(soa_rhs.data(), bxt.data());
+
+  linalg::SparseLuNumeric<C> scalar(symbolic);
+  std::vector<C> x(N), xt(N);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    ASSERT_TRUE(scalar.refactor(lane_vals[l].data()));
+    EXPECT_EQ(lane_ok[l], 1);
+    scalar.solve(rhs.data(), x.data());
+    scalar.solve_transposed(rhs.data(), xt.data());
+    for (std::size_t i = 0; i < N; ++i) {
+      EXPECT_EQ(bx[i * lanes + l], x[i]);
+      EXPECT_EQ(bxt[i * lanes + l], xt[i]);
+    }
+  }
+}
+
+TEST(BatchLuParity, SingularLaneFailsAloneAndLeavesOthersBitwise) {
+  // Lane 1 of 3 carries a numerically rank-1 matrix: its pivot check must
+  // fail exactly as the scalar kernel's does, without perturbing the
+  // healthy lanes (the mixed-lane guarded update path).
+  const int n = 6;
+  const std::size_t lanes = 3;
+  Rng rng(9200);
+  SparseSystem sys = make_sparse_system(n, 0.4, rng);
+  linalg::SparseLuSymbolic symbolic(sys.pattern, sys.pattern.weak());
+  ASSERT_TRUE(symbolic.ok());
+  const std::size_t nnz = sys.pattern.nnz();
+  const std::size_t N = static_cast<std::size_t>(n);
+
+  std::vector<std::vector<double>> lane_vals(lanes);
+  lane_vals[0] = random_values<double>(sys, n, rng);
+  lane_vals[1].assign(nnz, 0.0);  // all-zero matrix: structurally fine,
+                                  // numerically singular in every pivot
+  lane_vals[2] = random_values<double>(sys, n, rng);
+  std::vector<double> soa_vals(nnz * lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (std::size_t s = 0; s < nnz; ++s) {
+      soa_vals[s * lanes + l] = lane_vals[l][s];
+    }
+  }
+  std::vector<double> rhs(N), soa_rhs(N * lanes);
+  for (std::size_t i = 0; i < N; ++i) {
+    rhs[i] = rng.uniform(-2.0, 2.0);
+    for (std::size_t l = 0; l < lanes; ++l) soa_rhs[i * lanes + l] = rhs[i];
+  }
+
+  linalg::SparseLuNumericBatch<double> batch(symbolic, lanes);
+  std::vector<unsigned char> lane_ok(lanes, 2);
+  batch.refactor(soa_vals.data(), lane_ok.data());
+  EXPECT_EQ(lane_ok[0], 1);
+  EXPECT_EQ(lane_ok[1], 0);
+  EXPECT_EQ(lane_ok[2], 1);
+
+  std::vector<double> bx(N * lanes);
+  batch.solve(soa_rhs.data(), bx.data());
+  linalg::SparseLuNumeric<double> scalar(symbolic);
+  std::vector<double> x(N);
+  for (const std::size_t l : {std::size_t{0}, std::size_t{2}}) {
+    ASSERT_TRUE(scalar.refactor(lane_vals[l].data()));
+    scalar.solve(rhs.data(), x.data());
+    for (std::size_t i = 0; i < N; ++i) {
+      EXPECT_EQ(bx[i * lanes + l], x[i]) << "lane " << l << " row " << i;
+    }
+  }
+  EXPECT_FALSE(scalar.refactor(lane_vals[1].data()));
+}
+
+// ---- circuit-level: simulate_*_batch vs the scalar simulators ---------------
+
+namespace {
+
+template <typename Result>
+void expect_same_outcome(const util::Expected<Result>& batch,
+                         const util::Expected<Result>& scalar,
+                         const std::string& what) {
+  ASSERT_EQ(batch.ok(), scalar.ok()) << what;
+  if (!batch.ok()) {
+    EXPECT_EQ(batch.error().message, scalar.error().message) << what;
+  }
+}
+
+}  // namespace
+
+TEST(BatchSimParity, TwoStageMatchesScalarBitwiseAcrossRaggedK) {
+  const spice::TechCard card = spice::TechCard::ptm45();
+  for (const int K : {1, 3, 16}) {
+    std::vector<circuits::TwoStageParams> params;
+    for (int l = 0; l < K; ++l) {
+      circuits::TwoStageParams p;  // perturb around the defaults
+      p.w12 = (10.0 + static_cast<double>(l % 5)) * 1e-6;
+      p.w6 = (30.0 + 2.0 * static_cast<double>(l % 7)) * 1e-6;
+      p.cc = (0.6 + 0.05 * static_cast<double>(l % 4)) * 1e-12;
+      params.push_back(p);
+    }
+    const auto batch = circuits::simulate_two_stage_batch(params, card);
+    ASSERT_EQ(batch.size(), static_cast<std::size_t>(K));
+    for (int l = 0; l < K; ++l) {
+      const auto scalar = circuits::simulate_two_stage(params[l], card);
+      expect_same_outcome(batch[l], scalar,
+                          "two_stage K=" + std::to_string(K) + " lane " +
+                              std::to_string(l));
+      if (!scalar.ok()) continue;
+      EXPECT_EQ(batch[l]->gain, scalar->gain);
+      EXPECT_EQ(batch[l]->ugbw, scalar->ugbw);
+      EXPECT_EQ(batch[l]->phase_margin, scalar->phase_margin);
+      EXPECT_EQ(batch[l]->bias_current, scalar->bias_current);
+      EXPECT_EQ(batch[l]->ugbw_found, scalar->ugbw_found);
+    }
+  }
+}
+
+TEST(BatchSimParity, NgmOtaMatchesScalarBitwise) {
+  const spice::TechCard card = spice::TechCard::finfet16();
+  const int K = 6;
+  std::vector<circuits::NgmParams> params;
+  for (int l = 0; l < K; ++l) {
+    circuits::NgmParams p;
+    p.nf_in = 20 + 4 * (l % 3);
+    p.nf_cross = 6 + 2 * (l % 2);
+    p.cc = (0.4 + 0.1 * static_cast<double>(l % 4)) * 1e-12;
+    params.push_back(p);
+  }
+  const auto batch = circuits::simulate_ngm_ota_batch(params, card);
+  for (int l = 0; l < K; ++l) {
+    const auto scalar = circuits::simulate_ngm_ota(params[l], card);
+    expect_same_outcome(batch[static_cast<std::size_t>(l)], scalar,
+                        "ngm lane " + std::to_string(l));
+    if (!scalar.ok()) continue;
+    const auto& b = *batch[static_cast<std::size_t>(l)];
+    EXPECT_EQ(b.gain, scalar->gain);
+    EXPECT_EQ(b.ugbw, scalar->ugbw);
+    EXPECT_EQ(b.phase_margin, scalar->phase_margin);
+    EXPECT_EQ(b.bias_current, scalar->bias_current);
+  }
+}
+
+TEST(BatchSimParity, TiaMatchesScalarBitwise) {
+  const spice::TechCard card = spice::TechCard::ptm45();
+  const int K = 5;
+  std::vector<circuits::TiaParams> params;
+  for (int l = 0; l < K; ++l) {
+    circuits::TiaParams p;
+    p.wn = (4.0 + 2.0 * static_cast<double>(l % 3)) * 1e-6;
+    p.n_series = 4 + 2 * (l % 4);
+    p.n_parallel = 1 + (l % 3);
+    params.push_back(p);
+  }
+  const auto batch = circuits::simulate_tia_batch(params, card);
+  for (int l = 0; l < K; ++l) {
+    const auto scalar = circuits::simulate_tia(params[l], card);
+    expect_same_outcome(batch[static_cast<std::size_t>(l)], scalar,
+                        "tia lane " + std::to_string(l));
+    if (!scalar.ok()) continue;
+    const auto& b = *batch[static_cast<std::size_t>(l)];
+    EXPECT_EQ(b.settling_time, scalar->settling_time);
+    EXPECT_EQ(b.cutoff_freq, scalar->cutoff_freq);
+    EXPECT_EQ(b.input_noise, scalar->input_noise);
+    EXPECT_EQ(b.supply_current, scalar->supply_current);
+  }
+}
+
+// ---- problem-level: evaluate_batch with batch_kernel on vs off --------------
+
+namespace {
+
+/// Raw serial stacks (no cache, no pool) so each evaluate_batch reaches the
+/// leaf directly; `batch_kernel` is the only variable.
+circuits::ProblemOptions lean_options(bool batch_kernel) {
+  circuits::ProblemOptions o;
+  o.cache = false;
+  o.parallel_batch = false;
+  o.parallel_corners = false;
+  o.batch_kernel = batch_kernel;
+  return o;
+}
+
+std::vector<eval::ParamVector> center_batch(
+    const circuits::SizingProblem& prob, int K) {
+  std::vector<eval::ParamVector> points;
+  for (int l = 0; l < K; ++l) {
+    eval::ParamVector idx;
+    for (std::size_t p = 0; p < prob.params.size(); ++p) {
+      const int g = prob.params[p].grid_size();
+      int v = g / 2 + (l % 3) - 1 + static_cast<int>(p) * (l % 2);
+      if (v < 0) v = 0;
+      if (v >= g) v = g - 1;
+      idx.push_back(v);
+    }
+    points.push_back(std::move(idx));
+  }
+  return points;
+}
+
+void expect_problem_batch_parity(circuits::SizingProblem batched,
+                                 circuits::SizingProblem scalar, int K,
+                                 const std::string& what) {
+  const auto points = center_batch(batched, K);
+  const auto via_batch = batched.backend->evaluate_batch(points);
+  const auto via_scalar = scalar.backend->evaluate_batch(points);
+  ASSERT_EQ(via_batch.size(), via_scalar.size()) << what;
+  for (int l = 0; l < K; ++l) {
+    const auto& b = via_batch[static_cast<std::size_t>(l)];
+    const auto& s = via_scalar[static_cast<std::size_t>(l)];
+    ASSERT_EQ(b.ok(), s.ok()) << what << " lane " << l;
+    if (!b.ok()) {
+      EXPECT_EQ(b.error().message, s.error().message) << what;
+      continue;
+    }
+    ASSERT_EQ(b->size(), s->size()) << what;
+    for (std::size_t i = 0; i < s->size(); ++i) {
+      EXPECT_EQ((*b)[i], (*s)[i])
+          << what << " lane " << l << " spec " << i;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(BatchProblemParity, BuiltinProblems) {
+  expect_problem_batch_parity(
+      circuits::make_tia_problem(lean_options(true)),
+      circuits::make_tia_problem(lean_options(false)), 5, "tia");
+  expect_problem_batch_parity(
+      circuits::make_two_stage_problem(lean_options(true)),
+      circuits::make_two_stage_problem(lean_options(false)), 5, "two_stage");
+  expect_problem_batch_parity(
+      circuits::make_ngm_problem(lean_options(true)),
+      circuits::make_ngm_problem(lean_options(false)), 5, "ngm_ota");
+  // The PEX problem's leaf is the corner fan-out; batch_kernel is a no-op
+  // there, but the contract (same values either way) must still hold.
+  expect_problem_batch_parity(
+      circuits::make_ngm_pex_problem(lean_options(true)),
+      circuits::make_ngm_pex_problem(lean_options(false)), 2, "ngm_ota_pex");
+}
+
+TEST(BatchProblemParity, ShippedDecks) {
+  const std::string dir = std::string(AUTOCKT_SOURCE_DIR) + "/examples/decks";
+  for (const char* deck :
+       {"rc_buffer.cir", "common_source.cir", "five_t_ota.cir"}) {
+    const std::string path = dir + "/" + deck;
+    auto batched = circuits::make_netlist_problem_from_file(
+        path, lean_options(true));
+    ASSERT_TRUE(batched.ok()) << deck << ": " << batched.error().message;
+    auto scalar = circuits::make_netlist_problem_from_file(
+        path, lean_options(false));
+    ASSERT_TRUE(scalar.ok()) << deck;
+    expect_problem_batch_parity(std::move(*batched), std::move(*scalar), 6,
+                                deck);
+  }
+}
+
+// ---- env-level: VectorSizingEnv lockstep equivalence ------------------------
+
+TEST(BatchEnvParity, VectorEnvTicksMatchScalarBackendBitwise) {
+  // Same seeds, same targets, same scripted actions: an env over the
+  // batch-kernel problem must emit bitwise-identical trajectories to one
+  // over the scalar-kernel problem.
+  auto batched = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_two_stage_problem(lean_options(true)));
+  auto scalar = std::make_shared<const circuits::SizingProblem>(
+      circuits::make_two_stage_problem(lean_options(false)));
+
+  env::EnvConfig config;
+  config.horizon = 4;
+  const int lanes = 4;
+  env::VectorSizingEnv venv_b(batched, config, lanes);
+  env::VectorSizingEnv venv_s(scalar, config, lanes);
+  venv_b.seed_lanes(424242);
+  venv_s.seed_lanes(424242);
+
+  const auto obs_b = venv_b.reset_all();
+  const auto obs_s = venv_s.reset_all();
+  ASSERT_EQ(obs_b.size(), obs_s.size());
+  for (std::size_t i = 0; i < obs_b.size(); ++i) {
+    EXPECT_EQ(obs_b[i], obs_s[i]) << "reset lane " << i;
+  }
+
+  Rng action_rng(31);
+  for (int tick = 0; tick < config.horizon; ++tick) {
+    std::vector<std::vector<int>> actions(static_cast<std::size_t>(lanes));
+    for (auto& a : actions) {
+      a.assign(static_cast<std::size_t>(venv_b.num_params()), 0);
+      for (int& v : a) v = static_cast<int>(action_rng.bounded(3));
+    }
+    const auto rb = venv_b.step_all(actions, [](int) { return false; });
+    const auto rs = venv_s.step_all(actions, [](int) { return false; });
+    for (int i = 0; i < lanes; ++i) {
+      const auto& lb = rb[static_cast<std::size_t>(i)];
+      const auto& ls = rs[static_cast<std::size_t>(i)];
+      EXPECT_EQ(lb.obs, ls.obs) << "tick " << tick << " lane " << i;
+      EXPECT_EQ(lb.reward, ls.reward);
+      EXPECT_EQ(lb.done, ls.done);
+      EXPECT_EQ(lb.goal_met, ls.goal_met);
+    }
+  }
+}
