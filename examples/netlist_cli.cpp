@@ -3,11 +3,20 @@
 //
 // Usage: netlist_cli <deck.sp>
 //        netlist_cli --demo        (runs a built-in RC + inverter demo deck)
+//        netlist_cli <deck.cir> --characterize [--cache <dir>] [--workers N]
+//
+// --characterize treats a sizing deck (.param/.spec/.measure declarations)
+// as a full SizingProblem and evaluates its grid centre through the same
+// backend stack the trainer uses — including the persistent on-disk eval
+// cache (--cache) and the forked evaluation workers (--workers).
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
+#include "circuits/netlist_problem.hpp"
 #include "spice/ac.hpp"
 #include "spice/dc.hpp"
 #include "spice/measure.hpp"
@@ -53,6 +62,35 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     text = buf.str();
+  }
+
+  if (args.get_bool("characterize")) {
+    circuits::ProblemOptions options;
+    options.cache_path = args.get("cache", "");
+    options.eval_workers =
+        static_cast<std::size_t>(args.get_int("workers", 0));
+    const std::string name =
+        args.positional().empty()
+            ? "demo"
+            : std::filesystem::path(args.positional()[0]).stem().string();
+    auto prob = circuits::make_netlist_problem_from_text(text, name, options);
+    if (!prob.ok()) {
+      std::fprintf(stderr, "%s\n", prob.error().message.c_str());
+      return 1;
+    }
+    auto specs = prob->evaluate(prob->center_params());
+    if (!specs.ok()) {
+      std::fprintf(stderr, "grid-centre evaluation failed: %s\n",
+                   specs.error().message.c_str());
+      return 1;
+    }
+    std::printf("%s grid centre:\n", prob->name.c_str());
+    for (std::size_t i = 0; i < prob->specs.size(); ++i) {
+      std::printf("  %-18s = %.6g\n", prob->specs[i].name.c_str(),
+                  (*specs)[i]);
+    }
+    std::printf("eval stats: %s\n", prob->eval_stats().summary().c_str());
+    return 0;
   }
 
   auto parsed = parse_netlist(text);

@@ -15,7 +15,12 @@
 // Options: --decks <dir> (extra scenario directory, default examples/decks
 // when present), --iterations --steps --horizon --seed --train-targets
 // --holdout --curriculum --stochastic, --trace <path.jsonl> (record the
-// run's spans/counters and write a JSONL trace — see docs/OBSERVABILITY.md).
+// run's spans/counters and write a JSONL trace — see docs/OBSERVABILITY.md),
+// --cache <dir> (persistent on-disk eval cache: a rerun of the same problem
+// replays memoized evaluations instead of re-simulating; the directory is
+// fingerprint-guarded against problem-definition changes), --workers N
+// (fork N evaluation worker processes; results stay bitwise-identical to
+// the in-process path).
 //
 // Exit codes: 0 success; 1 failure (unknown scenario, simulation error, or
 // — under --lint — a deck with error-severity findings refused
@@ -31,6 +36,7 @@
 
 #include "autockt/autockt.hpp"
 #include "circuits/registry.hpp"
+#include "eval/cached_backend.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -152,16 +158,40 @@ int main(int argc, char** argv) {
   if (scenario.empty()) {
     std::fprintf(stderr,
                  "usage: netlist_train --problem <name|path.cir> "
-                 "[--list] [--lint] [--characterize] [--sweep N]\n");
+                 "[--list] [--lint] [--characterize] [--sweep N] "
+                 "[--cache <dir>] [--workers N]\n");
     return 1;
   }
 
-  auto problem = registry.make_shared(scenario);
+  circuits::ProblemOptions problem_options;
+  problem_options.cache_path = args.get("cache", "");
+  problem_options.eval_workers =
+      static_cast<std::size_t>(args.get_int("workers", 0));
+
+  auto problem = [&]() {
+    try {
+      return registry.make_shared(scenario, problem_options);
+    } catch (const std::runtime_error& e) {
+      // Built-in factories throw when DiskLogStore::open refuses the cache
+      // directory (deck scenarios surface the same failure as an Error).
+      return decltype(registry.make_shared(scenario))(
+          util::Error{e.what(), 1});
+    }
+  }();
   if (!problem.ok()) {
     std::fprintf(stderr, "%s\n", problem.error().message.c_str());
     return 1;
   }
   print_problem(**problem);
+  if (!problem_options.cache_path.empty()) {
+    // approx_size is the lock-free counter — fine for logging (satellite
+    // fix: never sum every stripe under lock just to print a number).
+    const auto* cached =
+        dynamic_cast<const eval::CachedBackend*>((*problem)->backend.get());
+    std::printf("  eval cache: %s (%zu entries warm)\n",
+                problem_options.cache_path.c_str(),
+                cached != nullptr ? cached->approx_size() : 0);
+  }
 
   // --trace: record the whole run and flush a JSONL trace on the way out,
   // whichever mode ran (docs/OBSERVABILITY.md describes the schema).

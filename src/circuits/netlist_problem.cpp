@@ -430,8 +430,32 @@ util::Expected<SizingProblem> make_netlist_problem(
     return results;
   };
 
-  prob.backend = make_standard_backend(std::move(eval), std::move(eval_batch),
-                                       name + "_sim", options);
+  // Fingerprint for the persistent eval cache: grid + specs + the raw deck
+  // text, so editing any card line (device value, analysis point, measure)
+  // retires the old cache instead of replaying stale results against the
+  // changed circuit.
+  std::vector<std::string> deck_lines;
+  deck_lines.reserve(deck.lines.size());
+  for (const auto& line : deck.lines) {
+    std::string joined;
+    for (const std::string& tok : line.tokens) {
+      if (!joined.empty()) joined += ' ';
+      joined += tok;
+    }
+    deck_lines.push_back(std::move(joined));
+  }
+  const std::uint64_t fingerprint =
+      problem_fingerprint(prob.name, prob.params, prob.specs, deck_lines);
+
+  try {
+    prob.backend = make_standard_backend(
+        std::move(eval), std::move(eval_batch), name + "_sim", options,
+        fingerprint);
+  } catch (const std::runtime_error& e) {
+    // DiskLogStore::open refused the cache directory (fingerprint
+    // mismatch, unwritable path); surface it as a deck-level error.
+    return util::Error{"deck '" + name + "': " + std::string(e.what())};
+  }
   try {
     prob.validate();
   } catch (const std::invalid_argument& e) {

@@ -1,5 +1,6 @@
 #include "circuits/problems.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "circuits/ngm_ota.hpp"
@@ -7,12 +8,35 @@
 #include "circuits/two_stage_opamp.hpp"
 #include "eval/cached_backend.hpp"
 #include "eval/corner_backend.hpp"
+#include "eval/disk_log_store.hpp"
 #include "eval/function_backend.hpp"
+#include "eval/process_pool_backend.hpp"
 #include "eval/threaded_backend.hpp"
+#include "spice/workspace.hpp"
+#include "util/fmt.hpp"
 
 namespace autockt::circuits {
 
 namespace {
+
+/// The spice layer's process-wide kernel counters projected into EvalStats.
+/// ProcessPoolBackend workers attach this as Options::leaf_stats so their
+/// reply deltas carry the kernel work done in the child — which the
+/// parent's own spice::kernel_stats_snapshot() can never see.
+eval::EvalStats kernel_leaf_stats() {
+  eval::EvalStats s;
+  const spice::KernelStats k = spice::kernel_stats_snapshot();
+  s.newton_iterations = k.newton_iterations;
+  s.symbolic_factorizations = k.symbolic_factorizations;
+  s.numeric_factorizations = k.numeric_factorizations;
+  s.dense_fallbacks = k.dense_fallbacks;
+  s.warm_start_attempts = k.warm_start_attempts;
+  s.warm_start_hits = k.warm_start_hits;
+  s.batch_refactorizations = k.batch_refactorizations;
+  s.batch_lanes = k.batch_lanes;
+  s.batch_lane_fallbacks = k.batch_lane_fallbacks;
+  return s;
+}
 
 /// PEX parasitic severity used for the transfer experiment. Chosen so that
 /// schematic-vs-PEX spec differences land in the 5-25% band the paper's
@@ -26,37 +50,107 @@ pex::ParasiticModel transfer_parasitics() {
   return pm;
 }
 
-/// Memo cache goes outermost so hits never touch the pool below.
+/// Memo cache goes outermost so hits never touch the pool (or the worker
+/// processes) below. With cache_path set the memo is a DiskLogStore — a
+/// failed open (fingerprint mismatch, unwritable directory) throws: a
+/// persistent cache silently serving the wrong problem would be far worse
+/// than failing construction.
 std::shared_ptr<eval::EvalBackend> wrap_cache(
-    std::shared_ptr<eval::EvalBackend> backend,
-    const ProblemOptions& options) {
+    std::shared_ptr<eval::EvalBackend> backend, const ProblemOptions& options,
+    std::uint64_t cache_fingerprint) {
   if (!options.cache) return backend;
+  if (!options.cache_path.empty()) {
+    auto store = eval::DiskLogStore::open(options.cache_path,
+                                          cache_fingerprint);
+    if (!store.ok()) throw std::runtime_error(store.error().message);
+    return std::make_shared<eval::CachedBackend>(std::move(backend),
+                                                 store.value());
+  }
   return std::make_shared<eval::CachedBackend>(std::move(backend),
                                                options.cache_shards);
 }
 
+/// Fork the leaf across worker processes. The factory runs in each CHILD
+/// after fork, so the per-worker stack (and any threads it wants) is born
+/// there; the parent-side stack above this layer never blocks on a child's
+/// survival — crash handling lives inside ProcessPoolBackend.
+std::shared_ptr<eval::EvalBackend> wrap_process_pool(
+    eval::ProcessPoolBackend::InnerFactory factory, const std::string& name,
+    const ProblemOptions& options) {
+  eval::ProcessPoolBackend::Options popts;
+  popts.workers = options.eval_workers;
+  popts.inner_name = name;
+  popts.leaf_stats = kernel_leaf_stats;
+  return std::make_shared<eval::ProcessPoolBackend>(std::move(factory),
+                                                    popts);
+}
+
 }  // namespace
+
+std::uint64_t problem_fingerprint(const std::string& name,
+                                  const std::vector<ParamDef>& params,
+                                  const std::vector<SpecDef>& specs,
+                                  const std::vector<std::string>& extra) {
+  // Canonical text rendering, hashed with FNV-1a. Doubles go through
+  // format_g17 so the rendering (hence the fingerprint) is exact and
+  // locale-independent.
+  std::string canon = "autockt-problem-v1\nn " + name + "\n";
+  for (const ParamDef& p : params) {
+    canon += "p " + p.name + ' ' + util::format_g17(p.start) + ' ' +
+             util::format_g17(p.end) + ' ' + util::format_g17(p.step) + "\n";
+  }
+  for (const SpecDef& s : specs) {
+    canon += "s " + s.name + ' ' +
+             std::to_string(static_cast<int>(s.sense)) + ' ' +
+             util::format_g17(s.sample_lo) + ' ' +
+             util::format_g17(s.sample_hi) + ' ' +
+             util::format_g17(s.norm_const) + ' ' +
+             util::format_g17(s.fail_value) + "\n";
+  }
+  for (const std::string& line : extra) {
+    canon += "x " + line + "\n";
+  }
+  return eval::fingerprint64(canon);
+}
 
 std::shared_ptr<eval::EvalBackend> make_standard_backend(
     eval::HintedEvalFn fn, const std::string& name,
-    const ProblemOptions& options) {
-  return make_standard_backend(std::move(fn), nullptr, name, options);
+    const ProblemOptions& options, std::uint64_t cache_fingerprint) {
+  return make_standard_backend(std::move(fn), nullptr, name, options,
+                               cache_fingerprint);
 }
 
 std::shared_ptr<eval::EvalBackend> make_standard_backend(
     eval::HintedEvalFn fn, eval::BatchEvalFn batch_fn, const std::string& name,
-    const ProblemOptions& options) {
+    const ProblemOptions& options, std::uint64_t cache_fingerprint) {
   if (!options.batch_kernel) batch_fn = nullptr;
-  std::shared_ptr<eval::EvalBackend> backend =
-      batch_fn != nullptr
-          ? std::make_shared<eval::FunctionBackend>(std::move(fn),
-                                                    std::move(batch_fn), name)
-          : std::make_shared<eval::FunctionBackend>(std::move(fn), name);
-  if (options.parallel_batch) {
+  std::shared_ptr<eval::EvalBackend> backend;
+  if (options.eval_workers > 0) {
+    // Distributed stack: Cache(ProcessPool(worker: Function leaf)). Each
+    // worker keeps the batched-kernel leaf, so its shard of a batch still
+    // runs as lockstep lanes; the thread-pool layer is omitted — processes
+    // ARE the fan-out.
+    backend = wrap_process_pool(
+        [fn = std::move(fn), batch_fn = std::move(batch_fn),
+         name]() -> std::shared_ptr<eval::EvalBackend> {
+          return batch_fn != nullptr
+                     ? std::make_shared<eval::FunctionBackend>(fn, batch_fn,
+                                                               name)
+                     : std::make_shared<eval::FunctionBackend>(fn, name);
+        },
+        name, options);
+  } else {
     backend =
-        std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
+        batch_fn != nullptr
+            ? std::make_shared<eval::FunctionBackend>(
+                  std::move(fn), std::move(batch_fn), name)
+            : std::make_shared<eval::FunctionBackend>(std::move(fn), name);
+    if (options.parallel_batch) {
+      backend =
+          std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
+    }
   }
-  return wrap_cache(std::move(backend), options);
+  return wrap_cache(std::move(backend), options, cache_fingerprint);
 }
 
 SizingProblem make_tia_problem(const ProblemOptions& options) {
@@ -116,7 +210,8 @@ SizingProblem make_tia_problem(const ProblemOptions& options) {
         }
         return out;
       },
-      "tia_sim", options);
+      "tia_sim", options,
+      problem_fingerprint(prob.name, prob.params, prob.specs));
   prob.validate();
   return prob;
 }
@@ -194,7 +289,8 @@ SizingProblem make_two_stage_problem(const ProblemOptions& options) {
         }
         return out;
       },
-      "two_stage_sim", options);
+      "two_stage_sim", options,
+      problem_fingerprint(prob.name, prob.params, prob.specs));
   prob.validate();
   return prob;
 }
@@ -275,7 +371,8 @@ SizingProblem make_ngm_problem(const ProblemOptions& options) {
         }
         return out;
       },
-      "ngm_sim", options);
+      "ngm_sim", options,
+      problem_fingerprint(prob.name, prob.params, prob.specs));
   prob.validate();
   return prob;
 }
@@ -324,23 +421,44 @@ SizingProblem make_ngm_pex_problem(const ProblemOptions& options) {
     return worst_case_fold(spec_defs, corner_results);
   };
 
-  // With parallel corners on, CornerBackend fans out both single points
-  // (over corners) and batches (over point×corner pairs), so no extra
-  // batching layer is needed. With corners forced serial, an optional
-  // ThreadPoolBackend still honours parallel_batch by spreading batch
-  // points across workers (each point's corners staying serial).
-  std::shared_ptr<eval::EvalBackend> backend =
-      std::make_shared<eval::CornerBackend>(
-          corners.size(), std::move(corner_eval), std::move(fold),
-          options.parallel_corners
-              ? (options.pool ? options.pool : eval::ThreadPool::shared())
-              : nullptr,
-          "pex_corners");
-  if (!options.parallel_corners && options.parallel_batch) {
-    backend =
-        std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
+  std::shared_ptr<eval::EvalBackend> backend;
+  if (options.eval_workers > 0) {
+    // Distributed PEX: each worker process owns a CornerBackend. The
+    // worker's corner pool (when parallel_corners is on) is created by the
+    // factory INSIDE the child — never ThreadPool::shared(), whose threads
+    // would be fork-orphaned corpses in the child.
+    const std::size_t n_corners = corners.size();
+    const bool parallel_corners = options.parallel_corners;
+    backend = wrap_process_pool(
+        [n_corners, corner_eval, fold,
+         parallel_corners]() -> std::shared_ptr<eval::EvalBackend> {
+          return std::make_shared<eval::CornerBackend>(
+              n_corners, corner_eval, fold,
+              parallel_corners ? std::make_shared<eval::ThreadPool>()
+                               : nullptr,
+              "pex_corners");
+        },
+        "pex_corners", options);
+  } else {
+    // With parallel corners on, CornerBackend fans out both single points
+    // (over corners) and batches (over point×corner pairs), so no extra
+    // batching layer is needed. With corners forced serial, an optional
+    // ThreadPoolBackend still honours parallel_batch by spreading batch
+    // points across workers (each point's corners staying serial).
+    backend = std::make_shared<eval::CornerBackend>(
+        corners.size(), std::move(corner_eval), std::move(fold),
+        options.parallel_corners
+            ? (options.pool ? options.pool : eval::ThreadPool::shared())
+            : nullptr,
+        "pex_corners");
+    if (!options.parallel_corners && options.parallel_batch) {
+      backend =
+          std::make_shared<eval::ThreadPoolBackend>(backend, options.pool);
+    }
   }
-  prob.backend = wrap_cache(std::move(backend), options);
+  prob.backend =
+      wrap_cache(std::move(backend), options,
+                 problem_fingerprint(prob.name, prob.params, prob.specs));
   prob.validate();
   return prob;
 }

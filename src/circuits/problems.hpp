@@ -13,7 +13,10 @@
 // benchmarks that need the raw serial path.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "circuits/sizing_problem.hpp"
 #include "eval/thread_pool.hpp"
@@ -38,15 +41,37 @@ struct ProblemOptions {
   /// Worker pool for batch/corner fan-out; null uses the process-wide
   /// shared pool.
   std::shared_ptr<eval::ThreadPool> pool;
+  /// Directory of a persistent on-disk eval cache (eval::DiskLogStore).
+  /// Empty keeps the memo in memory only. The cache is guarded by the
+  /// problem fingerprint: opening a directory written for a different
+  /// problem definition throws std::runtime_error at construction.
+  std::string cache_path;
+  /// Fork this many worker processes and shard evaluations across them
+  /// (eval::ProcessPoolBackend); 0 evaluates in-process. Results are
+  /// bitwise-identical to the serial path; each worker runs its own
+  /// simulator stack, so a crash costs one retry rather than the trainer.
+  std::size_t eval_workers = 0;
 };
+
+/// Stable 64-bit fingerprint of a problem definition: the name, the full
+/// parameter grid, every spec definition, and any extra canonical lines
+/// (netlist problems pass the raw deck text). Two problems share an on-disk
+/// eval cache iff their fingerprints match — the DiskLogStore replay guard.
+std::uint64_t problem_fingerprint(const std::string& name,
+                                  const std::vector<ParamDef>& params,
+                                  const std::vector<SpecDef>& specs,
+                                  const std::vector<std::string>& extra = {});
 
 /// The standard backend stack behind a schematic problem: a FunctionBackend
 /// simulator leaf, optionally fanned out over the batch thread pool, behind
 /// an optional sharded memo cache. Shared by the built-in factories and by
 /// deck-compiled problems (circuits/netlist_problem.hpp).
+/// `cache_fingerprint` identifies the problem definition to a persistent
+/// cache (see problem_fingerprint); only consulted when options.cache_path
+/// is set.
 std::shared_ptr<eval::EvalBackend> make_standard_backend(
     eval::HintedEvalFn fn, const std::string& name,
-    const ProblemOptions& options);
+    const ProblemOptions& options, std::uint64_t cache_fingerprint = 0);
 
 /// Batch-aware variant: when `options.batch_kernel` is set and `batch_fn`
 /// is non-null, the FunctionBackend leaf routes whole batches through
@@ -54,7 +79,7 @@ std::shared_ptr<eval::EvalBackend> make_standard_backend(
 /// forwards rather than splits them.
 std::shared_ptr<eval::EvalBackend> make_standard_backend(
     eval::HintedEvalFn fn, eval::BatchEvalFn batch_fn, const std::string& name,
-    const ProblemOptions& options);
+    const ProblemOptions& options, std::uint64_t cache_fingerprint = 0);
 
 /// Transimpedance amplifier (Table I / Fig. 5). ptm45 card.
 SizingProblem make_tia_problem(const ProblemOptions& options = {});

@@ -84,17 +84,20 @@ eval::EvalStats SizingProblem::eval_stats() const {
   // Merge the simulation-kernel counters. These are process-wide (the
   // workspace registry is shared by every problem), so with several live
   // problems the kernel columns report whole-process activity; reset via
-  // reset_eval_stats() or difference with since() per experiment.
+  // reset_eval_stats() or difference with since() per experiment. Added
+  // (not assigned) because a ProcessPoolBackend stack already carries the
+  // kernel counters of its worker processes in backend->stats() — in that
+  // configuration the parent-local counters below stay zero.
   const spice::KernelStats kernel = spice::kernel_stats_snapshot();
-  stats.newton_iterations = kernel.newton_iterations;
-  stats.symbolic_factorizations = kernel.symbolic_factorizations;
-  stats.numeric_factorizations = kernel.numeric_factorizations;
-  stats.dense_fallbacks = kernel.dense_fallbacks;
-  stats.warm_start_attempts = kernel.warm_start_attempts;
-  stats.warm_start_hits = kernel.warm_start_hits;
-  stats.batch_refactorizations = kernel.batch_refactorizations;
-  stats.batch_lanes = kernel.batch_lanes;
-  stats.batch_lane_fallbacks = kernel.batch_lane_fallbacks;
+  stats.newton_iterations += kernel.newton_iterations;
+  stats.symbolic_factorizations += kernel.symbolic_factorizations;
+  stats.numeric_factorizations += kernel.numeric_factorizations;
+  stats.dense_fallbacks += kernel.dense_fallbacks;
+  stats.warm_start_attempts += kernel.warm_start_attempts;
+  stats.warm_start_hits += kernel.warm_start_hits;
+  stats.batch_refactorizations += kernel.batch_refactorizations;
+  stats.batch_lanes += kernel.batch_lanes;
+  stats.batch_lane_fallbacks += kernel.batch_lane_fallbacks;
   return stats;
 }
 

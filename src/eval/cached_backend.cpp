@@ -1,75 +1,54 @@
 #include "eval/cached_backend.hpp"
 
-#include <algorithm>
+#include <unordered_map>
 
 #include "trace/names.hpp"
 #include "trace/trace.hpp"
 
 namespace autockt::eval {
 
-std::size_t CachedBackend::VectorHash::operator()(const ParamVector& v) const {
-  // FNV-1a over the index words; grid indices are small so byte mixing is
-  // plenty to spread shards and buckets.
-  std::size_t h = 1469598103934665603ULL;
-  for (int x : v) {
-    h ^= static_cast<std::size_t>(static_cast<unsigned>(x));
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 CachedBackend::CachedBackend(std::shared_ptr<EvalBackend> inner,
                              std::size_t shards)
-    : inner_(std::move(inner)) {
-  shards_.reserve(std::max<std::size_t>(1, shards));
-  for (std::size_t i = 0; i < std::max<std::size_t>(1, shards); ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    : inner_(std::move(inner)),
+      store_(std::make_shared<InMemoryStore>(shards)) {}
+
+CachedBackend::CachedBackend(std::shared_ptr<EvalBackend> inner,
+                             std::shared_ptr<MemoStore> store)
+    : inner_(std::move(inner)), store_(std::move(store)) {}
+
+void CachedBackend::count_hit(bool replayed) {
+  counters_.add_cache_hit();
+  trace::counter(trace::names::kEvalCacheHit);
+  if (replayed) {
+    // The entry came off the on-disk log at open(): this hit is a
+    // simulation a PREVIOUS process paid for.
+    counters_.add_disk_hit();
+    trace::counter(trace::names::kEvalDiskHit);
   }
 }
 
-CachedBackend::Shard& CachedBackend::shard_for(
-    const ParamVector& params) const {
-  return *shards_[VectorHash{}(params) % shards_.size()];
-}
-
-std::size_t CachedBackend::size() const {
-  std::size_t n = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    n += shard->map.size();
-  }
-  return n;
-}
-
-void CachedBackend::clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->map.clear();
+void CachedBackend::memoize(const ParamVector& params,
+                            const EvalResult& result) {
+  if (store_->insert(params, result) && store_->persistent()) {
+    counters_.add_disk_append();
   }
 }
 
 EvalResult CachedBackend::do_evaluate(const ParamVector& params,
                                       SimHint* hint) {
-  Shard& shard = shard_for(params);
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.map.find(params);
-    if (it != shard.map.end()) {
-      counters_.add_cache_hit();
-      trace::counter(trace::names::kEvalCacheHit);
-      return it->second;
-    }
+  EvalResult cached = EvalResult(SpecVector{});
+  bool replayed = false;
+  if (store_->lookup(params, &cached, &replayed)) {
+    count_hit(replayed);
+    return cached;
   }
-  // Simulate outside the stripe lock; concurrent misses on the same key may
-  // both simulate, but the evaluator is a pure function so either insert
-  // wins with the same value.
+  // Simulate outside the store's stripe locks; concurrent misses on the
+  // same key may both simulate, but the evaluator is a pure function so
+  // either insert wins with the same value.
   counters_.add_cache_miss();
   trace::counter(trace::names::kEvalCacheMiss);
   EvalResult result = inner_->evaluate(params, hint);
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map.emplace(params, result);
-  }
+  memoize(params, result);
   return result;
 }
 
@@ -82,22 +61,12 @@ std::vector<EvalResult> CachedBackend::do_evaluate_batch(
   // hint of its FIRST occurrence — exactly what the serial loop would use).
   std::vector<ParamVector> misses;
   std::vector<SimHint*> miss_hints;
-  std::unordered_map<ParamVector, std::vector<std::size_t>, VectorHash>
+  std::unordered_map<ParamVector, std::vector<std::size_t>, ParamVectorHash>
       miss_slots;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    Shard& shard = shard_for(points[i]);
-    bool hit = false;
-    {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      auto it = shard.map.find(points[i]);
-      if (it != shard.map.end()) {
-        out[i] = it->second;
-        hit = true;
-      }
-    }
-    if (hit) {
-      counters_.add_cache_hit();
-      trace::counter(trace::names::kEvalCacheHit);
+    bool replayed = false;
+    if (store_->lookup(points[i], &out[i], &replayed)) {
+      count_hit(replayed);
       continue;
     }
     auto [slot_it, inserted] = miss_slots.try_emplace(points[i]);
@@ -108,8 +77,7 @@ std::vector<EvalResult> CachedBackend::do_evaluate_batch(
       miss_hints.push_back(hint_at(hints, i));
     } else {
       // A duplicate of an in-flight miss: costs no extra simulation.
-      counters_.add_cache_hit();
-      trace::counter(trace::names::kEvalCacheHit);
+      count_hit(/*replayed=*/false);
     }
     slot_it->second.push_back(i);
   }
@@ -119,11 +87,7 @@ std::vector<EvalResult> CachedBackend::do_evaluate_batch(
   if (!misses.empty()) {
     std::vector<EvalResult> fresh = dispatch_batch(*inner_, misses, miss_hints);
     for (std::size_t m = 0; m < misses.size(); ++m) {
-      Shard& shard = shard_for(misses[m]);
-      {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.map.emplace(misses[m], fresh[m]);
-      }
+      memoize(misses[m], fresh[m]);
       for (std::size_t slot : miss_slots[misses[m]]) {
         out[slot] = fresh[m];
       }

@@ -1,9 +1,14 @@
 #pragma once
-// CachedBackend: a sharded, mutex-striped memo cache keyed on grid indices.
-// The action space is discrete, every episode restarts from the grid
-// centre, and PPO revisits neighbourhoods constantly — so repeat visits are
-// the common case and become near-free. Failures are memoized too: a design
+// CachedBackend: the memo-cache decorator, keyed on grid indices. The
+// action space is discrete, every episode restarts from the grid centre,
+// and PPO revisits neighbourhoods constantly — so repeat visits are the
+// common case and become near-free. Failures are memoized too: a design
 // point the simulator could not converge on is not re-simulated.
+//
+// Storage is pluggable (eval/memo_store.hpp): the default InMemoryStore
+// reproduces the original sharded map; a DiskLogStore makes the memo
+// survive restarts, in which case hits on replayed entries are additionally
+// counted as disk_hits and fresh inserts as disk_appends.
 //
 // Batch calls deduplicate: within one evaluate_batch, identical points cost
 // one simulation (first occurrence counts as the miss, duplicates as hits)
@@ -12,28 +17,43 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "eval/backend.hpp"
+#include "eval/memo_store.hpp"
 
 namespace autockt::eval {
 
 class CachedBackend : public EvalBackend {
  public:
+  /// Original form: backs the memo with an InMemoryStore of `shards`
+  /// stripes (behavior-identical to the pre-MemoStore implementation).
   explicit CachedBackend(std::shared_ptr<EvalBackend> inner,
                          std::size_t shards = 16);
 
-  std::string name() const override { return "cached(" + inner_->name() + ")"; }
+  /// Pluggable-store form (e.g. a DiskLogStore for a persistent cache).
+  CachedBackend(std::shared_ptr<EvalBackend> inner,
+                std::shared_ptr<MemoStore> store);
 
-  /// Entries currently memoized (sums shard sizes; takes every stripe lock).
-  std::size_t size() const;
-  void clear();
+  std::string name() const override {
+    return "cached[" + store_->describe() + "](" + inner_->name() + ")";
+  }
+
+  /// Entries currently memoized — exact, takes every store stripe lock.
+  /// Hot logging paths should prefer approx_size().
+  std::size_t size() const { return store_->size(); }
+  /// Lock-free approximate entry count (one relaxed atomic load); may lag
+  /// concurrent inserts by a few entries but never touches a stripe lock.
+  std::size_t approx_size() const { return store_->approx_size(); }
+  void clear() { store_->clear(); }
+  /// Persist buffered store state (fsync batching); no-op for memory
+  /// stores.
+  void flush() { store_->flush(); }
 
   const std::shared_ptr<EvalBackend>& inner() const { return inner_; }
+  const std::shared_ptr<MemoStore>& store() const { return store_; }
 
  protected:
   EvalResult do_evaluate(const ParamVector& params, SimHint* hint) override;
@@ -44,18 +64,11 @@ class CachedBackend : public EvalBackend {
   void reset_inner_stats() override { inner_->reset_stats(); }
 
  private:
-  struct VectorHash {
-    std::size_t operator()(const ParamVector& v) const;
-  };
-  struct Shard {
-    std::mutex mutex;
-    std::unordered_map<ParamVector, EvalResult, VectorHash> map;
-  };
-
-  Shard& shard_for(const ParamVector& params) const;
+  void count_hit(bool replayed);
+  void memoize(const ParamVector& params, const EvalResult& result);
 
   std::shared_ptr<EvalBackend> inner_;
-  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<MemoStore> store_;
 };
 
 }  // namespace autockt::eval

@@ -1,0 +1,364 @@
+#include "eval/disk_log_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "trace/names.hpp"
+#include "trace/trace.hpp"
+#include "util/fmt.hpp"
+
+namespace autockt::eval {
+namespace {
+
+constexpr const char* kMagic = "autockt-evalcache-v1";
+
+std::string format_hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex_u64(std::string_view text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : text) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | digit;
+  }
+  *out = bits;
+  return true;
+}
+
+/// Error messages may contain spaces and newlines; hex-encode the bytes so
+/// a record stays a single whitespace-tokenized line. "-" encodes empty.
+std::string encode_bytes(const std::string& bytes) {
+  if (bytes.empty()) return "-";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+bool decode_bytes(const std::string& text, std::string* out) {
+  out->clear();
+  if (text == "-") return true;
+  if (text.size() % 2 != 0) return false;
+  auto nibble = [](char c, unsigned* v) {
+    if (c >= '0' && c <= '9') {
+      *v = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      *v = static_cast<unsigned>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  out->reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    unsigned hi, lo;
+    if (!nibble(text[i], &hi) || !nibble(text[i + 1], &lo)) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+/// Parse one record line (without the trailing '\n'). Returns false on any
+/// malformation — including a checksum mismatch — which the replay loop
+/// treats as the start of a torn tail.
+bool parse_record(const std::string& line, ParamVector* key,
+                  EvalResult* value) {
+  const std::size_t c_pos = line.rfind(" C ");
+  if (c_pos == std::string::npos) return false;
+  const std::string body = line.substr(0, c_pos);
+  std::uint64_t want = 0;
+  if (!parse_hex_u64(std::string_view(line).substr(c_pos + 3), &want)) {
+    return false;
+  }
+  if (fingerprint64(body) != want) return false;
+
+  std::istringstream in(body);
+  std::string tag;
+  std::size_t nk = 0;
+  if (!(in >> tag >> nk) || tag != "R") return false;
+  key->clear();
+  key->reserve(nk);
+  for (std::size_t i = 0; i < nk; ++i) {
+    int k;
+    if (!(in >> k)) return false;
+    key->push_back(k);
+  }
+  if (!(in >> tag)) return false;
+  if (tag == "S") {
+    std::size_t nv = 0;
+    if (!(in >> nv)) return false;
+    SpecVector specs;
+    specs.reserve(nv);
+    for (std::size_t i = 0; i < nv; ++i) {
+      std::string hex;
+      double d;
+      if (!(in >> hex) || !util::parse_hex_bits(hex, &d)) return false;
+      specs.push_back(d);
+    }
+    *value = EvalResult(std::move(specs));
+  } else if (tag == "F") {
+    util::Error err;
+    std::string msg_hex;
+    if (!(in >> err.code >> err.line >> err.col >> msg_hex)) return false;
+    if (!decode_bytes(msg_hex, &err.message)) return false;
+    *value = EvalResult(std::move(err));
+  } else {
+    return false;
+  }
+  // Trailing garbage after a well-formed body would have broken the
+  // checksum already; nothing further to verify.
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string shard_path(const std::string& dir, std::size_t i) {
+  return dir + "/memo-" + std::to_string(i) + ".log";
+}
+
+util::Error open_error(std::string message) {
+  return util::Error{std::move(message), /*code=*/1};
+}
+
+}  // namespace
+
+std::string DiskLogStore::encode_record(const ParamVector& key,
+                                        const EvalResult& value) {
+  std::string body = "R " + std::to_string(key.size());
+  for (int k : key) {
+    body += ' ';
+    body += std::to_string(k);
+  }
+  if (value.ok()) {
+    const SpecVector& specs = value.value();
+    body += " S " + std::to_string(specs.size());
+    for (double d : specs) {
+      body += ' ';
+      body += util::format_hex_bits(d);
+    }
+  } else {
+    const util::Error& err = value.error();
+    body += " F " + std::to_string(err.code) + ' ' +
+            std::to_string(err.line) + ' ' + std::to_string(err.col) + ' ' +
+            encode_bytes(err.message);
+  }
+  return body;
+}
+
+DiskLogStore::DiskLogStore(std::string dir, std::uint64_t fingerprint,
+                           Options options)
+    : dir_(std::move(dir)),
+      fingerprint_(fingerprint),
+      options_(options),
+      index_(options.index_shards) {}
+
+util::Expected<std::shared_ptr<DiskLogStore>> DiskLogStore::open(
+    const std::string& dir, std::uint64_t fingerprint,
+    const Options& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return open_error("eval cache: cannot create directory '" + dir +
+                      "': " + ec.message());
+  }
+
+  // Infer the shard count from the directory; a fresh cache uses the
+  // requested count.
+  std::size_t existing = 0;
+  while (std::filesystem::exists(shard_path(dir, existing))) ++existing;
+  const bool fresh = existing == 0;
+  const std::size_t n_files =
+      fresh ? std::max<std::size_t>(1, options.file_shards) : existing;
+
+  auto store = std::shared_ptr<DiskLogStore>(
+      new DiskLogStore(dir, fingerprint, options));
+  trace::TraceSpan replay_span(trace::names::kEvalDiskReplay);
+
+  for (std::size_t i = 0; i < n_files; ++i) {
+    const std::string path = shard_path(dir, i);
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      return open_error("eval cache: cannot open '" + path +
+                        "': " + std::strerror(errno));
+    }
+    auto file = std::make_unique<File>();
+    file->fd = fd;
+    store->files_.push_back(std::move(file));
+
+    const std::string header = std::string(kMagic) +
+                               " fp=" + format_hex_u64(fingerprint) +
+                               " shard=" + std::to_string(i) + "/" +
+                               std::to_string(n_files) + "\n";
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      return open_error("eval cache: cannot stat '" + path +
+                        "': " + std::strerror(errno));
+    }
+    if (st.st_size == 0) {
+      if (!write_all(fd, header.data(), header.size()) || ::fsync(fd) != 0) {
+        return open_error("eval cache: cannot initialize '" + path +
+                          "': " + std::strerror(errno));
+      }
+      continue;
+    }
+
+    // Existing shard: verify the header, then replay records until the
+    // first torn/corrupt one.
+    std::string content(static_cast<std::size_t>(st.st_size), '\0');
+    std::size_t got = 0;
+    while (got < content.size()) {
+      ssize_t r = ::pread(fd, content.data() + got, content.size() - got,
+                          static_cast<off_t>(got));
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) {
+        return open_error("eval cache: cannot read '" + path +
+                          "': " + std::strerror(errno));
+      }
+      got += static_cast<std::size_t>(r);
+    }
+
+    const std::size_t header_end = content.find('\n');
+    if (header_end == std::string::npos) {
+      return open_error("eval cache: '" + path +
+                        "' has no header line (not an eval cache?)");
+    }
+    const std::string header_line = content.substr(0, header_end);
+    std::istringstream hin(header_line);
+    std::string magic, fp_tok, shard_tok;
+    if (!(hin >> magic >> fp_tok >> shard_tok) || magic != kMagic ||
+        fp_tok.rfind("fp=", 0) != 0) {
+      return open_error("eval cache: '" + path +
+                        "' is not an autockt eval cache (bad header '" +
+                        header_line + "')");
+    }
+    std::uint64_t file_fp = 0;
+    if (!parse_hex_u64(std::string_view(fp_tok).substr(3), &file_fp)) {
+      return open_error("eval cache: '" + path + "' has a malformed header");
+    }
+    if (file_fp != fingerprint) {
+      return open_error(
+          "eval cache: '" + path + "' was written for problem fingerprint " +
+          format_hex_u64(file_fp) + " but this problem fingerprints as " +
+          format_hex_u64(fingerprint) +
+          " — refusing to replay a cache for a different problem definition");
+    }
+
+    std::size_t good_end = header_end + 1;
+    std::size_t pos = good_end;
+    bool torn = false;
+    while (pos < content.size()) {
+      const std::size_t nl = content.find('\n', pos);
+      if (nl == std::string::npos) {
+        torn = true;  // tail record was cut mid-write
+        break;
+      }
+      ParamVector key;
+      EvalResult value = EvalResult(SpecVector{});
+      if (!parse_record(content.substr(pos, nl - pos), &key, &value)) {
+        torn = true;  // corrupt record: everything after it is suspect
+        break;
+      }
+      if (store->index_.insert_replayed(key, value)) {
+        ++store->replayed_entries_;
+      }
+      pos = nl + 1;
+      good_end = pos;
+    }
+    if (torn) {
+      if (::ftruncate(fd, static_cast<off_t>(good_end)) != 0) {
+        return open_error("eval cache: cannot repair torn tail of '" + path +
+                          "': " + std::strerror(errno));
+      }
+    }
+  }
+  return store;
+}
+
+DiskLogStore::~DiskLogStore() {
+  flush();
+  for (auto& file : files_) {
+    if (file->fd >= 0) ::close(file->fd);
+  }
+}
+
+DiskLogStore::File& DiskLogStore::file_for(const ParamVector& key) {
+  return *files_[ParamVectorHash{}(key) % files_.size()];
+}
+
+void DiskLogStore::append(File& file, const std::string& record) {
+  std::lock_guard<std::mutex> lock(file.mutex);
+  // O_APPEND makes each write atomic with respect to concurrent appenders
+  // on the same fd; a crash mid-write can only tear the final record.
+  write_all(file.fd, record.data(), record.size());
+  if (++file.unsynced >= options_.fsync_every) {
+    ::fsync(file.fd);
+    file.unsynced = 0;
+  }
+}
+
+bool DiskLogStore::lookup(const ParamVector& key, EvalResult* out,
+                          bool* replayed) {
+  return index_.lookup(key, out, replayed);
+}
+
+bool DiskLogStore::insert(const ParamVector& key, const EvalResult& value) {
+  if (!index_.insert(key, value)) return false;  // lost the race: no dup log
+  std::string record = encode_record(key, value);
+  std::uint64_t checksum = fingerprint64(record);
+  record += " C " + format_hex_u64(checksum) + "\n";
+  append(file_for(key), record);
+  trace::counter(trace::names::kEvalDiskAppend);
+  return true;
+}
+
+void DiskLogStore::flush() {
+  for (auto& file : files_) {
+    std::lock_guard<std::mutex> lock(file->mutex);
+    if (file->fd >= 0 && file->unsynced > 0) {
+      ::fsync(file->fd);
+      file->unsynced = 0;
+    }
+  }
+}
+
+std::string DiskLogStore::describe() const {
+  return "disk:" + dir_;
+}
+
+}  // namespace autockt::eval

@@ -1,0 +1,119 @@
+#pragma once
+// DiskLogStore: a crash-safe, append-only on-disk MemoStore. Memo entries
+// survive the process, so a warm cache makes a repeated fixed-seed training
+// or characterization run cost ZERO leaf simulator calls — the persistence
+// half of ROADMAP item 4 (the paper's economy of never paying for the same
+// simulation twice, extended across restarts).
+//
+// Layout: a directory of `memo-<i>.log` shard files. Each file starts with
+// a header line
+//
+//     autockt-evalcache-v1 fp=<16 hex> shard=<i>/<n>
+//
+// where fp is the owning problem's 64-bit fingerprint (name + parameter
+// grid + spec table + deck text, see circuits/problems.cpp) — the guard
+// that makes replaying a cache against a DIFFERENT problem definition a
+// hard open() error instead of silent garbage. After the header, one text
+// record per memo entry:
+//
+//     R <nk> <keys...> S <nv> <16-hex bit patterns...> C <16 hex>      (ok)
+//     R <nk> <keys...> F <code> <line> <col> <hex msg|-> C <16 hex>  (error)
+//
+// Doubles are serialized as their raw IEEE bit pattern (util/fmt.hpp
+// format_hex_bits), so replayed EvalResults are bitwise-identical to the
+// originals — NaN payloads, -0.0 and denormals included. The trailing C
+// token is an FNV-1a checksum of the record text before it.
+//
+// Crash safety: records are appended with fsync batching (Options::
+// fsync_every). A crash can only lose or tear the tail of a shard file;
+// open() replays each shard until the first record that is incomplete or
+// fails its checksum, truncates the file back to the last good record, and
+// continues — a torn tail costs re-simulating a few points, never a corrupt
+// cache. Entries are never rewritten in place, so the prefix is always
+// consistent.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/memo_store.hpp"
+#include "util/expected.hpp"
+
+namespace autockt::eval {
+
+class DiskLogStore : public MemoStore {
+ public:
+  struct Options {
+    /// Log files to stripe entries over (by the shared ParamVectorHash).
+    /// Only consulted when creating a fresh cache; reopening infers the
+    /// count from the directory.
+    std::size_t file_shards = 4;
+    /// fsync a shard file after this many appended records (1 = every
+    /// record). Batching amortizes the sync cost; at most `fsync_every - 1`
+    /// records per shard are at risk on power loss.
+    std::size_t fsync_every = 32;
+    /// In-memory index stripes (same role as InMemoryStore's shards).
+    std::size_t index_shards = 16;
+  };
+
+  /// Open (or create) the cache directory. Fails — rather than silently
+  /// serving wrong results — when the directory holds a cache written for a
+  /// different problem fingerprint, or when the shard files are not this
+  /// format. Torn tails are repaired here, not reported as errors.
+  static util::Expected<std::shared_ptr<DiskLogStore>> open(
+      const std::string& dir, std::uint64_t fingerprint,
+      const Options& options);
+  static util::Expected<std::shared_ptr<DiskLogStore>> open(
+      const std::string& dir, std::uint64_t fingerprint) {
+    return open(dir, fingerprint, Options());
+  }
+
+  ~DiskLogStore() override;
+  DiskLogStore(const DiskLogStore&) = delete;
+  DiskLogStore& operator=(const DiskLogStore&) = delete;
+
+  bool lookup(const ParamVector& key, EvalResult* out,
+              bool* replayed = nullptr) override;
+  bool insert(const ParamVector& key, const EvalResult& value) override;
+  std::size_t size() const override { return index_.size(); }
+  std::size_t approx_size() const override { return index_.approx_size(); }
+  /// Drops the in-memory index only; the log files are append-only and are
+  /// never rewritten (delete the directory to discard a cache).
+  void clear() override { index_.clear(); }
+  void flush() override;
+  bool persistent() const override { return true; }
+  std::string describe() const override;
+
+  const std::string& directory() const { return dir_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  /// Entries loaded from disk at open() (after torn-tail repair).
+  std::size_t replayed_entries() const { return replayed_entries_; }
+
+  /// Serialize one record body (everything before the checksum token);
+  /// exposed for the crash-safety tests that forge torn/corrupt tails.
+  static std::string encode_record(const ParamVector& key,
+                                   const EvalResult& value);
+
+ private:
+  struct File {
+    std::mutex mutex;
+    int fd = -1;
+    std::size_t unsynced = 0;  // appends since the last fsync
+  };
+
+  DiskLogStore(std::string dir, std::uint64_t fingerprint, Options options);
+
+  File& file_for(const ParamVector& key);
+  void append(File& file, const std::string& record);
+
+  std::string dir_;
+  std::uint64_t fingerprint_ = 0;
+  Options options_;
+  InMemoryStore index_;
+  std::vector<std::unique_ptr<File>> files_;
+  std::size_t replayed_entries_ = 0;
+};
+
+}  // namespace autockt::eval

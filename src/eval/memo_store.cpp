@@ -1,0 +1,77 @@
+#include "eval/memo_store.hpp"
+
+#include <algorithm>
+
+namespace autockt::eval {
+
+std::uint64_t fingerprint64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+InMemoryStore::InMemoryStore(std::size_t shards) {
+  const std::size_t n = std::max<std::size_t>(1, shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+InMemoryStore::Shard& InMemoryStore::shard_for(const ParamVector& key) const {
+  return *shards_[ParamVectorHash{}(key) % shards_.size()];
+}
+
+bool InMemoryStore::lookup(const ParamVector& key, EvalResult* out,
+                           bool* replayed) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *out = it->second.result;
+  if (replayed != nullptr) *replayed = it->second.replayed;
+  return true;
+}
+
+bool InMemoryStore::insert_internal(const ParamVector& key,
+                                    const EvalResult& value, bool replayed) {
+  Shard& shard = shard_for(key);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    inserted = shard.map.emplace(key, Entry{value, replayed}).second;
+  }
+  if (inserted) approx_count_.fetch_add(1, std::memory_order_relaxed);
+  return inserted;
+}
+
+bool InMemoryStore::insert(const ParamVector& key, const EvalResult& value) {
+  return insert_internal(key, value, /*replayed=*/false);
+}
+
+bool InMemoryStore::insert_replayed(const ParamVector& key,
+                                    const EvalResult& value) {
+  return insert_internal(key, value, /*replayed=*/true);
+}
+
+std::size_t InMemoryStore::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+void InMemoryStore::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+  }
+  approx_count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace autockt::eval

@@ -1,0 +1,128 @@
+#pragma once
+// MemoStore: the storage seam of the memo-cache layer. CachedBackend owns
+// the *policy* (when to look up, when to insert, hit/miss accounting); a
+// MemoStore owns the *mechanism* (where entries live). Two implementations:
+//
+//   InMemoryStore — the original sharded, mutex-striped unordered_map;
+//                   dies with the process.
+//   DiskLogStore  — an append-only, crash-safe on-disk log replayed into an
+//                   in-memory index at open (eval/disk_log_store.hpp), so
+//                   repeated training/serving runs never re-simulate a seen
+//                   point.
+//
+// Entries are full EvalResults: failures are memoized exactly like
+// successes (a non-converging design point must not be re-simulated either).
+// Stores must be thread-safe — PPO rollout workers hit them concurrently.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/types.hpp"
+
+namespace autockt::eval {
+
+/// FNV-1a over the index words; grid indices are small so byte mixing is
+/// plenty to spread shards and buckets. Shared by every consumer that
+/// buckets ParamVectors (memo stores, batch dedup maps, file sharding) so
+/// a key always lands in the same stripe everywhere.
+struct ParamVectorHash {
+  std::size_t operator()(const ParamVector& v) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (int x : v) {
+      h ^= static_cast<std::size_t>(static_cast<unsigned>(x));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// FNV-1a 64-bit over arbitrary bytes. Used to fingerprint problem
+/// definitions (the DiskLogStore replay guard) and to checksum log records.
+std::uint64_t fingerprint64(std::string_view bytes,
+                            std::uint64_t seed = 1469598103934665603ULL);
+
+class MemoStore {
+ public:
+  virtual ~MemoStore() = default;
+
+  /// Serve `key` from the store. On a hit, *out receives the memoized
+  /// result and *replayed (when non-null) reports whether the entry came
+  /// from persistent storage at open time (a "disk hit") rather than an
+  /// insert() this run.
+  virtual bool lookup(const ParamVector& key, EvalResult* out,
+                      bool* replayed = nullptr) = 0;
+
+  /// Memoize `value` under `key`. Returns true when the key was newly
+  /// inserted; false when another thread (or a replayed entry) won the
+  /// race — the store keeps the first value, which is equal anyway because
+  /// the evaluator is a pure function.
+  virtual bool insert(const ParamVector& key, const EvalResult& value) = 0;
+
+  /// Entries currently memoized — exact, takes every stripe lock. Tests
+  /// and teardown paths use this; hot logging paths use approx_size().
+  virtual std::size_t size() const = 0;
+
+  /// Relaxed approximate entry count: one atomic load, no locks, may lag
+  /// concurrent inserts by a few entries. The hot-path-safe variant.
+  virtual std::size_t approx_size() const = 0;
+
+  virtual void clear() = 0;
+
+  /// Persist any buffered state (fsync batching); no-op for memory stores.
+  virtual void flush() {}
+
+  /// True when entries survive the process (lookups may report replayed
+  /// hits and inserts reach durable storage).
+  virtual bool persistent() const { return false; }
+
+  /// Short human-readable description for backend name()s and logs.
+  virtual std::string describe() const = 0;
+};
+
+/// The original CachedBackend storage, extracted verbatim: N mutex-striped
+/// unordered_map shards keyed by ParamVectorHash, plus a relaxed counter so
+/// approx_size() never touches a lock.
+class InMemoryStore : public MemoStore {
+ public:
+  explicit InMemoryStore(std::size_t shards = 16);
+
+  bool lookup(const ParamVector& key, EvalResult* out,
+              bool* replayed = nullptr) override;
+  bool insert(const ParamVector& key, const EvalResult& value) override;
+  std::size_t size() const override;
+  std::size_t approx_size() const override {
+    return approx_count_.load(std::memory_order_relaxed);
+  }
+  void clear() override;
+  std::string describe() const override { return "memory"; }
+
+  /// Insert an entry flagged as replayed-from-disk: DiskLogStore uses this
+  /// while rebuilding its index so later lookups can report disk hits.
+  bool insert_replayed(const ParamVector& key, const EvalResult& value);
+
+ private:
+  struct Entry {
+    EvalResult result;
+    bool replayed = false;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<ParamVector, Entry, ParamVectorHash> map;
+  };
+
+  bool insert_internal(const ParamVector& key, const EvalResult& value,
+                       bool replayed);
+  Shard& shard_for(const ParamVector& key) const;
+
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> approx_count_{0};
+};
+
+}  // namespace autockt::eval

@@ -1,0 +1,126 @@
+#pragma once
+// ProcessPoolBackend: fans evaluate() / evaluate_batch() out over forked
+// worker processes — the distribution half of ROADMAP item 4. Where
+// ThreadPoolBackend shares one address space (and therefore one crash
+// domain and one set of process-wide kernel counters), a process pool gives
+// each worker its own: a simulator bug that corrupts or kills a worker
+// costs one retry, never the trainer.
+//
+// Protocol: each worker owns one AF_UNIX stream socketpair and speaks a
+// strict request/reply alternation of length-prefixed binary frames
+// (u32 little-endian payload length + payload). A request carries a slice
+// of design points plus each caller's warm-start SimHint; the reply carries
+// the bit-exact EvalResults (doubles as raw IEEE bit patterns — see
+// util/fmt.hpp), the updated hints, and an EvalStats delta so the parent's
+// stats() reflect work done in children (including the spice kernel
+// counters, via Options::leaf_stats).
+//
+// Determinism contract: results are reassembled by input index and each
+// point is evaluated by the same pure evaluator the serial path runs, so
+// evaluate_batch() output is bitwise-equal to the serial backend —
+// distribution is a throughput optimization, never a semantic one.
+//
+// Failure model: a worker that crashes, closes its socket, or misses the
+// per-request deadline is SIGKILLed, reaped and replaced by a fresh fork
+// (worker_restarts). The failed request is retried ONCE, per point — so a
+// single poison point that reliably kills a worker turns into one error
+// result (worker_retries), while its innocent chunk-mates still evaluate.
+//
+// Fork hygiene: workers are forked at construction, before the trainer
+// spawns rollout threads. The inner backend is built INSIDE each child via
+// the injected factory, so it never contains threads that died in the fork
+// (a pre-fork ThreadPool would hang its child copy); CornerBackend-style
+// stacks should create any pools lazily in the factory.
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/backend.hpp"
+
+namespace autockt::eval {
+
+class ProcessPoolBackend : public EvalBackend {
+ public:
+  /// Builds the evaluation stack a worker runs — called once per worker,
+  /// in the CHILD, immediately after fork.
+  using InnerFactory = std::function<std::shared_ptr<EvalBackend>()>;
+
+  struct Options {
+    std::size_t workers = 4;
+    /// Deadline for one request round trip; a worker that misses it is
+    /// killed and the request retried once. Generous by default — a slow
+    /// simulation is not a crash.
+    long request_timeout_ms = 120000;
+    /// Extra per-process stats a child folds into its reply delta (e.g.
+    /// the spice layer's process-wide kernel counters, which the eval
+    /// layer cannot see). May be null.
+    std::function<EvalStats()> leaf_stats;
+    /// Display label for the (child-side) inner stack in name().
+    std::string inner_name = "worker";
+  };
+
+  ProcessPoolBackend(InnerFactory inner_factory, const Options& options);
+  ProcessPoolBackend(InnerFactory inner_factory)
+      : ProcessPoolBackend(std::move(inner_factory), Options()) {}
+  ~ProcessPoolBackend() override;
+  ProcessPoolBackend(const ProcessPoolBackend&) = delete;
+  ProcessPoolBackend& operator=(const ProcessPoolBackend&) = delete;
+
+  std::string name() const override {
+    return "procpool[" + std::to_string(workers_.size()) + "](" +
+           options_.inner_name + ")";
+  }
+  bool prefers_batch() const override { return true; }
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+ protected:
+  EvalResult do_evaluate(const ParamVector& params, SimHint* hint) override;
+  std::vector<EvalResult> do_evaluate_batch(
+      const std::vector<ParamVector>& points,
+      const std::vector<SimHint*>& hints) override;
+  EvalStats inner_stats() const override;
+  void reset_inner_stats() override;
+
+ private:
+  struct Worker {
+    std::mutex mutex;  // serializes the request/reply round trip
+    int fd = -1;       // parent end of the socketpair
+    pid_t pid = -1;
+  };
+
+  void spawn_worker_locked(Worker& worker);
+  void kill_worker_locked(Worker& worker);
+  [[noreturn]] void child_main(int fd);
+
+  /// One request/reply round trip on `worker` (mutex must NOT be held).
+  /// Returns false on crash/timeout, after replacing the worker.
+  bool round_trip(Worker& worker, const std::string& request,
+                  std::string* reply);
+
+  /// Evaluate `points` on one worker with crash retry; writes results
+  /// aligned with `points` and copies updated hints back into `hints`.
+  void run_on_worker(Worker& worker, const std::vector<ParamVector>& points,
+                     const std::vector<SimHint*>& hints,
+                     std::vector<EvalResult>* out);
+
+  Worker& pick_worker();
+
+  InnerFactory inner_factory_;
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> next_worker_{0};
+
+  mutable std::mutex child_stats_mutex_;
+  EvalStats child_stats_;  // accumulated reply deltas
+};
+
+}  // namespace autockt::eval

@@ -24,6 +24,11 @@ EvalStats& EvalStats::operator+=(const EvalStats& other) {
   batch_refactorizations += other.batch_refactorizations;
   batch_lanes += other.batch_lanes;
   batch_lane_fallbacks += other.batch_lane_fallbacks;
+  disk_hits += other.disk_hits;
+  disk_appends += other.disk_appends;
+  worker_dispatches += other.worker_dispatches;
+  worker_retries += other.worker_retries;
+  worker_restarts += other.worker_restarts;
   return *this;
 }
 
@@ -56,6 +61,11 @@ EvalStats EvalStats::since(const EvalStats& before) const {
   out.batch_lanes = batch_lanes - before.batch_lanes;
   out.batch_lane_fallbacks =
       batch_lane_fallbacks - before.batch_lane_fallbacks;
+  out.disk_hits = disk_hits - before.disk_hits;
+  out.disk_appends = disk_appends - before.disk_appends;
+  out.worker_dispatches = worker_dispatches - before.worker_dispatches;
+  out.worker_retries = worker_retries - before.worker_retries;
+  out.worker_restarts = worker_restarts - before.worker_restarts;
   return out;
 }
 
@@ -98,6 +108,11 @@ std::vector<std::pair<const char*, double>> EvalStats::fields() const {
       {"batch_refactorizations", static_cast<double>(batch_refactorizations)},
       {"batch_lanes", static_cast<double>(batch_lanes)},
       {"batch_lane_fallbacks", static_cast<double>(batch_lane_fallbacks)},
+      {"disk_hits", static_cast<double>(disk_hits)},
+      {"disk_appends", static_cast<double>(disk_appends)},
+      {"worker_dispatches", static_cast<double>(worker_dispatches)},
+      {"worker_retries", static_cast<double>(worker_retries)},
+      {"worker_restarts", static_cast<double>(worker_restarts)},
   };
 }
 
@@ -135,6 +150,11 @@ EvalStats StatsCollector::snapshot() const {
   s.pending_batches = pending_batches_.load(std::memory_order_relaxed);
   s.sim_seconds =
       static_cast<double>(sim_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.disk_appends = disk_appends_.load(std::memory_order_relaxed);
+  s.worker_dispatches = worker_dispatches_.load(std::memory_order_relaxed);
+  s.worker_retries = worker_retries_.load(std::memory_order_relaxed);
+  s.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -148,6 +168,11 @@ void StatsCollector::reset() {
   // pending_batches_ is a live gauge, not an accumulator: resetting it
   // while a batch is in flight would underflow on end_pending_batch().
   sim_nanos_.store(0, std::memory_order_relaxed);
+  disk_hits_.store(0, std::memory_order_relaxed);
+  disk_appends_.store(0, std::memory_order_relaxed);
+  worker_dispatches_.store(0, std::memory_order_relaxed);
+  worker_retries_.store(0, std::memory_order_relaxed);
+  worker_restarts_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace autockt::eval

@@ -53,6 +53,14 @@ struct EvalStats {
   long batch_lanes = 0;
   long batch_lane_fallbacks = 0;
 
+  // ---- persistent / distributed tier -------------------------------------
+  // Filled by CachedBackend (disk_*) and ProcessPoolBackend (worker_*).
+  long disk_hits = 0;     // cache hits served by entries replayed from disk
+  long disk_appends = 0;  // memo entries appended to the on-disk log
+  long worker_dispatches = 0;  // request round trips to pool workers
+  long worker_retries = 0;     // requests retried after a crash/timeout
+  long worker_restarts = 0;    // workers replaced by a fresh fork
+
   EvalStats& operator+=(const EvalStats& other);
   EvalStats operator+(const EvalStats& other) const;
   /// Activity since `before` was snapshotted (counter-wise difference).
@@ -111,6 +119,19 @@ class StatsCollector {
   void end_pending_batch() {
     pending_batches_.fetch_sub(1, std::memory_order_relaxed);
   }
+  void add_disk_hit() { disk_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void add_disk_append() {
+    disk_appends_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_worker_dispatch() {
+    worker_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_worker_retry() {
+    worker_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_worker_restart() {
+    worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   EvalStats snapshot() const;
   void reset();
@@ -124,6 +145,11 @@ class StatsCollector {
   std::atomic<long> max_batch_{0};
   std::atomic<long> pending_batches_{0};
   std::atomic<std::int64_t> sim_nanos_{0};
+  std::atomic<long> disk_hits_{0};
+  std::atomic<long> disk_appends_{0};
+  std::atomic<long> worker_dispatches_{0};
+  std::atomic<long> worker_retries_{0};
+  std::atomic<long> worker_restarts_{0};
 };
 
 }  // namespace autockt::eval

@@ -34,6 +34,8 @@ inline constexpr const char* kRlCollect = "rl/collect";
 inline constexpr const char* kRlUpdate = "rl/update";
 inline constexpr const char* kRlHoldoutProbe = "rl/holdout_probe";
 inline constexpr const char* kDeployRun = "deploy/run";
+inline constexpr const char* kEvalDiskReplay = "eval/disk_replay";
+inline constexpr const char* kEvalWorkerDispatch = "eval/worker_dispatch";
 
 // ---- counters ------------------------------------------------------------
 inline constexpr const char* kEvalCacheHit = "eval/cache_hit";
@@ -48,6 +50,11 @@ inline constexpr const char* kSimDenseFallback = "sim/dense_fallback";
 inline constexpr const char* kSimBatchRefactor = "sim/batch_refactor";
 inline constexpr const char* kSimBatchLanes = "sim/batch_lanes";
 inline constexpr const char* kSimBatchLaneFallback = "sim/batch_lane_fallback";
+inline constexpr const char* kEvalDiskHit = "eval/disk_hit";
+inline constexpr const char* kEvalDiskAppend = "eval/disk_append";
+inline constexpr const char* kEvalWorkerPoints = "eval/worker_points";
+inline constexpr const char* kEvalWorkerRetry = "eval/worker_retry";
+inline constexpr const char* kEvalWorkerRestart = "eval/worker_restart";
 
 /// One registry row: the exported name, its kind ("span" or "counter") and
 /// a one-line description (mirrored into the OBSERVABILITY.md glossary).

@@ -45,6 +45,10 @@ const std::vector<NameInfo>& registry() {
       {kRlUpdate, "span", "clipped-surrogate update phase of a PPO iteration"},
       {kRlHoldoutProbe, "span", "greedy goal-rate probe over the holdout suite"},
       {kDeployRun, "span", "one deploy_agent() call over a target set"},
+      {kEvalDiskReplay, "span",
+       "DiskLogStore open(): replaying the on-disk log into the memo index"},
+      {kEvalWorkerDispatch, "span",
+       "one request round trip to a ProcessPoolBackend worker"},
       // counters
       {kEvalCacheHit, "counter", "evaluation answered from the memo cache"},
       {kEvalCacheMiss, "counter", "evaluation that had to reach the simulator"},
@@ -66,6 +70,16 @@ const std::vector<NameInfo>& registry() {
        "lanes factored by a batched refactorization (value = lane count)"},
       {kSimBatchLaneFallback, "counter",
        "single lane of a batched refactorization fell back to dense LU"},
+      {kEvalDiskHit, "counter",
+       "memo hit served by an entry replayed from the on-disk cache"},
+      {kEvalDiskAppend, "counter",
+       "memo entry appended to the on-disk eval cache log"},
+      {kEvalWorkerPoints, "counter",
+       "points shipped to pool workers (value = shard size)"},
+      {kEvalWorkerRetry, "counter",
+       "request retried after a worker crash or timeout"},
+      {kEvalWorkerRestart, "counter",
+       "crashed/timed-out pool worker replaced by a fresh fork"},
   };
   return kRegistry;
 }

@@ -389,6 +389,11 @@ TEST(EvalStats, FieldsAndSummaryNameEveryPublicField) {
       "batch_refactorizations",
       "batch_lanes",
       "batch_lane_fallbacks",
+      "disk_hits",
+      "disk_appends",
+      "worker_dispatches",
+      "worker_retries",
+      "worker_restarts",
   };
   const eval::EvalStats stats;
   const auto fields = stats.fields();

@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <set>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/expected.hpp"
+#include "util/fmt.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -243,6 +246,106 @@ TEST(Csv, DoubleRowsRoundTripBitwise) {
   }
   // Pin the %.17g shape (precision-10 would emit "0.1").
   EXPECT_NE(s.find("0.10000000000000001"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Fmt
+
+namespace {
+// Bit-level comparison; EXPECT_EQ on doubles would pass -0.0 == 0.0 and
+// fail NaN == NaN, which is exactly backwards for a serialization contract.
+::testing::AssertionResult SameBits(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << format_hex_bits(a) << " != " << format_hex_bits(b);
+}
+}  // namespace
+
+TEST(Fmt, G17RoundTripsFiniteDoublesBitwise) {
+  // The %.17g contract behind every text serialization path: CSVs, the
+  // on-disk cache's human-readable fields. Denormals and -0.0 included.
+  const double values[] = {0.0,
+                           -0.0,
+                           0.1,
+                           1.0 / 3.0,
+                           6.62607015e-34,
+                           -1.2345678901234567e18,
+                           std::numeric_limits<double>::denorm_min(),
+                           -std::numeric_limits<double>::denorm_min(),
+                           4.9406564584124654e-324,
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::epsilon(),
+                           2.2e-10};
+  for (double v : values) {
+    EXPECT_TRUE(SameBits(parse_g17(format_g17(v)), v)) << format_g17(v);
+  }
+  // -0.0 keeps its sign through the text route.
+  EXPECT_TRUE(std::signbit(parse_g17(format_g17(-0.0))));
+}
+
+TEST(Fmt, BitCastsRoundTripEveryPattern) {
+  // The u64 route must preserve patterns %.17g cannot: NaN payloads,
+  // signalling bits, infinities.
+  const std::uint64_t patterns[] = {
+      0x0000000000000000ULL,  // +0.0
+      0x8000000000000000ULL,  // -0.0
+      0x0000000000000001ULL,  // smallest denormal
+      0x000fffffffffffffULL,  // largest denormal
+      0x7ff0000000000000ULL,  // +inf
+      0xfff0000000000000ULL,  // -inf
+      0x7ff8000000000000ULL,  // quiet NaN
+      0x7ff8deadbeef1234ULL,  // NaN with payload
+      0xfff4000000000001ULL,  // signalling NaN, sign set
+      0x3fd5555555555555ULL,  // 1/3
+  };
+  for (std::uint64_t bits : patterns) {
+    EXPECT_EQ(double_to_bits(bits_to_double(bits)), bits);
+  }
+  EXPECT_TRUE(SameBits(bits_to_double(double_to_bits(-0.0)), -0.0));
+}
+
+TEST(Fmt, HexBitsAreFixedWidthAndRoundTrip) {
+  // The cache record format depends on exactly-16 lowercase hex digits.
+  EXPECT_EQ(format_hex_bits(0.0), "0000000000000000");
+  EXPECT_EQ(format_hex_bits(-0.0), "8000000000000000");
+  EXPECT_EQ(format_hex_bits(1.0), "3ff0000000000000");
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           -1.0 / 3.0,
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           bits_to_double(0x7ff8deadbeef1234ULL)};
+  for (double v : values) {
+    const std::string hex = format_hex_bits(v);
+    EXPECT_EQ(hex.size(), 16u);
+    for (char c : hex) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+    }
+    double back = 12345.0;
+    ASSERT_TRUE(parse_hex_bits(hex, &back)) << hex;
+    EXPECT_TRUE(SameBits(back, v)) << hex;
+  }
+  // Uppercase input is accepted (hand-edited cache files).
+  double up = 0.0;
+  ASSERT_TRUE(parse_hex_bits("3FF0000000000000", &up));
+  EXPECT_TRUE(SameBits(up, 1.0));
+}
+
+TEST(Fmt, ParseHexBitsRejectsMalformedInput) {
+  double out = 42.0;
+  EXPECT_FALSE(parse_hex_bits("", &out));
+  EXPECT_FALSE(parse_hex_bits("3ff000000000000", &out));    // 15 chars
+  EXPECT_FALSE(parse_hex_bits("3ff00000000000000", &out));  // 17 chars
+  EXPECT_FALSE(parse_hex_bits("3ff000000000000g", &out));   // non-hex
+  EXPECT_FALSE(parse_hex_bits("3ff0 00000000000", &out));   // space
+  EXPECT_FALSE(parse_hex_bits("0x3ff00000000000", &out));   // 0x prefix
+  // Rejection leaves *out untouched.
+  EXPECT_EQ(out, 42.0);
 }
 
 // ---------------------------------------------------------------- Cli
