@@ -29,6 +29,12 @@ void CachedBackend::count_hit(bool replayed) {
 
 void CachedBackend::memoize(const ParamVector& params,
                             const EvalResult& result) {
+  // Simulator failures are memoized like successes (a non-converging point
+  // must not be re-simulated), but TRANSPORT failures — a pool worker that
+  // crashed or timed out — are transient and must not be: with a persistent
+  // store one flaky timeout would durably poison the entry and every warm
+  // run would replay the spurious error instead of re-simulating.
+  if (is_transport_error(result)) return;
   if (store_->insert(params, result) && store_->persistent()) {
     counters_.add_disk_append();
   }

@@ -2,8 +2,11 @@
 // CachedBackend: the memo-cache decorator, keyed on grid indices. The
 // action space is discrete, every episode restarts from the grid centre,
 // and PPO revisits neighbourhoods constantly — so repeat visits are the
-// common case and become near-free. Failures are memoized too: a design
-// point the simulator could not converge on is not re-simulated.
+// common case and become near-free. Simulator failures are memoized too: a
+// design point the simulator could not converge on is not re-simulated.
+// The one exception is transport failures (kTransportErrorCode — a pool
+// worker crashed or timed out): those say nothing about the design point
+// and are never memoized, so the next visit re-simulates.
 //
 // Storage is pluggable (eval/memo_store.hpp): the default InMemoryStore
 // reproduces the original sharded map; a DiskLogStore makes the memo

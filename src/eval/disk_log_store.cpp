@@ -321,15 +321,43 @@ DiskLogStore::File& DiskLogStore::file_for(const ParamVector& key) {
   return *files_[ParamVectorHash{}(key) % files_.size()];
 }
 
-void DiskLogStore::append(File& file, const std::string& record) {
+void DiskLogStore::freeze_failed_locked(File& file, const char* what) {
+  // A failed (possibly partial) write leaves a torn record at the tail.
+  // That tail is harmless exactly as long as it STAYS the tail — open()
+  // truncates at the first bad record — but appending more would bury it
+  // mid-file and cost every good record written after it. So the shard
+  // goes read-only: lookups keep being served from the index, new entries
+  // simply stop persisting.
+  file.failed = true;
+  write_errors_.fetch_add(1, std::memory_order_relaxed);
+  trace::counter(trace::names::kEvalDiskWriteError);
+  std::fprintf(stderr,
+               "autockt: eval cache: %s failed (%s) in '%s'; freezing this "
+               "shard read-only — cached lookups continue, new entries on "
+               "this shard will not persist across restarts\n",
+               what, std::strerror(errno), dir_.c_str());
+}
+
+bool DiskLogStore::append(File& file, const std::string& record) {
   std::lock_guard<std::mutex> lock(file.mutex);
+  if (file.failed) return false;
   // O_APPEND makes each write atomic with respect to concurrent appenders
   // on the same fd; a crash mid-write can only tear the final record.
-  write_all(file.fd, record.data(), record.size());
+  if (!write_all(file.fd, record.data(), record.size())) {
+    freeze_failed_locked(file, "shard write");
+    return false;
+  }
   if (++file.unsynced >= options_.fsync_every) {
-    ::fsync(file.fd);
+    if (::fsync(file.fd) != 0) {
+      // After a failed fsync the kernel may have dropped the dirty pages;
+      // durability of earlier records is no longer certain — stop here
+      // rather than silently pretending later appends are safe.
+      freeze_failed_locked(file, "shard fsync");
+      return false;
+    }
     file.unsynced = 0;
   }
+  return true;
 }
 
 bool DiskLogStore::lookup(const ParamVector& key, EvalResult* out,
@@ -342,16 +370,20 @@ bool DiskLogStore::insert(const ParamVector& key, const EvalResult& value) {
   std::string record = encode_record(key, value);
   std::uint64_t checksum = fingerprint64(record);
   record += " C " + format_hex_u64(checksum) + "\n";
-  append(file_for(key), record);
-  trace::counter(trace::names::kEvalDiskAppend);
+  if (append(file_for(key), record)) {
+    trace::counter(trace::names::kEvalDiskAppend);
+  }
   return true;
 }
 
 void DiskLogStore::flush() {
   for (auto& file : files_) {
     std::lock_guard<std::mutex> lock(file->mutex);
-    if (file->fd >= 0 && file->unsynced > 0) {
-      ::fsync(file->fd);
+    if (file->fd >= 0 && !file->failed && file->unsynced > 0) {
+      if (::fsync(file->fd) != 0) {
+        freeze_failed_locked(*file, "shard fsync");
+        continue;
+      }
       file->unsynced = 0;
     }
   }

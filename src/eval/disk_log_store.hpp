@@ -32,6 +32,7 @@
 // cache. Entries are never rewritten in place, so the prefix is always
 // consistent.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,13 @@ class DiskLogStore : public MemoStore {
   std::uint64_t fingerprint() const { return fingerprint_; }
   /// Entries loaded from disk at open() (after torn-tail repair).
   std::size_t replayed_entries() const { return replayed_entries_; }
+  /// Shard write/fsync failures (ENOSPC/EIO...). Each failure freezes its
+  /// shard read-only: the in-memory index keeps serving, but entries routed
+  /// to that shard stop persisting — appending past a torn record would
+  /// make the next open() truncate every good record after it.
+  std::size_t write_errors() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
 
   /// Serialize one record body (everything before the checksum token);
   /// exposed for the crash-safety tests that forge torn/corrupt tails.
@@ -101,12 +109,16 @@ class DiskLogStore : public MemoStore {
     std::mutex mutex;
     int fd = -1;
     std::size_t unsynced = 0;  // appends since the last fsync
+    bool failed = false;       // a write/fsync failed: shard is read-only
   };
 
   DiskLogStore(std::string dir, std::uint64_t fingerprint, Options options);
 
   File& file_for(const ParamVector& key);
-  void append(File& file, const std::string& record);
+  /// Append one record; false when the shard is (or just became) frozen
+  /// after a write/fsync failure.
+  bool append(File& file, const std::string& record);
+  void freeze_failed_locked(File& file, const char* what);
 
   std::string dir_;
   std::uint64_t fingerprint_ = 0;
@@ -114,6 +126,7 @@ class DiskLogStore : public MemoStore {
   InMemoryStore index_;
   std::vector<std::unique_ptr<File>> files_;
   std::size_t replayed_entries_ = 0;
+  std::atomic<std::size_t> write_errors_{0};
 };
 
 }  // namespace autockt::eval

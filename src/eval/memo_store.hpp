@@ -10,8 +10,10 @@
 //                   repeated training/serving runs never re-simulate a seen
 //                   point.
 //
-// Entries are full EvalResults: failures are memoized exactly like
-// successes (a non-converging design point must not be re-simulated either).
+// Entries are full EvalResults: simulator failures are memoized exactly
+// like successes (a non-converging design point must not be re-simulated
+// either). Transport failures never reach a store — CachedBackend::memoize
+// filters them (see kTransportErrorCode in eval/types.hpp).
 // Stores must be thread-safe — PPO rollout workers hit them concurrently.
 
 #include <atomic>

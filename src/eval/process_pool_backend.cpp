@@ -87,6 +87,16 @@ struct Reader {
   }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64() { return util::bits_to_double(u64()); }
+  /// Non-consuming guard for count-prefixed arrays: true only when `count`
+  /// elements of at least `min_size` bytes each could still fit in the
+  /// remaining buffer. Checked BEFORE any resize(count), so a garbled count
+  /// in an otherwise complete frame cannot provoke a multi-GB allocation
+  /// (a bad_alloc thrown inside a shard thread would terminate the parent
+  /// instead of taking the kill-and-retry path).
+  bool bound(std::uint64_t count, std::size_t min_size) {
+    if (!ok || count > (buf.size() - pos) / min_size) ok = false;
+    return ok;
+  }
   std::string bytes() {
     std::uint32_t n = u32();
     if (!need(n)) return {};
@@ -117,13 +127,18 @@ bool decode_hint(Reader* r, SimHint* hint) {
   hint->ops.clear();
   if (r->u8() == 0) return false;
   const std::uint32_t nops = r->u32();
+  if (!r->bound(nops, 9)) return false;  // 9 = valid byte + two counts
   hint->ops.resize(nops);
   for (std::uint32_t i = 0; i < nops; ++i) {
     OpHint& op = hint->ops[i];
     op.valid = r->u8() != 0;
-    op.node_v.resize(r->u32());
+    const std::uint32_t nv = r->u32();
+    if (!r->bound(nv, 8)) return false;
+    op.node_v.resize(nv);
     for (double& v : op.node_v) v = r->f64();
-    op.branch_i.resize(r->u32());
+    const std::uint32_t ni = r->u32();
+    if (!r->bound(ni, 8)) return false;
+    op.branch_i.resize(ni);
     for (double& v : op.branch_i) v = r->f64();
   }
   return true;
@@ -147,7 +162,13 @@ void encode_result(std::string* b, const EvalResult& result) {
 
 EvalResult decode_result(Reader* r) {
   if (r->u8() != 0) {
-    SpecVector specs(r->u32());
+    const std::uint32_t nv = r->u32();
+    if (!r->bound(nv, 8)) {
+      return EvalResult(
+          util::Error{"process pool: garbled worker reply",
+                      /*code=*/kTransportErrorCode});
+    }
+    SpecVector specs(nv);
     for (double& v : specs) v = r->f64();
     return EvalResult(std::move(specs));
   }
@@ -293,6 +314,115 @@ bool recv_frame_deadline(int fd, std::string* payload,
   return len == 0 || recv_all_deadline(fd, payload->data(), len, deadline);
 }
 
+/// Deadline-bounded send — the parent side. MSG_DONTWAIT keeps each send
+/// partial instead of blocking until everything is buffered; a full socket
+/// buffer is waited out with poll(POLLOUT) only until the deadline. A child
+/// that is alive but not reading (wedged mid-request) with a request larger
+/// than the socketpair buffer therefore trips the same kill-and-retry path
+/// as a crash, instead of blocking the shard thread forever while it holds
+/// the worker mutex.
+bool send_all_deadline(int fd, const char* data, std::size_t n,
+                       std::chrono::steady_clock::time_point deadline) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      const long wait_ms = static_cast<long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count() +
+          1);
+      struct pollfd pfd{fd, POLLOUT, 0};
+      int p = ::poll(&pfd, 1, static_cast<int>(wait_ms));
+      if (p < 0 && errno != EINTR) return false;
+      continue;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool send_frame_deadline(int fd, const std::string& payload,
+                         std::chrono::steady_clock::time_point deadline) {
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  put_u32(&frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  return send_all_deadline(fd, frame.data(), frame.size(), deadline);
+}
+
+// ---- zygote control channel (SCM_RIGHTS fd passing) -----------------------
+
+/// Zygote -> parent: one fixed-size status message (ok byte + worker pid),
+/// with the worker's parent-end socket attached as ancillary data when ok.
+bool send_spawn_reply(int sock, int worker_fd, pid_t worker_pid) {
+  char payload[1 + sizeof(std::int64_t)];
+  payload[0] = worker_fd >= 0 ? 1 : 0;
+  const std::int64_t pid64 = static_cast<std::int64_t>(worker_pid);
+  std::memcpy(payload + 1, &pid64, sizeof(pid64));
+  struct iovec iov{payload, sizeof(payload)};
+  struct msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  if (worker_fd >= 0) {
+    std::memset(cbuf, 0, sizeof(cbuf));
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    struct cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+    cm->cmsg_level = SOL_SOCKET;
+    cm->cmsg_type = SCM_RIGHTS;
+    cm->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cm), &worker_fd, sizeof(int));
+  }
+  ssize_t w;
+  do {
+    w = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+  } while (w < 0 && errno == EINTR);
+  return w == static_cast<ssize_t>(sizeof(payload));
+}
+
+/// Parent side of send_spawn_reply. Returns false only when the channel
+/// itself is broken (EOF/error/short read) — a well-formed "fork failed"
+/// reply returns true with *worker_fd left at -1.
+bool recv_spawn_reply(int sock, int* worker_fd, pid_t* worker_pid) {
+  *worker_fd = -1;
+  *worker_pid = -1;
+  char payload[1 + sizeof(std::int64_t)];
+  struct iovec iov{payload, sizeof(payload)};
+  struct msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+  ssize_t r;
+  do {
+    r = ::recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+  } while (r < 0 && errno == EINTR);
+  if (r != static_cast<ssize_t>(sizeof(payload))) return false;
+  int received_fd = -1;
+  for (struct cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+       cm = CMSG_NXTHDR(&msg, cm)) {
+    if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SCM_RIGHTS) {
+      std::memcpy(&received_fd, CMSG_DATA(cm), sizeof(int));
+    }
+  }
+  if (payload[0] == 0) {
+    if (received_fd >= 0) ::close(received_fd);  // malformed: drop the fd
+    return true;
+  }
+  if (received_fd < 0) return true;  // malformed success: treat as failed
+  std::int64_t pid64 = -1;
+  std::memcpy(&pid64, payload + 1, sizeof(pid64));
+  *worker_fd = received_fd;
+  *worker_pid = static_cast<pid_t>(pid64);
+  return true;
+}
+
 }  // namespace
 
 // ---- lifecycle ------------------------------------------------------------
@@ -300,6 +430,10 @@ bool recv_frame_deadline(int fd, std::string* payload,
 ProcessPoolBackend::ProcessPoolBackend(InnerFactory inner_factory,
                                        const Options& options)
     : inner_factory_(std::move(inner_factory)), options_(options) {
+  // The zygote MUST fork here, while this process is still single-threaded
+  // (the trainer has not spawned rollout threads yet) — that quiescent fork
+  // is what makes every later worker spawn safe.
+  start_zygote();
   const std::size_t n = std::max<std::size_t>(1, options_.workers);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -312,56 +446,171 @@ ProcessPoolBackend::~ProcessPoolBackend() {
   for (auto& worker : workers_) {
     std::lock_guard<std::mutex> lock(worker->mutex);
     if (worker->fd >= 0) {
+      unregister_parent_fd(worker->fd);
       ::close(worker->fd);  // EOF tells the child to _exit cleanly
       worker->fd = -1;
     }
     if (worker->pid > 0) {
-      int status = 0;
-      ::waitpid(worker->pid, &status, 0);
+      if (worker->direct) {
+        // Only fallback-forked workers are our children; zygote-spawned
+        // ones are the zygote's (the kernel reaps them — see zygote_main).
+        int status = 0;
+        ::waitpid(worker->pid, &status, 0);
+      }
       worker->pid = -1;
     }
   }
+  shutdown_zygote();
 }
 
-void ProcessPoolBackend::spawn_worker_locked(Worker& worker) {
+void ProcessPoolBackend::register_parent_fd(int fd) {
+  std::lock_guard<std::mutex> lock(parent_fds_mutex_);
+  parent_fds_.push_back(fd);
+}
+
+void ProcessPoolBackend::unregister_parent_fd(int fd) {
+  std::lock_guard<std::mutex> lock(parent_fds_mutex_);
+  parent_fds_.erase(std::remove(parent_fds_.begin(), parent_fds_.end(), fd),
+                    parent_fds_.end());
+}
+
+void ProcessPoolBackend::start_zygote() {
   int fds[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
-    worker.fd = -1;
-    worker.pid = -1;
-    return;
-  }
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return;
   pid_t pid = ::fork();
   if (pid < 0) {
     ::close(fds[0]);
     ::close(fds[1]);
-    worker.fd = -1;
-    worker.pid = -1;
     return;
   }
   if (pid == 0) {
-    // Child. Close the parent end of OUR pair and every other worker's
-    // parent fd we inherited — a sibling holding a stray dup would defeat
-    // that worker's EOF-based shutdown.
     ::close(fds[0]);
-    for (const auto& other : workers_) {
-      if (other.get() != &worker && other->fd >= 0) ::close(other->fd);
+    zygote_main(fds[1]);  // never returns
+  }
+  ::close(fds[1]);
+  zygote_fd_ = fds[0];
+  zygote_pid_ = pid;
+  register_parent_fd(zygote_fd_);
+}
+
+void ProcessPoolBackend::shutdown_zygote() {
+  std::lock_guard<std::mutex> lock(zygote_mutex_);
+  if (zygote_fd_ >= 0) {
+    unregister_parent_fd(zygote_fd_);
+    ::close(zygote_fd_);  // EOF: the zygote loop exits
+    zygote_fd_ = -1;
+  }
+  if (zygote_pid_ > 0) {
+    int status = 0;
+    ::waitpid(zygote_pid_, &status, 0);
+    zygote_pid_ = -1;
+  }
+}
+
+void ProcessPoolBackend::zygote_main(int control_fd) {
+  // The zygote stays single-threaded for its whole life, so its forks are
+  // always safe: a worker may malloc and build thread pools immediately.
+  // With SIGCHLD ignored the kernel reaps exited workers — no zombie
+  // accumulates even though the parent never waits on grandchildren.
+  ::signal(SIGCHLD, SIG_IGN);
+  char cmd = 0;
+  while (recv_all_blocking(control_fd, &cmd, 1)) {
+    int pair[2] = {-1, -1};
+    pid_t pid = -1;
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) == 0) {
+      pid = ::fork();
+      if (pid == 0) {
+        // The worker: shed the zygote's descriptors, then serve. It
+        // inherits nothing else — sibling workers' sockets live only in
+        // the parent process.
+        ::close(control_fd);
+        ::close(pair[0]);
+        child_main(pair[1]);  // never returns
+      }
+      ::close(pair[1]);
+      if (pid < 0) {
+        ::close(pair[0]);
+        pair[0] = -1;
+      }
     }
+    const bool sent = send_spawn_reply(control_fd, pair[0], pid);
+    if (pair[0] >= 0) ::close(pair[0]);  // parent holds its own copy now
+    if (!sent) break;
+  }
+  ::_exit(0);
+}
+
+bool ProcessPoolBackend::spawn_via_zygote(int* fd, pid_t* pid) {
+  std::lock_guard<std::mutex> lock(zygote_mutex_);
+  if (zygote_fd_ < 0) return false;
+  char cmd = 'S';
+  if (!send_all(zygote_fd_, &cmd, 1) ||
+      !recv_spawn_reply(zygote_fd_, fd, pid)) {
+    // The control channel is broken — the zygote is gone. Close our end so
+    // every later spawn falls straight back to direct forks.
+    unregister_parent_fd(zygote_fd_);
+    ::close(zygote_fd_);
+    zygote_fd_ = -1;
+    return false;
+  }
+  return *fd >= 0;
+}
+
+void ProcessPoolBackend::spawn_direct(int* out_fd, pid_t* out_pid) {
+  // Snapshot the pool's open fds BEFORE forking, under the registry lock —
+  // never by walking workers_ in the child, where a concurrent kill/spawn
+  // could be mid-update and a reused fd number would make us close a
+  // stranger's descriptor.
+  std::vector<int> inherited;
+  {
+    std::lock_guard<std::mutex> lock(parent_fds_mutex_);
+    inherited = parent_fds_;
+  }
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return;
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    for (int f : inherited) ::close(f);
     child_main(fds[1]);  // never returns
   }
   ::close(fds[1]);
-  worker.fd = fds[0];
-  worker.pid = pid;
+  *out_fd = fds[0];
+  *out_pid = pid;
+}
+
+void ProcessPoolBackend::spawn_worker_locked(Worker& worker) {
+  worker.fd = -1;
+  worker.pid = -1;
+  worker.direct = false;
+  if (spawn_via_zygote(&worker.fd, &worker.pid)) {
+    register_parent_fd(worker.fd);
+    return;
+  }
+  spawn_direct(&worker.fd, &worker.pid);
+  if (worker.fd >= 0) {
+    worker.direct = true;
+    register_parent_fd(worker.fd);
+  }
 }
 
 void ProcessPoolBackend::kill_worker_locked(Worker& worker) {
   if (worker.fd >= 0) {
+    unregister_parent_fd(worker.fd);
     ::close(worker.fd);
     worker.fd = -1;
   }
   if (worker.pid > 0) {
     ::kill(worker.pid, SIGKILL);
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
+    if (worker.direct) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+    }
     worker.pid = -1;
   }
 }
@@ -388,9 +637,12 @@ void ProcessPoolBackend::child_main(int fd) {
   while (recv_frame_blocking(fd, &request)) {
     Reader r{request};
     const std::uint32_t n = r.u32();
+    if (!r.bound(n, 4)) ::_exit(2);  // 4 = each point's own count prefix
     points.assign(n, ParamVector{});
     for (auto& p : points) {
-      p.resize(r.u32());
+      const std::uint32_t np = r.u32();
+      if (!r.bound(np, 8)) ::_exit(2);
+      p.resize(np);
       for (int& k : p) k = static_cast<int>(r.i64());
     }
     hints.assign(n, SimHint{});
@@ -444,7 +696,7 @@ bool ProcessPoolBackend::round_trip(Worker& worker,
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(options_.request_timeout_ms);
-  if (send_frame(worker.fd, request) &&
+  if (send_frame_deadline(worker.fd, request, deadline) &&
       recv_frame_deadline(worker.fd, reply, deadline)) {
     return true;
   }
@@ -521,7 +773,7 @@ void ProcessPoolBackend::run_on_worker(Worker& worker,
     (*out)[i] = util::Error{
         "process pool: worker crashed or timed out evaluating this point "
         "(retried once)",
-        /*code=*/70};
+        /*code=*/kTransportErrorCode};
   }
 }
 

@@ -21,16 +21,27 @@
 // distribution is a throughput optimization, never a semantic one.
 //
 // Failure model: a worker that crashes, closes its socket, or misses the
-// per-request deadline is SIGKILLed, reaped and replaced by a fresh fork
-// (worker_restarts). The failed request is retried ONCE, per point — so a
-// single poison point that reliably kills a worker turns into one error
-// result (worker_retries), while its innocent chunk-mates still evaluate.
+// per-request deadline (on send OR receive — a child that stops reading is
+// as dead as one that stops writing) is SIGKILLed, reaped and replaced by
+// a fresh fork (worker_restarts). The failed request is retried ONCE, per
+// point — so a single poison point that reliably kills a worker turns into
+// one error result (worker_retries, code kTransportErrorCode — which memo
+// layers refuse to cache), while its innocent chunk-mates still evaluate.
 //
-// Fork hygiene: workers are forked at construction, before the trainer
-// spawns rollout threads. The inner backend is built INSIDE each child via
-// the injected factory, so it never contains threads that died in the fork
-// (a pre-fork ThreadPool would hang its child copy); CornerBackend-style
-// stacks should create any pools lazily in the factory.
+// Fork hygiene: forking from a multithreaded parent is a minefield — a
+// concurrent thread can hold the allocator lock at fork time, deadlocking
+// any child that mallocs. So the pool forks ONE single-threaded helper (the
+// "zygote") at construction, while the parent is still quiescent; every
+// worker — initial and respawned — is then forked BY the zygote and its
+// socket passed back over SCM_RIGHTS. Workers are therefore always forks
+// of a single-threaded process, inherit no sibling descriptors, and may
+// freely allocate while building the inner stack via the injected factory
+// (which also guarantees it never contains threads that died in a fork —
+// a pre-fork ThreadPool would hang its child copy; CornerBackend-style
+// stacks should create any pools lazily in the factory). If the zygote is
+// ever lost, spawning falls back to a direct fork that closes a
+// mutex-guarded snapshot of the pool's open descriptors — a degraded mode
+// that accepts the multithreaded-fork risk rather than going dark.
 
 #include <sys/types.h>
 
@@ -92,14 +103,33 @@ class ProcessPoolBackend : public EvalBackend {
 
  private:
   struct Worker {
-    std::mutex mutex;  // serializes the request/reply round trip
-    int fd = -1;       // parent end of the socketpair
+    std::mutex mutex;    // serializes the request/reply round trip
+    int fd = -1;         // parent end of the socketpair
     pid_t pid = -1;
+    bool direct = false;  // true: our own child (fallback fork), reap it;
+                          // false: the zygote's child (kernel-reaped)
   };
 
   void spawn_worker_locked(Worker& worker);
   void kill_worker_locked(Worker& worker);
   [[noreturn]] void child_main(int fd);
+
+  // -- zygote spawner (see "Fork hygiene" above) --
+  void start_zygote();
+  void shutdown_zygote();
+  [[noreturn]] void zygote_main(int control_fd);
+  /// Ask the zygote for a fresh worker. Returns true with *fd/*pid filled
+  /// on success; false when the zygote is unavailable or its fork failed.
+  bool spawn_via_zygote(int* fd, pid_t* pid);
+  /// Fallback direct fork (multithreaded-parent risk accepted); closes a
+  /// snapshot of parent_fds_ in the child. Leaves *fd at -1 on failure.
+  void spawn_direct(int* fd, pid_t* pid);
+
+  /// Registry of this pool's open parent-side fds (worker sockets + zygote
+  /// control): the snapshot a fallback direct fork closes in its child so
+  /// a worker never holds a sibling's socket open past its EOF shutdown.
+  void register_parent_fd(int fd);
+  void unregister_parent_fd(int fd);
 
   /// One request/reply round trip on `worker` (mutex must NOT be held).
   /// Returns false on crash/timeout, after replacing the worker.
@@ -118,6 +148,13 @@ class ProcessPoolBackend : public EvalBackend {
   Options options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::size_t> next_worker_{0};
+
+  std::mutex zygote_mutex_;  // serializes spawn requests on the control fd
+  int zygote_fd_ = -1;       // parent end of the zygote control socket
+  pid_t zygote_pid_ = -1;
+
+  std::mutex parent_fds_mutex_;
+  std::vector<int> parent_fds_;
 
   mutable std::mutex child_stats_mutex_;
   EvalStats child_stats_;  // accumulated reply deltas

@@ -22,6 +22,18 @@ using SpecVector = std::vector<double>;
 /// DC non-convergence) which callers map to per-spec fail values.
 using EvalResult = util::Expected<SpecVector>;
 
+/// Error code distinguishing evaluation-TRANSPORT failures (a pool worker
+/// crashed, timed out, or returned a garbled reply) from simulator verdicts
+/// (non-convergence etc.). Transport failures are transient properties of
+/// the infrastructure, not of the design point: memo layers must never
+/// cache a result carrying this code — a persistent store would otherwise
+/// replay the spurious error forever instead of re-simulating.
+inline constexpr int kTransportErrorCode = 70;
+
+inline bool is_transport_error(const EvalResult& result) {
+  return !result.ok() && result.error().code == kTransportErrorCode;
+}
+
 /// Warm-start state for ONE sub-simulation (one DC operating point): plain
 /// vectors so the eval layer stays independent of the spice layer. The
 /// simulator reads it as the Newton stage-0 guess and overwrites it with

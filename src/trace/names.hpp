@@ -55,6 +55,7 @@ inline constexpr const char* kEvalDiskAppend = "eval/disk_append";
 inline constexpr const char* kEvalWorkerPoints = "eval/worker_points";
 inline constexpr const char* kEvalWorkerRetry = "eval/worker_retry";
 inline constexpr const char* kEvalWorkerRestart = "eval/worker_restart";
+inline constexpr const char* kEvalDiskWriteError = "eval/disk_write_error";
 
 /// One registry row: the exported name, its kind ("span" or "counter") and
 /// a one-line description (mirrored into the OBSERVABILITY.md glossary).

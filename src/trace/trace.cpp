@@ -80,6 +80,8 @@ const std::vector<NameInfo>& registry() {
        "request retried after a worker crash or timeout"},
       {kEvalWorkerRestart, "counter",
        "crashed/timed-out pool worker replaced by a fresh fork"},
+      {kEvalDiskWriteError, "counter",
+       "eval-cache shard write failed (ENOSPC/EIO); shard frozen read-only"},
   };
   return kRegistry;
 }

@@ -507,6 +507,57 @@ TEST(ProcessPool, CrashedWorkerIsReplacedAndPoisonPointIsolated) {
   expect_same_result(pool.evaluate({42}), math_eval({42}), "after crash");
 }
 
+TEST(ProcessPool, TransportErrorsAreNeverMemoized) {
+  // A worker crash/timeout produces a kTransportErrorCode result. That is a
+  // statement about the infrastructure, not the design point — memoizing it
+  // (worse: durably, via a DiskLogStore) would replay the spurious error on
+  // every revisit instead of re-simulating.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  auto flaky = std::make_shared<eval::FunctionBackend>(
+      [calls](const ParamVector& p) -> EvalResult {
+        if (!p.empty() && p[0] == 666) {
+          return util::Error{"did not converge", 7};  // a simulator verdict
+        }
+        if (calls->fetch_add(1) == 0) {
+          // First evaluation: what run_on_worker synthesizes after a failed
+          // retry.
+          return util::Error{"process pool: worker crashed or timed out",
+                             eval::kTransportErrorCode};
+        }
+        return math_eval(p);
+      },
+      "flaky");
+
+  const std::string dir = fresh_dir("transport-error-cache");
+  auto opened = eval::DiskLogStore::open(dir, /*fingerprint=*/0xfeed);
+  ASSERT_TRUE(opened.ok());
+  eval::CachedBackend cached(flaky, opened.value());
+
+  const auto first = cached.evaluate({4, 2});
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code, eval::kTransportErrorCode);
+  EXPECT_EQ(cached.size(), 0u) << "transport failure must not be cached";
+  EXPECT_EQ(cached.stats().disk_appends, 0);
+
+  // The revisit re-simulates (and the healthy result IS memoized).
+  const auto second = cached.evaluate({4, 2});
+  ASSERT_TRUE(second.ok());
+  expect_same_result(second, math_eval({4, 2}), "healed revisit");
+  EXPECT_EQ(calls->load(), 2);
+  EXPECT_EQ(cached.size(), 1u);
+
+  // Simulator verdicts, by contrast, stay memoized — including on disk.
+  const auto verdict = cached.evaluate({666});
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code, 7);
+  EXPECT_EQ(cached.size(), 2u);
+  cached.flush();
+  auto reopened = eval::DiskLogStore::open(dir, /*fingerprint=*/0xfeed);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->replayed_entries(), 2u)
+      << "only the success and the simulator verdict may persist";
+}
+
 // ---------------------------------------------------------- problem parity
 
 namespace {
